@@ -1,0 +1,86 @@
+"""E1 — boot overhead of the ghost specification.
+
+Paper §6 (Performance): "The runtime overhead for boot is 3.2x (1.49s to
+4.76s)." Their boot is a Linux boot over pKVM — it exercises the
+hypervisor throughout (demand faults for the kernel's working set, the
+first shares). Our analogue is boot-to-usable: pKVM init (linear map,
+host stage 2 annotation, ghost attach + baseline recording) followed by
+that early bring-up traffic, measured with the ghost machinery off and
+on. Absolute times are incomparable (Python simulator vs QEMU on a Xeon);
+the reproduced claim is the *shape*: instrumented boot costs a small
+integer factor.
+"""
+
+import time
+
+import pytest
+
+from repro.machine import Machine
+from repro.pkvm.defs import HypercallId
+from benchmarks.conftest import report
+
+
+def _boot(ghost: bool) -> Machine:
+    """Boot to *usable*: pKVM init plus the early bring-up traffic a
+    booting kernel generates — demand faults for its working set, the
+    first shared pages, and (dominating, as in a real kernel boot) plain
+    computation that never traps to EL2. The untrapped work is why the
+    paper's boot ratio (3.2x) is lower than its test-suite ratio (11.5x):
+    boot time is mostly not hypervisor time.
+    """
+    machine = Machine(ghost=ghost)
+    pages = []
+    for _ in range(32):
+        page = machine.host.alloc_page()
+        machine.host.write64(page, 1)  # demand fault
+        pages.append(page)
+    for _ in range(8):
+        page = machine.host.alloc_page()
+        machine.host.hvc(HypercallId.HOST_SHARE_HYP, page >> 12)
+    # kernel-boot compute: accesses to already-mapped memory, no traps
+    for i in range(4000):
+        machine.mem.write64(pages[i % len(pages)], i)
+    return machine
+
+
+@pytest.mark.benchmark(group="boot")
+def bench_boot_baseline(benchmark):
+    machine = benchmark(_boot, False)
+    assert not machine.ghost_enabled
+
+
+@pytest.mark.benchmark(group="boot")
+def bench_boot_with_ghost_spec(benchmark):
+    machine = benchmark(_boot, True)
+    assert machine.checker is not None
+    assert set(machine.checker.committed) >= {"host", "pkvm", "vms"}
+
+
+def bench_boot_overhead_ratio(benchmark):
+    """The paper's headline number, measured directly (the
+    pytest-benchmark timer cannot compute cross-test ratios)."""
+    rounds = 5
+
+    def measure():
+        base = min(_timed(lambda: _boot(False)) for _ in range(rounds))
+        ghost = min(_timed(lambda: _boot(True)) for _ in range(rounds))
+        return base, ghost
+
+    base, ghost = benchmark.pedantic(measure, rounds=1, iterations=1)
+    ratio = ghost / base if base else float("inf")
+    report(
+        "E1",
+        "boot overhead 3.2x (1.49s -> 4.76s in QEMU)",
+        f"boot-to-usable overhead {ratio:.1f}x "
+        f"({base * 1e3:.1f}ms -> {ghost * 1e3:.1f}ms simulated)",
+    )
+    # Shape assertions: instrumentation costs something, but stays in the
+    # same small-integer-factor regime the paper reports (not 100x).
+    assert ratio > 1.0
+    assert ratio < 100.0
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

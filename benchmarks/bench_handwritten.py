@@ -1,0 +1,54 @@
+"""E2 — handwritten-suite overhead of the ghost specification.
+
+Paper §6: "for our hand-written tests [the overhead] is 11.5x (1.07s to
+12.3s)". We run the 41-test single-CPU suite with the oracle off and on
+and report the ratio. The expected shape: the per-hypercall abstraction
+recording and spec checking dominate, giving a noticeably larger factor
+than boot.
+"""
+
+import time
+
+import pytest
+
+from repro.testing.handwritten import ERROR_TESTS, OK_TESTS
+from repro.testing.harness import run_tests
+from benchmarks.conftest import report
+
+SUITE = OK_TESTS + ERROR_TESTS  # the 41 single-CPU tests
+
+
+def _run(ghost: bool):
+    results = run_tests(SUITE, ghost=ghost)
+    assert all(r.ok for r in results)
+    return results
+
+
+@pytest.mark.benchmark(group="handwritten")
+def bench_handwritten_suite_baseline(benchmark):
+    benchmark.pedantic(_run, args=(False,), rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="handwritten")
+def bench_handwritten_suite_with_ghost(benchmark):
+    benchmark.pedantic(_run, args=(True,), rounds=1, iterations=1)
+
+
+def bench_handwritten_overhead_ratio(benchmark):
+    def measure():
+        start = time.perf_counter()
+        _run(False)
+        base = time.perf_counter() - start
+        start = time.perf_counter()
+        _run(True)
+        return base, time.perf_counter() - start
+
+    base, ghost = benchmark.pedantic(measure, rounds=1, iterations=1)
+    ratio = ghost / base if base else float("inf")
+    report(
+        "E2",
+        "handwritten-suite overhead 11.5x (1.07s -> 12.3s)",
+        f"handwritten-suite overhead {ratio:.1f}x "
+        f"({base:.2f}s -> {ghost:.2f}s, {len(SUITE)} tests)",
+    )
+    assert ratio > 1.0

@@ -1,0 +1,42 @@
+"""E11 — specification size relative to the implementation.
+
+Paper §6 ("Specification size"): pKVM is ~11,000 raw LoC; the
+specification totals ~14,000 — 2,600 for hypercalls and traps, 1,300 for
+abstraction recording, 4,500 for the abstract data types, plus boilerplate
+for configuration, diffing, and printing. The reproduced claim is the
+*shape*: the specification is the same order of magnitude as the
+implementation (ratio around 1), with the ADTs and recording machinery a
+large share of it.
+"""
+
+import pytest
+
+from repro.testing.loc import breakdown, format_table, spec_vs_impl
+from benchmarks.conftest import report
+
+
+@pytest.mark.benchmark(group="loc")
+def bench_loc_counting(benchmark):
+    entries = benchmark(breakdown)
+    assert entries
+
+
+def bench_spec_size_report(benchmark):
+    print()
+    print(format_table())
+    numbers = benchmark.pedantic(spec_vs_impl, rounds=1, iterations=1)
+    report(
+        "E11",
+        "impl ~11k LoC; spec 2600 (hypercalls) + 1300 (abstraction) + "
+        "4500 (ADTs) + boilerplate ~= 14k (ratio 1.27)",
+        f"impl {numbers['impl_loc']} LoC; spec {numbers['spec_loc']} LoC "
+        f"({numbers['spec_hypercalls_loc']} hypercalls + "
+        f"{numbers['spec_abstraction_loc']} abstraction/checking + "
+        f"{numbers['spec_adt_loc']} ADTs); ratio {numbers['ratio']:.2f}",
+    )
+    # Shape: same order of magnitude, ratio in a sane band around 1.
+    assert 0.4 < numbers["ratio"] < 3.0
+    # The paper's proportions: ADTs and hypercall specs are the two big
+    # components of the spec.
+    assert numbers["spec_adt_loc"] > 0
+    assert numbers["spec_hypercalls_loc"] > numbers["spec_abstraction_loc"] / 3

@@ -1,0 +1,41 @@
+"""E7 — the handwritten-test census.
+
+Paper §5: "a small suite of handwritten tests, currently 41, of which 19
+target error-free paths, 22 target various errors, and a handful are
+highly concurrent and target locking." The suite here reproduces those
+numbers exactly, and this bench pins them and verifies every test passes
+on the fixed hypervisor with the oracle attached.
+"""
+
+import pytest
+
+from repro.testing.handwritten import ALL_TESTS, census
+from repro.testing.harness import run_tests, summarise
+from benchmarks.conftest import report
+
+
+@pytest.mark.benchmark(group="census")
+def bench_census_suite(benchmark):
+    results = benchmark.pedantic(
+        run_tests, args=(ALL_TESTS,), rounds=1, iterations=1
+    )
+    assert summarise(results) == {"passed": len(ALL_TESTS)}
+
+
+def bench_census_report(benchmark):
+    c = census()
+    results = benchmark.pedantic(
+        run_tests, args=(ALL_TESTS,), rounds=1, iterations=1
+    )
+    passed = sum(1 for r in results if r.ok)
+    report(
+        "E7",
+        "41 handwritten tests: 19 error-free, 22 error, a handful concurrent",
+        f"{c['total_single_cpu']} single-CPU tests: {c['ok']} error-free, "
+        f"{c['error']} error, plus {c['concurrent']} concurrent; "
+        f"{passed}/{len(ALL_TESTS)} pass with the oracle attached",
+    )
+    assert c["ok"] == 19
+    assert c["error"] == 22
+    assert c["total_single_cpu"] == 41
+    assert passed == len(ALL_TESTS)

@@ -1,0 +1,12 @@
+"""Shared reporting helpers for the evaluation benchmarks.
+
+Each bench regenerates one quantitative claim from the paper's §5/§6 and
+prints a paper-vs-measured row; EXPERIMENTS.md aggregates these.
+"""
+
+from __future__ import annotations
+
+
+def report(exp_id: str, claim: str, measured: str) -> None:
+    print(f"\n[{exp_id}] paper: {claim}")
+    print(f"[{exp_id}] measured: {measured}")

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Re-find the paper's five real pKVM bugs with the test oracle.
+
+Each bug is re-injected at its original site (the fixed checks are
+guarded by bug flags), its exposing scenario is run, and the oracle — or,
+for the two concurrency bugs, the crash it provokes under the
+deterministic scheduler — catches it. The same scenarios run clean on the
+fixed hypervisor.
+
+Run:  python examples/bug_hunt.py
+"""
+
+from repro.pkvm.bugs import Bugs
+from repro.testing.synthetic import SCENARIOS, _run_scenario
+
+PAPER_BUG_STORIES = {
+    "memcache_alignment": (
+        "Bug 1: a missing alignment check in the memcache topup path "
+        "permits a malicious host to get EL2 to zero memory at an "
+        "unaligned address."
+    ),
+    "memcache_overflow": (
+        "Bug 2: a missing size check in the memcache topup hits a signed "
+        "integer overflow for huge page counts, slipping past the bound."
+    ),
+    "vcpu_load_race": (
+        "Bug 3: missing synchronisation between vCPU init and vCPU load "
+        "permits a race that uses uninitialised vCPU metadata."
+    ),
+    "host_fault_fragile": (
+        "Bug 4: the host-pagefault path was not robust to concurrent "
+        "mapping changes, escalating a spurious fault into a panic."
+    ),
+    "linear_map_overlap": (
+        "Bug 5: on devices with very large physical memory, the linear "
+        "map could overlap the IO mappings — unchecked device access."
+    ),
+}
+
+
+def main() -> None:
+    print("Re-finding the paper's five pKVM bugs (§6)\n" + "=" * 60)
+    all_found = True
+    for bug in Bugs.paper_bug_names():
+        print(f"\n{PAPER_BUG_STORIES[bug]}")
+        detected, how = _run_scenario(bug, bug)
+        clean, _ = _run_scenario(None, bug)
+        verdict = "FOUND" if detected else "missed"
+        print(f"  injected : {verdict} via {how}")
+        print(f"  fixed    : {'clean' if not clean else 'still flagged (!)'}")
+        all_found &= detected and not clean
+
+    print("\n" + "=" * 60)
+    synth = [n for n, (k, _s, _o) in SCENARIOS.items() if k == "synthetic"]
+    print(f"Synthetic discrimination check ({len(synth)} injected bugs):")
+    for bug in synth:
+        detected, how = _run_scenario(bug, bug)
+        print(f"  {bug:<28} {'FOUND' if detected else 'missed':<7} ({how})")
+        all_found &= detected
+
+    print("\nall bugs discriminated:", all_found)
+
+
+if __name__ == "__main__":
+    main()

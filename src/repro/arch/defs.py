@@ -1,0 +1,149 @@
+"""Core architectural constants and small value types.
+
+The configuration mirrors the one Android uses with pKVM: a 4KB translation
+granule, 48-bit input addresses, and 4-level translation tables whose
+non-leaf levels each resolve 9 bits of the input address.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = ~(PAGE_SIZE - 1) & ((1 << 64) - 1)
+
+#: Number of descriptors in one translation table (one 4KB page of u64s).
+PTRS_PER_TABLE = 512
+
+#: Bits of input address resolved per level.
+BITS_PER_LEVEL = 9
+
+#: Translation starts at level 0 and ends at level 3 for the 4KB granule.
+START_LEVEL = 0
+LEAF_LEVEL = 3
+
+#: Input-address size (48-bit VA/IPA space).
+IA_BITS = 48
+
+U64_MASK = (1 << 64) - 1
+
+
+def level_shift(level: int) -> int:
+    """Bit position of the input-address field resolved at ``level``.
+
+    Level 3 resolves bits ``[20:12]``, level 2 ``[29:21]``, and so on.
+    """
+    if not START_LEVEL <= level <= LEAF_LEVEL:
+        raise ValueError(f"invalid translation level {level}")
+    return PAGE_SHIFT + BITS_PER_LEVEL * (LEAF_LEVEL - level)
+
+
+def level_index(addr: int, level: int) -> int:
+    """Table index selected by ``addr`` at ``level``."""
+    return (addr >> level_shift(level)) & (PTRS_PER_TABLE - 1)
+
+
+def level_block_size(level: int) -> int:
+    """Bytes mapped by a single leaf descriptor at ``level``.
+
+    4KB at level 3, 2MB at level 2, 1GB at level 1.
+    """
+    return 1 << level_shift(level)
+
+
+def level_supports_block(level: int) -> bool:
+    """Whether the architecture permits a block descriptor at ``level``.
+
+    With the 4KB granule, block descriptors exist at levels 1 and 2 only;
+    level 3 uses page descriptors and level 0 entries must be tables.
+    """
+    return level in (1, 2)
+
+
+def page_align_down(addr: int) -> int:
+    return addr & PAGE_MASK
+
+
+def page_align_up(addr: int) -> int:
+    return (addr + PAGE_SIZE - 1) & PAGE_MASK
+
+
+def is_page_aligned(addr: int) -> bool:
+    return (addr & (PAGE_SIZE - 1)) == 0
+
+
+def pfn_to_phys(pfn: int) -> int:
+    """Convert a page frame number to a physical address."""
+    return pfn << PAGE_SHIFT
+
+
+def phys_to_pfn(phys: int) -> int:
+    """Convert a physical address to its page frame number."""
+    return phys >> PAGE_SHIFT
+
+
+class Stage(enum.Enum):
+    """Which stage of translation a table implements.
+
+    pKVM maintains a single-stage (stage 1) mapping for its own EL2
+    execution, and stage 2 mappings for the host and for each guest.
+    """
+
+    STAGE1 = 1
+    STAGE2 = 2
+
+
+@dataclass(frozen=True)
+class Perms:
+    """Access permissions attached to a mapping."""
+
+    r: bool
+    w: bool
+    x: bool
+
+    def __str__(self) -> str:
+        return (
+            ("R" if self.r else "-")
+            + ("W" if self.w else "-")
+            + ("X" if self.x else "-")
+        )
+
+    @staticmethod
+    def rwx() -> "Perms":
+        return Perms(True, True, True)
+
+    @staticmethod
+    def rw() -> "Perms":
+        return Perms(True, True, False)
+
+    @staticmethod
+    def rx() -> "Perms":
+        return Perms(True, False, True)
+
+    @staticmethod
+    def r_only() -> "Perms":
+        return Perms(True, False, False)
+
+    @staticmethod
+    def none() -> "Perms":
+        return Perms(False, False, False)
+
+    def allows(self, *, write: bool = False, execute: bool = False) -> bool:
+        """Whether these permissions allow an access of the given kind."""
+        if write and not self.w:
+            return False
+        if execute and not self.x:
+            return False
+        return self.r or write
+
+
+class MemType(enum.Enum):
+    """Memory type attribute: normal cacheable memory or a device region."""
+
+    NORMAL = "M"
+    DEVICE = "D"
+
+    def __str__(self) -> str:
+        return self.value

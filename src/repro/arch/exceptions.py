@@ -1,0 +1,108 @@
+"""Exception levels, syndrome encodings, and hypervisor-visible faults.
+
+pKVM is, as the paper puts it, "essentially an exception handler": it is
+entered on explicit ``hvc`` hypercalls and on implicit exceptions such as
+stage 2 translation faults routed to EL2. This module defines the small
+slice of the Arm exception model those entries need: exception levels, the
+exception-class field of ESR_EL2, and a decoded syndrome record.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ExceptionLevel(enum.IntEnum):
+    EL0 = 0
+    EL1 = 1
+    EL2 = 2
+    EL3 = 3
+
+
+class EsrEc(enum.IntEnum):
+    """ESR_EL2 exception-class values we model."""
+
+    HVC64 = 0x16
+    DATA_ABORT_LOWER = 0x24
+    INSTR_ABORT_LOWER = 0x20
+
+
+#: ESR_EL2 field positions (Arm ARM D17.2.37).
+ESR_EC_SHIFT = 26
+ESR_IL = 1 << 25
+#: ISS fields for data/instruction aborts.
+ISS_WNR = 1 << 6
+#: Fault status code: translation fault level n = 0b000100 | n,
+#: permission fault level n = 0b001100 | n.
+FSC_TRANS_BASE = 0b000100
+FSC_PERM_BASE = 0b001100
+
+
+@dataclass(frozen=True)
+class Syndrome:
+    """Decoded exception syndrome presented to the EL2 handler."""
+
+    ec: EsrEc
+    #: Faulting intermediate-physical address (HPFAR/FAR combination).
+    fault_ipa: int = 0
+    is_write: bool = False
+    #: Level the stage 2 walk stopped at, as encoded in the ISS.
+    fault_level: int = 0
+    is_permission: bool = False
+
+    @property
+    def is_abort(self) -> bool:
+        return self.ec in (EsrEc.DATA_ABORT_LOWER, EsrEc.INSTR_ABORT_LOWER)
+
+    def encode_esr(self) -> int:
+        """Encode into the architectural ESR_EL2 bit layout."""
+        esr = (int(self.ec) << ESR_EC_SHIFT) | ESR_IL
+        if self.is_abort:
+            fsc = (
+                FSC_PERM_BASE if self.is_permission else FSC_TRANS_BASE
+            ) | (self.fault_level & 0b11)
+            esr |= fsc
+            if self.is_write:
+                esr |= ISS_WNR
+        return esr
+
+    @staticmethod
+    def decode_esr(esr: int, fault_ipa: int = 0) -> "Syndrome":
+        """Decode an ESR_EL2 value (the inverse of :meth:`encode_esr`)."""
+        ec = EsrEc((esr >> ESR_EC_SHIFT) & 0x3F)
+        if ec is EsrEc.HVC64:
+            return Syndrome(ec=ec)
+        fsc = esr & 0x3F
+        return Syndrome(
+            ec=ec,
+            fault_ipa=fault_ipa,
+            is_write=bool(esr & ISS_WNR),
+            fault_level=fsc & 0b11,
+            is_permission=(fsc & ~0b11) == FSC_PERM_BASE,
+        )
+
+
+class HypervisorPanic(Exception):
+    """pKVM hit an internal error and panicked.
+
+    In the real system this brings the machine down; in the simulation it
+    unwinds to the test harness, which records it as a crash (finding these
+    is, as the paper notes, desirable — paper bug 4 manifests as one).
+    """
+
+    def __init__(self, reason: str):
+        self.reason = reason
+        super().__init__(f"pKVM panic: {reason}")
+
+
+class HostCrash(Exception):
+    """The simulated host kernel died (e.g. took an unrecoverable fault).
+
+    The random tester's abstract model exists to avoid provoking these on
+    every step, which would destroy test throughput.
+    """
+
+    def __init__(self, reason: str):
+        self.reason = reason
+        super().__init__(f"host crash: {reason}")

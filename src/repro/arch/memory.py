@@ -1,0 +1,180 @@
+"""Sparse physical memory.
+
+Memory is stored page-granular: a dictionary from page frame number to a
+512-entry list of 64-bit words. Translation tables live in this memory in
+their architectural format, so both the hardware walk and the ghost
+abstraction function read the same bytes.
+
+The machine also knows its *memory map*: which physical ranges are DRAM and
+which are devices (MMIO). pKVM consults this (the paper's
+``ghost_addr_is_allowed_memory``) when computing mapping attributes, and the
+linear-map initialisation bug (paper bug 5) is about these ranges
+overlapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.defs import (
+    PAGE_SIZE,
+    PTRS_PER_TABLE,
+    MemType,
+    U64_MASK,
+    phys_to_pfn,
+)
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """A contiguous physical range with a memory type."""
+
+    base: int
+    size: int
+    kind: MemType
+    name: str = ""
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, phys: int) -> bool:
+        return self.base <= phys < self.end
+
+    def overlaps(self, other: "MemoryRegion") -> bool:
+        return self.base < other.end and other.base < self.end
+
+
+class BadAddress(Exception):
+    """An access outside any known memory region."""
+
+
+class PhysicalMemory:
+    """Page-granular sparse physical memory with a memory map.
+
+    Pages are materialised (zero-filled) on first write; reads of
+    unmaterialised DRAM return zero, matching the simulator convention that
+    fresh memory is zeroed. Accesses outside every region raise
+    :class:`BadAddress` — the simulation analogue of a bus abort, which is
+    exactly what paper bug 5 (linear map overlapping IO) would provoke.
+    """
+
+    def __init__(self, regions: list[MemoryRegion]):
+        if not regions:
+            raise ValueError("memory map must contain at least one region")
+        self._regions = sorted(regions, key=lambda r: r.base)
+        for a, b in zip(self._regions, self._regions[1:]):
+            if a.overlaps(b):
+                raise ValueError(f"memory map regions overlap: {a} / {b}")
+        self._pages: dict[int, list[int]] = {}
+        #: Number of reads/writes of device memory, for fault diagnosis.
+        self.device_accesses = 0
+        #: Monotonic write counter: any store bumps it. Consumers (the
+        #: ghost abstraction cache) use it to know whether *anything* in
+        #: memory may have changed since a snapshot.
+        self.version = 0
+
+    # -- memory map ------------------------------------------------------
+
+    @property
+    def regions(self) -> list[MemoryRegion]:
+        return list(self._regions)
+
+    def region_of(self, phys: int) -> MemoryRegion | None:
+        for region in self._regions:
+            if region.contains(phys):
+                return region
+        return None
+
+    def is_memory(self, phys: int) -> bool:
+        """True when ``phys`` lies in normal DRAM (not device, not a hole)."""
+        region = self.region_of(phys)
+        return region is not None and region.kind is MemType.NORMAL
+
+    def dram_regions(self) -> list[MemoryRegion]:
+        return [r for r in self._regions if r.kind is MemType.NORMAL]
+
+    # -- word access -----------------------------------------------------
+
+    def _page_for(self, phys: int, *, materialise: bool) -> list[int] | None:
+        region = self.region_of(phys)
+        if region is None:
+            raise BadAddress(f"physical access outside memory map: {phys:#x}")
+        if region.kind is MemType.DEVICE:
+            self.device_accesses += 1
+        pfn = phys_to_pfn(phys)
+        page = self._pages.get(pfn)
+        if page is None and materialise:
+            page = [0] * PTRS_PER_TABLE
+            self._pages[pfn] = page
+        return page
+
+    def read64(self, phys: int) -> int:
+        """Read the naturally aligned 64-bit word at ``phys``."""
+        if phys % 8:
+            raise BadAddress(f"unaligned 64-bit read at {phys:#x}")
+        page = self._page_for(phys, materialise=False)
+        if page is None:
+            return 0
+        return page[(phys & (PAGE_SIZE - 1)) >> 3]
+
+    def write64(self, phys: int, value: int) -> None:
+        """Write the naturally aligned 64-bit word at ``phys``."""
+        if phys % 8:
+            raise BadAddress(f"unaligned 64-bit write at {phys:#x}")
+        page = self._page_for(phys, materialise=True)
+        assert page is not None
+        page[(phys & (PAGE_SIZE - 1)) >> 3] = value & U64_MASK
+        self.version += 1
+
+    def zero_page(self, pfn: int) -> None:
+        """Zero a whole page, as pKVM does when reclaiming/donating pages."""
+        self._pages[pfn] = [0] * PTRS_PER_TABLE
+        self.version += 1
+
+    def zero_range(self, phys: int, size: int) -> None:
+        """Zero ``size`` bytes starting at ``phys`` (word granular).
+
+        Unlike :meth:`zero_page` this takes a byte address, not a frame:
+        pKVM's memcache topup zeroes "the page at addr", and the missing
+        alignment check (paper bug 1) means a malicious host could make
+        that zeroing straddle a page boundary. The simulation must be able
+        to express that corruption faithfully.
+        """
+        if phys % 8 or size % 8:
+            raise BadAddress(f"unaligned zero_range({phys:#x}, {size:#x})")
+        for off in range(0, size, 8):
+            self.write64(phys + off, 0)
+
+    def page_words(self, pfn: int) -> list[int]:
+        """A copy of the 512 words of page ``pfn`` (zeros if untouched)."""
+        page = self._pages.get(pfn)
+        return list(page) if page is not None else [0] * PTRS_PER_TABLE
+
+    _EMPTY_PAGE: list[int] = [0] * PTRS_PER_TABLE
+
+    def page_words_view(self, pfn: int) -> list[int]:
+        """A read-only view of page ``pfn``'s words — the bulk-read fast
+        path the abstraction traversal uses (one lookup per table instead
+        of 512 ``read64`` calls). Callers must not mutate the result."""
+        return self._pages.get(pfn, self._EMPTY_PAGE)
+
+    def materialised_pages(self) -> int:
+        """How many pages have been written, for memory accounting."""
+        return len(self._pages)
+
+
+def default_memory_map(
+    dram_size: int = 256 * 1024 * 1024,
+    dram_base: int = 0x4000_0000,
+) -> list[MemoryRegion]:
+    """A QEMU-virt-like memory map: low MMIO, then DRAM.
+
+    The UART and GIC regions stand in for the device memory that the pKVM
+    linear-map initialisation must avoid (paper bug 5).
+    """
+    return [
+        MemoryRegion(0x0900_0000, 0x0000_1000, MemType.DEVICE, "uart"),
+        MemoryRegion(0x0800_0000, 0x0002_0000, MemType.DEVICE, "gic"),
+        MemoryRegion(dram_base, dram_size, MemType.NORMAL, "dram"),
+    ]

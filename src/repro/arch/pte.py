@@ -1,0 +1,259 @@
+"""VMSAv8-64 translation-table descriptor encode/decode.
+
+Specialised, as in the paper, to the configuration Android uses: 4KB
+granule, 4 levels, stage 1 for pKVM's own mapping and stage 2 for the host
+and guests. The bit layout follows the architecture:
+
+========  =====================================================
+bits      meaning
+========  =====================================================
+0         valid
+1         type: 1 = table (levels 0-2) / page (level 3), 0 = block
+4:2       stage 1 AttrIndx (memory type)
+5:2       stage 2 MemAttr (memory type)
+7:6       stage 1 AP / stage 2 S2AP (permissions)
+9:8       shareability (kept but uninterpreted)
+10        access flag
+47:12     output address (block descriptors mask low bits)
+54        XN (execute never)
+58:55     software-defined bits — pKVM stores its *page state* here
+========  =====================================================
+
+Invalid descriptors are not always all-zero: pKVM annotates invalid entries
+in the host stage 2 with the *owner* of the physical page (so it knows not
+to map pKVM- or guest-owned pages on demand). The owner id lives in bits
+9:2 of an invalid descriptor, mirroring ``KVM_INVALID_PTE_OWNER_MASK``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.arch.defs import (
+    LEAF_LEVEL,
+    MemType,
+    Perms,
+    Stage,
+    U64_MASK,
+    level_shift,
+    level_supports_block,
+)
+
+PTE_VALID = 1 << 0
+PTE_TYPE = 1 << 1
+
+PTE_AF = 1 << 10
+PTE_XN = 1 << 54
+
+#: Stage 1 AttrIndx values (index into an implied MAIR).
+S1_ATTRIDX_NORMAL = 0b000
+S1_ATTRIDX_DEVICE = 0b001
+S1_ATTRIDX_SHIFT = 2
+S1_ATTRIDX_MASK = 0b111 << S1_ATTRIDX_SHIFT
+
+#: Stage 1 AP[2] (bit 7): set means read-only.
+S1_AP_RDONLY = 1 << 7
+
+#: Stage 2 MemAttr values.
+S2_MEMATTR_NORMAL = 0b1111
+S2_MEMATTR_DEVICE = 0b0001
+S2_MEMATTR_SHIFT = 2
+S2_MEMATTR_MASK = 0b1111 << S2_MEMATTR_SHIFT
+
+#: Stage 2 S2AP: bit 6 = read allowed, bit 7 = write allowed.
+S2AP_R = 1 << 6
+S2AP_W = 1 << 7
+
+#: Output-address field for page/table descriptors.
+OA_MASK = ((1 << 48) - 1) & ~((1 << 12) - 1)
+
+#: pKVM software bits: page state in bits 56:55.
+SW_PAGE_STATE_SHIFT = 55
+SW_PAGE_STATE_MASK = 0b11 << SW_PAGE_STATE_SHIFT
+
+#: Owner annotation of an *invalid* descriptor, bits 9:2.
+INVALID_OWNER_SHIFT = 2
+INVALID_OWNER_MASK = 0xFF << INVALID_OWNER_SHIFT
+
+
+class PageState(enum.IntEnum):
+    """pKVM's logical page state, encoded in descriptor software bits.
+
+    The paper's diff output renders these S0 (owned), SO (shared+owned),
+    SB (shared+borrowed).
+    """
+
+    OWNED = 0
+    SHARED_OWNED = 1
+    SHARED_BORROWED = 2
+
+    def __str__(self) -> str:
+        return {
+            PageState.OWNED: "S0",
+            PageState.SHARED_OWNED: "SO",
+            PageState.SHARED_BORROWED: "SB",
+        }[self]
+
+
+class EntryKind(enum.Enum):
+    """Classification of a decoded descriptor (the paper's ``entry_kind``)."""
+
+    INVALID = "invalid"
+    INVALID_ANNOTATED = "invalid-annotated"
+    TABLE = "table"
+    BLOCK = "block"
+    PAGE = "page"
+
+    @property
+    def is_leaf(self) -> bool:
+        return self in (EntryKind.BLOCK, EntryKind.PAGE)
+
+
+@dataclass(frozen=True)
+class DecodedPte:
+    """The result of decoding one 64-bit descriptor at a given level."""
+
+    kind: EntryKind
+    raw: int
+    level: int
+    #: Output address for leaves; next-level table address for tables.
+    oa: int = 0
+    perms: Perms = Perms.none()
+    memtype: MemType = MemType.NORMAL
+    page_state: PageState = PageState.OWNED
+    af: bool = False
+    #: Owner id carried by an annotated invalid entry.
+    owner_id: int = 0
+
+
+def oa_mask_for_level(level: int) -> int:
+    """Output-address mask for a leaf descriptor at ``level``.
+
+    A level-2 block maps 2MB so its OA field excludes bits below 21; the
+    paper's Fig. 2 indexes ``PTE_FIELD_OA_MASK[level]`` the same way.
+    """
+    return ((1 << 48) - 1) & ~((1 << level_shift(level)) - 1)
+
+
+def entry_kind(pte: int, level: int) -> EntryKind:
+    """Classify a raw descriptor, as the abstraction function's Fig. 2 does."""
+    if not pte & PTE_VALID:
+        if pte & INVALID_OWNER_MASK:
+            return EntryKind.INVALID_ANNOTATED
+        return EntryKind.INVALID
+    if pte & PTE_TYPE:
+        return EntryKind.PAGE if level == LEAF_LEVEL else EntryKind.TABLE
+    if not level_supports_block(level):
+        # Architecturally reserved encoding (block where none is allowed).
+        return EntryKind.INVALID
+    return EntryKind.BLOCK
+
+
+def _decode_attrs(pte: int, stage: Stage) -> tuple[Perms, MemType]:
+    xn = bool(pte & PTE_XN)
+    if stage is Stage.STAGE1:
+        writable = not pte & S1_AP_RDONLY
+        attridx = (pte & S1_ATTRIDX_MASK) >> S1_ATTRIDX_SHIFT
+        memtype = MemType.DEVICE if attridx == S1_ATTRIDX_DEVICE else MemType.NORMAL
+        return Perms(True, writable, not xn), memtype
+    readable = bool(pte & S2AP_R)
+    writable = bool(pte & S2AP_W)
+    memattr = (pte & S2_MEMATTR_MASK) >> S2_MEMATTR_SHIFT
+    memtype = MemType.DEVICE if memattr == S2_MEMATTR_DEVICE else MemType.NORMAL
+    return Perms(readable, writable, not xn), memtype
+
+
+def decode_descriptor(pte: int, level: int, stage: Stage) -> DecodedPte:
+    """Decode one raw 64-bit descriptor read from a translation table."""
+    kind = entry_kind(pte, level)
+    if kind is EntryKind.INVALID:
+        return DecodedPte(kind, pte, level)
+    if kind is EntryKind.INVALID_ANNOTATED:
+        owner = (pte & INVALID_OWNER_MASK) >> INVALID_OWNER_SHIFT
+        return DecodedPte(kind, pte, level, owner_id=owner)
+    if kind is EntryKind.TABLE:
+        return DecodedPte(kind, pte, level, oa=pte & OA_MASK)
+    perms, memtype = _decode_attrs(pte, stage)
+    state = PageState((pte & SW_PAGE_STATE_MASK) >> SW_PAGE_STATE_SHIFT)
+    return DecodedPte(
+        kind,
+        pte,
+        level,
+        oa=pte & oa_mask_for_level(level),
+        perms=perms,
+        memtype=memtype,
+        page_state=state,
+        af=bool(pte & PTE_AF),
+    )
+
+
+def _encode_attrs(
+    stage: Stage, perms: Perms, memtype: MemType, page_state: PageState
+) -> int:
+    bits = PTE_AF
+    if not perms.x:
+        bits |= PTE_XN
+    if stage is Stage.STAGE1:
+        if not perms.r:
+            raise ValueError("stage 1 mappings are always readable")
+        if not perms.w:
+            bits |= S1_AP_RDONLY
+        attridx = S1_ATTRIDX_DEVICE if memtype is MemType.DEVICE else S1_ATTRIDX_NORMAL
+        bits |= attridx << S1_ATTRIDX_SHIFT
+    else:
+        if perms.r:
+            bits |= S2AP_R
+        if perms.w:
+            bits |= S2AP_W
+        memattr = S2_MEMATTR_DEVICE if memtype is MemType.DEVICE else S2_MEMATTR_NORMAL
+        bits |= memattr << S2_MEMATTR_SHIFT
+    bits |= int(page_state) << SW_PAGE_STATE_SHIFT
+    return bits
+
+
+def make_table_descriptor(next_table_pa: int) -> int:
+    """Pointer-to-next-level-table descriptor."""
+    if next_table_pa & ~OA_MASK:
+        raise ValueError(f"table address not page aligned: {next_table_pa:#x}")
+    return PTE_VALID | PTE_TYPE | next_table_pa
+
+
+def make_page_descriptor(
+    oa: int,
+    stage: Stage,
+    perms: Perms,
+    memtype: MemType = MemType.NORMAL,
+    page_state: PageState = PageState.OWNED,
+) -> int:
+    """Level-3 page descriptor mapping one 4KB page."""
+    if oa & ~OA_MASK:
+        raise ValueError(f"output address not page aligned: {oa:#x}")
+    return (PTE_VALID | PTE_TYPE | oa | _encode_attrs(stage, perms, memtype, page_state)) & U64_MASK
+
+
+def make_block_descriptor(
+    oa: int,
+    level: int,
+    stage: Stage,
+    perms: Perms,
+    memtype: MemType = MemType.NORMAL,
+    page_state: PageState = PageState.OWNED,
+) -> int:
+    """Block descriptor at level 1 (1GB) or level 2 (2MB)."""
+    if not level_supports_block(level):
+        raise ValueError(f"no block descriptors at level {level}")
+    if oa & ~oa_mask_for_level(level):
+        raise ValueError(f"block output address misaligned for level {level}: {oa:#x}")
+    return (PTE_VALID | oa | _encode_attrs(stage, perms, memtype, page_state)) & U64_MASK
+
+
+def make_invalid_annotated(owner_id: int) -> int:
+    """Invalid descriptor carrying an owner annotation.
+
+    pKVM writes these into the host stage 2 for pages the host does *not*
+    own, so the lazy map-on-demand path refuses to map them.
+    """
+    if not 0 < owner_id <= 0xFF:
+        raise ValueError(f"owner id out of range: {owner_id}")
+    return owner_id << INVALID_OWNER_SHIFT

@@ -1,0 +1,49 @@
+"""Per-hardware-thread system registers.
+
+Only the registers pKVM actually manages are modelled: the translation
+roots it installs when context switching (TTBR0_EL2 for its own stage 1,
+VTTBR_EL2 for the current stage 2), and the syndrome/fault-address
+registers the exception entry fills in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SystemRegisters:
+    """The EL2-relevant system register file of one hardware thread."""
+
+    #: Root of pKVM's own stage 1 table (installed at pKVM init).
+    ttbr0_el2: int = 0
+    #: Root of the currently installed stage 2 table, with the VMID
+    #: in the upper bits; 0 means no stage 2 installed yet.
+    vttbr_el2: int = 0
+    #: Exception syndrome of the last trap taken to EL2.
+    esr_el2: int = 0
+    #: Faulting VA of the last abort.
+    far_el2: int = 0
+    #: Faulting IPA (page-aligned part) of the last stage 2 abort.
+    hpfar_el2: int = 0
+
+    def install_stage2(self, root: int, vmid: int) -> None:
+        """What pKVM's ``__load_stage2`` does: point VTTBR at a table."""
+        self.vttbr_el2 = (vmid << 48) | root
+
+    @property
+    def stage2_root(self) -> int:
+        return self.vttbr_el2 & ((1 << 48) - 1)
+
+    @property
+    def vmid(self) -> int:
+        return self.vttbr_el2 >> 48
+
+    def copy(self) -> "SystemRegisters":
+        return SystemRegisters(
+            ttbr0_el2=self.ttbr0_el2,
+            vttbr_el2=self.vttbr_el2,
+            esr_el2=self.esr_el2,
+            far_el2=self.far_el2,
+            hpfar_el2=self.hpfar_el2,
+        )

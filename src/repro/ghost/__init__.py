@@ -1,0 +1,53 @@
+"""Reified ghost state, abstraction functions, specification functions,
+and the runtime test oracle — the paper's contribution.
+
+The pipeline, per exception (paper Fig. 6):
+
+1. on handler entry, record the thread-local pre-state;
+2. on each lock acquire, record the abstraction of the state that lock
+   protects into the pre-state (and check non-interference since the last
+   recording);
+3. on each lock release, record the abstraction into the post-state;
+4. on handler exit, record the thread-local post-state and the call data;
+5. compute the *expected* post-state by running the pure specification
+   function on the pre-state + call data;
+6. ternary-compare: where the computed post is present it must equal the
+   recorded post; everywhere else the recorded post must equal the pre.
+
+Everything here is "specification code": it reads the implementation
+state only inside the abstraction functions, and the specification
+functions read only ghost state and call data — the hygiene distinction
+the paper maintains.
+"""
+
+from repro.ghost.maplets import Mapping, Maplet, MapletTarget
+from repro.ghost.state import (
+    AbstractPgtable,
+    GhostCpuLocal,
+    GhostHost,
+    GhostPkvm,
+    GhostState,
+    GhostVm,
+    GhostVms,
+)
+from repro.ghost.calldata import GhostCallData
+from repro.ghost.checker import GhostChecker, SpecViolation
+from repro.ghost.diff import diff_states, format_state
+
+__all__ = [
+    "Mapping",
+    "Maplet",
+    "MapletTarget",
+    "AbstractPgtable",
+    "GhostCpuLocal",
+    "GhostHost",
+    "GhostPkvm",
+    "GhostState",
+    "GhostVm",
+    "GhostVms",
+    "GhostCallData",
+    "GhostChecker",
+    "SpecViolation",
+    "diff_states",
+    "format_state",
+]

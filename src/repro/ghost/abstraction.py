@@ -1,0 +1,241 @@
+"""Abstraction functions: concrete pKVM state -> ghost state.
+
+The central one interprets an in-memory Arm page table as a finite map
+(the paper's Fig. 2 ``_interpret_pgtable``): a complete traversal of the
+table tree — in contrast to the hardware walk, which resolves one address
+— incrementally extending a coalescing mapping, and simultaneously
+collecting the *footprint* (the set of physical pages backing the table)
+for the §4.4 separation checks.
+
+The per-lock recording functions below each compute the abstraction of
+exactly the state their lock protects, mirroring the implementation
+ownership structure. They read concrete implementation state (that is
+their job); the specification functions in :mod:`repro.ghost.spec` never
+do.
+"""
+
+from __future__ import annotations
+
+from repro.arch.defs import (
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    START_LEVEL,
+    Stage,
+    level_block_size,
+)
+from repro.arch.memory import PhysicalMemory
+from repro.arch.pte import EntryKind, PageState, decode_descriptor
+from repro.arch.cpu import Cpu
+from repro.ghost.maplets import Mapping, MapletTarget
+from repro.ghost.state import (
+    AbstractPgtable,
+    GhostCpuLocal,
+    GhostGlobals,
+    GhostHost,
+    GhostLoadedVcpu,
+    GhostPkvm,
+    GhostVcpuRef,
+    GhostVm,
+    GhostVms,
+)
+
+
+class AbstractionError(Exception):
+    """The concrete state violates an invariant the abstraction assumes
+    (e.g. a double mapping, or a malformed table)."""
+
+
+def interpret_pgtable(
+    mem: PhysicalMemory, root: int, stage: Stage
+) -> AbstractPgtable:
+    """Interpret the table rooted at ``root`` as (mapping, footprint)."""
+    mapping = Mapping()
+    footprint: set[int] = set()
+    _interpret_table(mem, root, START_LEVEL, 0, stage, mapping, footprint)
+    return AbstractPgtable(mapping, frozenset(footprint))
+
+
+def _interpret_table(
+    mem: PhysicalMemory,
+    table_pa: int,
+    level: int,
+    va_partial: int,
+    stage: Stage,
+    mapping: Mapping,
+    footprint: set[int],
+) -> None:
+    """The Fig. 2 traversal: iterate the 512 entries, case-split on kind."""
+    if table_pa in footprint:
+        raise AbstractionError(f"table page {table_pa:#x} reached twice")
+    footprint.add(table_pa)
+    entry_size = level_block_size(level)
+    nr_pages = entry_size // PAGE_SIZE
+    words = mem.page_words_view(table_pa >> PAGE_SHIFT)
+    for idx in range(512):
+        raw = words[idx]
+        if raw == 0:
+            continue
+        va = va_partial | (idx * entry_size)
+        pte = decode_descriptor(raw, level, stage)
+        if pte.kind is EntryKind.TABLE:
+            _interpret_table(
+                mem, pte.oa, level + 1, va, stage, mapping, footprint
+            )
+        elif pte.kind is EntryKind.INVALID_ANNOTATED:
+            # the traversal is in ascending VA order: O(1) extension
+            mapping.extend_coalesce(
+                va, nr_pages, MapletTarget.annotated(pte.owner_id)
+            )
+        elif pte.kind.is_leaf:
+            mapping.extend_coalesce(
+                va,
+                nr_pages,
+                MapletTarget.mapped(
+                    pte.oa, pte.perms, pte.memtype, pte.page_state
+                ),
+            )
+        # plain invalid entries contribute nothing
+
+
+# ---------------------------------------------------------------------------
+# Per-lock recording functions
+# ---------------------------------------------------------------------------
+
+
+def record_abstraction_pkvm(mem: PhysicalMemory, mp) -> GhostPkvm:
+    """Abstraction of the state the pkvm_pgd lock protects."""
+    pgt = interpret_pgtable(mem, mp.pkvm_pgd.root, Stage.STAGE1)
+    return GhostPkvm(present=True, pgt=pgt)
+
+
+def record_abstraction_host(
+    mem: PhysicalMemory, mp, *, loose: bool = True
+) -> GhostHost:
+    """Abstraction of the state the host_mmu lock protects.
+
+    Two mappings (paper §3.1): ``annot`` — pages owned by pKVM or a guest;
+    ``shared`` — pages owned-and-shared by the host, or borrowed by it.
+    Pages the host owns exclusively are dropped whether mapped (on demand)
+    or not: that is the looseness that makes demand mapping unobservable.
+
+    ``loose=False`` is the ablation: record host-exclusive mapped pages
+    into ``shared`` too (i.e. abstract the *whole* host mapping). With
+    that over-fitted abstraction every demand fault and block split
+    becomes a visible state change the specification cannot predict —
+    demonstrating why the paper's host abstraction must be loose.
+    """
+    full = interpret_pgtable(mem, mp.host_mmu.root, Stage.STAGE2)
+    annot = Mapping()
+    shared = Mapping()
+    for maplet in full.mapping:
+        if maplet.target.kind == "annotated":
+            annot.extend_coalesce(maplet.va, maplet.nr_pages, maplet.target)
+        elif not loose or maplet.target.page_state in (
+            PageState.SHARED_OWNED,
+            PageState.SHARED_BORROWED,
+        ):
+            shared.extend_coalesce(maplet.va, maplet.nr_pages, maplet.target)
+    return GhostHost(
+        present=True, annot=annot, shared=shared, footprint=full.footprint
+    )
+
+
+def record_abstraction_vm_pgt(mem: PhysicalMemory, vm) -> AbstractPgtable:
+    """Abstraction of one guest's stage 2 (protected by that VM's lock)."""
+    return interpret_pgtable(mem, vm.pgt.root, Stage.STAGE2)
+
+
+def record_abstraction_vms(vm_table) -> GhostVms:
+    """Abstraction of the state the vm_table lock protects.
+
+    VM *metadata* only: each VM's stage 2 extension is protected by its
+    own lock and recorded separately. A loaded vCPU's mutable metadata is
+    owned by the loading hardware thread, so only its loading state is
+    visible here.
+    """
+    vms: dict[int, GhostVm] = {}
+    for vm in vm_table.live_vms():
+        refs = []
+        for vcpu in vm.vcpus:
+            loaded = vcpu.loaded_on is not None
+            if loaded or vcpu.memcache is None:
+                memcache: tuple[int, ...] | None = None
+            else:
+                memcache = tuple(vcpu.memcache.pages)
+            refs.append(
+                GhostVcpuRef(
+                    index=vcpu.index,
+                    initialized=vcpu.initialized,
+                    loaded_on=vcpu.loaded_on,
+                    memcache_pages=memcache,
+                )
+            )
+        vms[vm.handle] = GhostVm(
+            handle=vm.handle,
+            index=vm.index,
+            protected=vm.protected,
+            nr_vcpus=vm.nr_vcpus,
+            vcpus=tuple(refs),
+            donated_pages=tuple(vm.donated_pages),
+        )
+    reclaimable: dict[int, tuple] = {}
+    for phys, entry in vm_table.reclaimable.items():
+        if entry[0] == "guest":
+            _, vm, ipa = entry
+            reclaimable[phys] = ("guest", int(vm.owner_id), ipa, vm.handle)
+        elif entry[0] == "hostshare":
+            _, vm, ipa = entry
+            reclaimable[phys] = ("hostshare", ipa, vm.handle)
+        else:
+            reclaimable[phys] = ("hyp",)
+    return GhostVms(
+        present=True,
+        vms=vms,
+        reclaimable=reclaimable,
+        nr_created=vm_table._nr_created,
+    )
+
+
+def record_cpu_local(cpu: Cpu, host_stage2_root: int = 0) -> GhostCpuLocal:
+    """Abstraction of one hardware thread's local state."""
+    vcpu = cpu.loaded_vcpu
+    loaded = None
+    if vcpu is not None:
+        loaded = GhostLoadedVcpu(
+            vm_handle=vcpu.vm.handle,
+            index=vcpu.index,
+            memcache_pages=(
+                tuple(vcpu.memcache.pages) if vcpu.memcache is not None else ()
+            ),
+        )
+    return GhostCpuLocal(
+        present=True,
+        regs=tuple(cpu.saved_el1.regs),
+        loaded_vcpu=loaded,
+        stage2_is_host=(
+            host_stage2_root == 0
+            or cpu.sysregs.stage2_root == host_stage2_root
+        ),
+    )
+
+
+def record_globals(machine) -> GhostGlobals:
+    """Copy the init-time constants into the ghost state (done once)."""
+    from repro.pkvm.defs import HYP_VA_OFFSET
+
+    from repro.arch.defs import MemType
+
+    return GhostGlobals(
+        nr_cpus=len(machine.cpus),
+        hyp_va_offset=HYP_VA_OFFSET,
+        dram_ranges=tuple(
+            (r.base, r.end) for r in machine.mem.dram_regions()
+        ),
+        device_ranges=tuple(
+            (r.base, r.end)
+            for r in machine.mem.regions
+            if r.kind is MemType.DEVICE
+        ),
+        carveout=(machine.pkvm.carveout.base, machine.pkvm.carveout.end),
+        uart_va=machine.pkvm.uart_va,
+    )

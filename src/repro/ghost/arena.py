@@ -1,0 +1,72 @@
+"""Ghost memory accounting — the analogue of the paper's arena allocator.
+
+At EL2 the paper's ghost machinery has "only one page of stack per
+hardware thread, no existing heap allocator", so mappings live in a simple
+arena and VMs/vCPUs in a small malloc. In Python the runtime allocates for
+us, but the paper's ~18 MB memory-impact number ("dominated by page-table
+representations") is an evaluation target, so we keep an accounting layer
+that tracks the footprint the arena would have: bytes of maplet storage
+per live mapping, plus per-recorded-state overhead.
+
+The byte costs mirror the C structures: a maplet is ~48 bytes (va, count,
+target address, attribute word, list linkage), a ghost state header ~256.
+Accounting is O(1) per operation: a running total adjusted on mapping
+normalisation and reclaimed by a GC finalizer when a mapping dies.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+MAPLET_BYTES = 48
+MAPPING_HEADER_BYTES = 32
+STATE_HEADER_BYTES = 256
+
+
+class GhostArena:
+    """Tracks the would-be arena footprint of all live ghost objects."""
+
+    def __init__(self):
+        self._bytes = 0
+        #: mapping id -> bytes currently accounted for it.
+        self._per_mapping: dict[int, int] = {}
+        self.peak_bytes = 0
+
+    def account_mapping(self, mapping) -> None:
+        """(Re-)account a mapping after construction or normalisation."""
+        key = id(mapping)
+        new = MAPPING_HEADER_BYTES + MAPLET_BYTES * len(mapping._maplets)
+        old = self._per_mapping.get(key)
+        if old is None:
+            weakref.finalize(mapping, self._release_mapping, key)
+        self._per_mapping[key] = new
+        self._bytes += new - (old or 0)
+        self._touch_peak()
+
+    def _release_mapping(self, key: int) -> None:
+        released = self._per_mapping.pop(key, 0)
+        self._bytes -= released
+
+    def account_state(self, count: int = 1) -> None:
+        self._bytes += STATE_HEADER_BYTES * count
+        self._touch_peak()
+
+    def release_state(self, count: int = 1) -> None:
+        self._bytes = max(0, self._bytes - STATE_HEADER_BYTES * count)
+
+    def live_bytes(self) -> int:
+        """Current footprint of all live ghost mappings and states."""
+        return self._bytes
+
+    def _touch_peak(self) -> None:
+        if self._bytes > self.peak_bytes:
+            self.peak_bytes = self._bytes
+
+    def reset(self) -> None:
+        self._bytes = 0
+        self._per_mapping.clear()
+        self.peak_bytes = 0
+
+
+#: Process-wide arena instance, as at EL2 there is exactly one.
+arena = GhostArena()

@@ -1,0 +1,59 @@
+"""Ghost call data: the per-exception record that recovers determinism.
+
+The specification is "morally a pure function" of the abstract pre-state,
+but two things make the implementation's behaviour under-determined from
+the spec's point of view (paper §4.3):
+
+1. interaction with the environment — values pKVM reads with READ_ONCE
+   from memory the host still owns and can race on; and
+2. deliberate looseness — e.g. the freedom to fail with -ENOMEM.
+
+Both are resolved by recording what actually happened into this structure
+during the handler, and making the specification functions parametric on
+it. The specification may *read* call data; it never reads implementation
+state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.exceptions import EsrEc, Syndrome
+
+
+@dataclass
+class GhostCallData:
+    """Everything recorded about one exception, beyond the ghost states."""
+
+    #: Exception class and abort details from the syndrome.
+    ec: EsrEc
+    fault_ipa: int = 0
+    is_write: bool = False
+
+    #: Implementation return value (x1 at handler exit, sign-extended)
+    #: and auxiliary value (x2). The spec is parametric on these only
+    #: where the paper's looseness requires (ENOMEM; guest exit reasons).
+    impl_ret: int = 0
+    impl_aux: int = 0
+
+    #: Values pKVM read from host-racy memory, in program order.
+    read_once: list[tuple[int, int]] = field(default_factory=list)
+
+    #: Guest-visible actions performed during a vcpu_run handler.
+    guest_events: list = field(default_factory=list)
+
+    #: The loaded vCPU's memcache contents at handler exit (or None),
+    #: resolving the non-determinism of how many table pages a guest map
+    #: consumed.
+    memcache_after: tuple[int, ...] | None = None
+
+    @staticmethod
+    def from_syndrome(syndrome: Syndrome) -> "GhostCallData":
+        return GhostCallData(
+            ec=syndrome.ec,
+            fault_ipa=syndrome.fault_ipa,
+            is_write=syndrome.is_write,
+        )
+
+    def read_once_values(self) -> list[int]:
+        return [value for _addr, value in self.read_once]

@@ -1,0 +1,549 @@
+"""The runtime test oracle: recording, non-interference, separation, and
+the ternary pre/recorded-post/computed-post comparison.
+
+This is the paper's Fig. 6 timeline, generalised to every handler:
+
+- (1) handler entry: record the thread-local pre-state;
+- (2,3) each lock acquire: record the abstraction of the protected state
+  into the pre-state, after checking it has not changed since the last
+  time it was recorded (the §4.4 non-interference invariant);
+- (4,5) each lock release: record the abstraction into the post-state and
+  commit it as the new shared reference copy;
+- (6) handler exit: record the thread-local post-state and the call data;
+- (7) run the pure specification function on pre + call data;
+- (8) compare. "This comparison is really a ternary check between the
+  pre, recorded-post, and computed-post states: where the computed-post is
+  not partial it must be equal to the recorded-post, and everywhere else
+  must be the same in the pre-state and the recorded-post."
+
+Locks that are re-acquired within a single handler (the paper's "phased"
+hypercalls, §1) are recorded but their components are excluded from the
+check — the same scoping decision the paper makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.cpu import Cpu
+from repro.arch.exceptions import Syndrome
+from repro.ghost.abstraction import (
+    AbstractionError,
+    record_abstraction_host,
+    record_abstraction_pkvm,
+    record_abstraction_vm_pgt,
+    record_abstraction_vms,
+    record_cpu_local,
+    record_globals,
+)
+from repro.ghost.arena import arena
+from repro.ghost.calldata import GhostCallData
+from repro.ghost.diff import diff_components
+from repro.ghost.spec import SpecAccessError, compute_post_trap
+from repro.ghost.state import GhostState, local_key, vm_pgt_key
+from repro.pkvm.defs import s64
+
+
+class SpecViolation(Exception):
+    """The implementation's behaviour disagrees with the specification."""
+
+    def __init__(self, kind: str, detail: str):
+        self.kind = kind
+        self.detail = detail
+        super().__init__(f"[{kind}] {detail}")
+
+
+@dataclass
+class Violation:
+    kind: str
+    detail: str
+    component: str = ""
+
+    def __str__(self) -> str:
+        where = f" ({self.component})" if self.component else ""
+        return f"[{self.kind}]{where} {self.detail}"
+
+
+@dataclass
+class GhostCallRecord:
+    """Everything recorded for one in-flight exception on one CPU."""
+
+    cpu_index: int
+    call: GhostCallData
+    pre: dict[str, object] = field(default_factory=dict)
+    post: dict[str, object] = field(default_factory=dict)
+    #: Components whose lock was taken or released more than once — the
+    #: "phased" cases whose check is skipped.
+    multiphase: set[str] = field(default_factory=set)
+    #: Set when a fail-fast violation already fired mid-handler, so the
+    #: exit-time check must not mask the original exception with another.
+    aborted: bool = False
+
+
+class GhostChecker:
+    """Attachable oracle for one machine."""
+
+    def __init__(
+        self, machine, *, fail_fast: bool = True, loose_host: bool = True
+    ):
+        self.machine = machine
+        self.fail_fast = fail_fast
+        #: The paper's host-abstraction looseness. False is an ablation:
+        #: an over-fitted host abstraction that sees demand mapping.
+        self.loose_host = loose_host
+        self.globals_ = record_globals(machine)
+        #: The single shared reference copy of the ghost state used for
+        #: the non-interference check (§4.4), per component.
+        self.committed: dict[str, object] = {}
+        self._records: dict[int, GhostCallRecord] = {}
+        self.violations: list[Violation] = []
+        # Counters reported by the evaluation harness.
+        self.checks_run = 0
+        self.checks_passed = 0
+        self.checks_skipped = 0
+        self.skip_reasons: dict[str, int] = {}
+        self.components_skipped_multiphase = 0
+        #: Cross-component isolation invariant (§3.1's partition), checked
+        #: at quiescent handler exits.
+        self.check_isolation = True
+        self.isolation_checks_run = 0
+        #: UART-backed report printer (attached with the machine's UART).
+        self.console = None
+
+    # -- attachment -------------------------------------------------------
+
+    def attach(self) -> None:
+        """Hook the locks, install init-time invariant checks, and commit
+        the baseline abstraction."""
+        from repro.ghost.console import GhostConsole
+
+        pkvm = self.machine.pkvm
+        pkvm.ghost = self
+        uart = next(
+            (r for r in self.machine.mem.regions if r.name == "uart"), None
+        )
+        if uart is not None:
+            self.console = GhostConsole(self.machine.mem, uart.base)
+        mp = pkvm.mp
+        self._hook(mp.host_lock, "host", lambda: record_abstraction_host(
+            self.machine.mem, mp, loose=self.loose_host
+        ))
+        self._hook(mp.pkvm_lock, "pkvm", lambda: record_abstraction_pkvm(
+            self.machine.mem, mp
+        ))
+        self._hook(
+            pkvm.vm_table.lock,
+            "vms",
+            lambda: record_abstraction_vms(pkvm.vm_table),
+        )
+        # Baseline for non-interference, as if each lock had been released.
+        self.committed["host"] = record_abstraction_host(
+            self.machine.mem, mp, loose=self.loose_host
+        )
+        self.committed["pkvm"] = record_abstraction_pkvm(self.machine.mem, mp)
+        self.committed["vms"] = record_abstraction_vms(pkvm.vm_table)
+        self._check_init_invariants()
+
+    def _hook(self, lock, key: str, recorder) -> None:
+        lock.on_acquire.append(
+            lambda _lock, cpu_index: self._on_acquire(key, recorder, cpu_index)
+        )
+        lock.on_release.append(
+            lambda _lock, cpu_index: self._on_release(key, recorder, cpu_index)
+        )
+
+    def on_vm_created(self, vm) -> None:
+        """Called (under the vm_table lock) when a VM is inserted: hook its
+        stage 2 lock and commit its (empty) baseline abstraction."""
+        key = vm_pgt_key(vm.handle)
+        recorder = lambda: record_abstraction_vm_pgt(self.machine.mem, vm)  # noqa: E731
+        self._hook(vm.lock, key, recorder)
+        snapshot = recorder()
+        self.committed[key] = snapshot
+        record = self._record_for_current_handler()
+        if record is not None:
+            record.post[key] = snapshot
+
+    def on_vm_destroyed(self, vm) -> None:
+        """The dead VM's pgt lock stays hooked: reclaim still takes it."""
+
+    # -- init-time invariants (catches paper bug 5) --------------------------
+
+    def _check_init_invariants(self) -> None:
+        """Sanity-check the freshly booted hyp stage 1.
+
+        Every mapping inside the linear-map VA range must be the linear
+        map (va == phys + offset, normal memory); pKVM's private mappings
+        (the UART) must lie outside it. The pre-fix linear-map
+        initialisation (paper bug 5) violates exactly this on machines
+        with enough physical memory.
+        """
+        pkvm_abs = self.committed["pkvm"]
+        offset = self.globals_.hyp_va_offset
+        linear_lo = self.globals_.carveout[0] + offset
+        linear_hi = self.globals_.carveout[1] + offset
+        for maplet in pkvm_abs.pgt.mapping:
+            overlaps_linear = maplet.va < linear_hi and maplet.end > linear_lo
+            if not overlaps_linear:
+                continue
+            is_linear = (
+                maplet.target.kind == "mapped"
+                and maplet.target.oa == maplet.va - offset
+                and maplet.target.memtype.value == "M"
+            )
+            if not is_linear:
+                self._report(
+                    "init-invariant",
+                    "non-linear mapping inside the hyp linear-map range: "
+                    + maplet.describe(),
+                    component="pkvm",
+                )
+
+    # -- lock hooks -------------------------------------------------------
+
+    def _on_acquire(self, key: str, recorder, cpu_index: int) -> None:
+        try:
+            snapshot = recorder()
+        except AbstractionError as exc:
+            self._report("abstraction", str(exc), component=key)
+            return
+        committed = self.committed.get(key)
+        if committed is not None and committed != snapshot:
+            self._report(
+                "non-interference",
+                f"state protected by {key} changed outside its lock:\n"
+                + "\n".join(diff_components(key, committed, snapshot)),
+                component=key,
+            )
+            # Accept the new state as the baseline so one corruption does
+            # not cascade into every later check.
+            self.committed[key] = snapshot
+        record = self._records.get(cpu_index)
+        if record is None:
+            return
+        if key in record.pre:
+            record.multiphase.add(key)
+        else:
+            record.pre[key] = snapshot
+
+    def _on_release(self, key: str, recorder, cpu_index: int) -> None:
+        try:
+            snapshot = recorder()
+        except AbstractionError as exc:
+            self._report("abstraction", str(exc), component=key)
+            return
+        self.committed[key] = snapshot
+        record = self._records.get(cpu_index)
+        if record is None:
+            return
+        if key in record.post:
+            record.multiphase.add(key)
+        record.post[key] = snapshot
+
+    # -- handler hooks ------------------------------------------------------
+
+    def on_handler_entry(self, cpu: Cpu, syndrome: Syndrome) -> None:
+        record = GhostCallRecord(
+            cpu_index=cpu.index, call=GhostCallData.from_syndrome(syndrome)
+        )
+        record.pre[local_key(cpu.index)] = record_cpu_local(
+            cpu, self.machine.pkvm.mp.host_mmu.root
+        )
+        self._records[cpu.index] = record
+        arena.account_state(2)  # the pre/post recording buffers
+
+    def on_read_once(self, phys: int, value: int) -> None:
+        record = self._record_for_current_handler()
+        if record is not None:
+            record.call.read_once.append((phys, value))
+
+    def on_guest_event(self, event) -> None:
+        record = self._record_for_current_handler()
+        if record is not None:
+            record.call.guest_events.append(event)
+
+    def _record_for_current_handler(self) -> GhostCallRecord | None:
+        # READ_ONCE and guest events happen on the CPU whose handler is
+        # running; with one admitted thread at a time the running handler
+        # is unambiguous, but several CPUs can be mid-handler. The PKvm
+        # call-outs pass no cpu, so locate the record via the machine's
+        # currently executing CPU: the one whose saved context is at EL2.
+        from repro.arch.exceptions import ExceptionLevel
+
+        candidates = [
+            c for c in self.machine.cpus
+            if c.current_el is ExceptionLevel.EL2 and c.index in self._records
+        ]
+        if len(candidates) == 1:
+            return self._records[candidates[0].index]
+        if candidates:
+            # Multiple CPUs mid-handler: attribute to the most recent
+            # record (single-admission means the running one acted last).
+            return self._records[candidates[-1].index]
+        return None
+
+    def on_handler_exit(self, cpu: Cpu) -> None:
+        record = self._records.pop(cpu.index, None)
+        if record is None:
+            return
+        if record.aborted:
+            # A violation already fired (and is propagating) from inside
+            # this handler; do not mask it with a second exception.
+            arena.release_state(2)
+            return
+        record.post[local_key(cpu.index)] = record_cpu_local(
+            cpu, self.machine.pkvm.mp.host_mmu.root
+        )
+        record.call.impl_ret = s64(cpu.saved_el1.regs[1])
+        record.call.impl_aux = cpu.saved_el1.regs[2]
+        vcpu = cpu.loaded_vcpu
+        record.call.memcache_after = (
+            tuple(vcpu.memcache.pages)
+            if vcpu is not None and vcpu.memcache is not None
+            else None
+        )
+        try:
+            self._check_record(record)
+        finally:
+            arena.release_state(2)
+
+    # -- the ternary check ----------------------------------------------------
+
+    def _check_record(self, record: GhostCallRecord) -> None:
+        self.checks_run += 1
+        g_pre = self._effective_pre(record)
+        g_post = GhostState.blank(self.globals_)
+        try:
+            result = compute_post_trap(
+                g_post, g_pre, record.call, record.cpu_index
+            )
+        except SpecAccessError as exc:
+            self._report("spec-access", str(exc))
+            return
+        if not result.valid:
+            self.checks_skipped += 1
+            self.skip_reasons[result.note] = (
+                self.skip_reasons.get(result.note, 0) + 1
+            )
+            return
+
+        ok = True
+        for key in sorted(result.touched | set(record.post)):
+            if key in record.multiphase:
+                self.components_skipped_multiphase += 1
+                continue
+            effective_pre = record.pre.get(key, self.committed.get(key))
+            if key in result.touched:
+                computed = g_post.get_component(key)
+                actual = record.post.get(key, effective_pre)
+                if computed != actual:
+                    ok = False
+                    self._report(
+                        "post-mismatch",
+                        f"{key}: recorded post differs from computed post "
+                        f"(impl ret {record.call.impl_ret}, "
+                        f"spec ret {result.ret}{'; ' + result.note if result.note else ''}):\n"
+                        + "\n".join(diff_components(key, computed, actual)),
+                        component=key,
+                    )
+            else:
+                recorded_post = record.post.get(key)
+                if recorded_post is not None and recorded_post != effective_pre:
+                    ok = False
+                    self._report(
+                        "frame-violation",
+                        f"{key}: changed by a handler whose spec does not "
+                        "touch it:\n"
+                        + "\n".join(
+                            diff_components(key, effective_pre, recorded_post)
+                        ),
+                        component=key,
+                    )
+        self._check_separation(record)
+        if self.check_isolation and not self._records:
+            # Quiescent (no other handler in flight): the committed state
+            # must satisfy the global ownership partition.
+            self._check_isolation()
+        if ok:
+            self.checks_passed += 1
+
+    def _effective_pre(self, record: GhostCallRecord) -> GhostState:
+        """Assemble the spec's pre-state: recorded components, falling back
+        to the committed copies (valid by the non-interference invariant)."""
+        g = GhostState.blank(self.globals_)
+        for key, value in self.committed.items():
+            g.set_component(key, value)
+        for key, value in record.pre.items():
+            g.set_component(key, value)
+        return g
+
+    def _check_separation(self, record: GhostCallRecord) -> None:
+        """§4.4: footprints of distinct page tables stay pairwise disjoint."""
+        footprints: dict[str, frozenset[int]] = {}
+        merged = dict(self.committed)
+        merged.update(record.post)
+        for key, value in merged.items():
+            fp = getattr(value, "footprint", None)
+            if fp is None and hasattr(value, "pgt"):
+                fp = value.pgt.footprint
+            if fp:
+                footprints[key] = fp
+        keys = sorted(footprints)
+        for i, a in enumerate(keys):
+            for b in keys[i + 1 :]:
+                overlap = footprints[a] & footprints[b]
+                if overlap:
+                    self._report(
+                        "separation",
+                        f"page-table footprints of {a} and {b} overlap at "
+                        + ", ".join(f"{p:#x}" for p in sorted(overlap)),
+                        component=a,
+                    )
+
+    def _check_isolation(self) -> None:
+        """The §3.1 memory-isolation property over the committed state:
+        "a partition of physical memory pages, where each partition has a
+        single owner ... but might also be shared with another entity".
+
+        Concretely, pairings between components must be consistent:
+
+        - a page the host has shared-and-owns is borrowed by pKVM (and
+          vice versa);
+        - a page the host borrows is shared-and-owned by some guest;
+        - a page annotated away to pKVM is mapped (owned) at its hyp VA;
+        - a page annotated to a guest is in that guest's stage 2 (owned)
+          or awaiting reclaim after its VM's teardown;
+        - the host's annotation and sharing domains are disjoint.
+        """
+        from repro.arch.defs import PAGE_SIZE
+        from repro.arch.pte import PageState
+        from repro.pkvm.defs import OwnerId
+
+        self.isolation_checks_run += 1
+        host = self.committed.get("host")
+        pkvm = self.committed.get("pkvm")
+        vms = self.committed.get("vms")
+        if host is None or pkvm is None or vms is None:
+            return
+        hyp_map = pkvm.pgt.mapping
+        offset = self.globals_.hyp_va_offset
+
+        if host.annot.domain_overlaps(host.shared):
+            self._report(
+                "isolation",
+                "a page is both annotated away from the host and in a "
+                "host sharing relation",
+                component="host",
+            )
+
+        # Index guest physical pages: owner id -> {phys: state}.
+        guest_phys: dict[int, dict[int, PageState]] = {}
+        for vm in vms.vms.values():
+            pgt = self.committed.get(vm_pgt_key(vm.handle))
+            if pgt is None:
+                continue
+            owner = int(OwnerId.GUEST) + vm.index
+            pages = guest_phys.setdefault(owner, {})
+            for maplet in pgt.mapping:
+                if maplet.target.kind != "mapped":
+                    continue
+                for i in range(maplet.nr_pages):
+                    pages[maplet.target.oa + i * PAGE_SIZE] = (
+                        maplet.target.page_state
+                    )
+
+        for maplet in host.shared:
+            for i in range(maplet.nr_pages):
+                phys = maplet.va + i * PAGE_SIZE
+                state = maplet.target.page_state
+                if state is PageState.SHARED_OWNED:
+                    # someone must be borrowing it: pKVM (share_hyp) or a
+                    # non-protected guest (share_guest) — or the borrower
+                    # was just torn down and withdrawal is pending.
+                    hyp_side = hyp_map.lookup(phys + offset)
+                    hyp_borrows = (
+                        hyp_side is not None
+                        and hyp_side.page_state is PageState.SHARED_BORROWED
+                    )
+                    guest_borrows = any(
+                        pages.get(phys) is PageState.SHARED_BORROWED
+                        for pages in guest_phys.values()
+                    )
+                    pending = phys in vms.reclaimable
+                    if not (hyp_borrows or guest_borrows or pending):
+                        self._report(
+                            "isolation",
+                            f"host shares {phys:#x} but no one borrows it",
+                            component="host",
+                        )
+                elif state is PageState.SHARED_BORROWED:
+                    lender = any(
+                        pages.get(phys) is PageState.SHARED_OWNED
+                        for pages in guest_phys.values()
+                    )
+                    if not lender and phys not in vms.reclaimable:
+                        self._report(
+                            "isolation",
+                            f"host borrows {phys:#x} but no guest "
+                            "shares it",
+                            component="host",
+                        )
+
+        for maplet in host.annot:
+            owner = maplet.target.owner_id
+            if owner == int(OwnerId.HYP):
+                # Range-wise: the whole annotated run must be mapped OWNED
+                # at its hyp VA (one query per overlapping hyp maplet, not
+                # one per page — the carveout alone is thousands of pages).
+                covered = 0
+                for _va, run_nr, target in hyp_map.runs_in(
+                    maplet.va + offset, maplet.nr_pages
+                ):
+                    if (
+                        target.kind == "mapped"
+                        and target.page_state is PageState.OWNED
+                    ):
+                        covered += run_nr
+                if covered != maplet.nr_pages:
+                    self._report(
+                        "isolation",
+                        f"pages annotated to pKVM at {maplet.va:#x} "
+                        f"(+{maplet.nr_pages}p) are not all owned in its "
+                        "stage 1",
+                        component="pkvm",
+                    )
+                continue
+            if owner >= int(OwnerId.GUEST):
+                for i in range(maplet.nr_pages):
+                    phys = maplet.va + i * PAGE_SIZE
+                    owned = guest_phys.get(owner, {}).get(phys)
+                    reclaimable = phys in vms.reclaimable
+                    if owned is not PageState.OWNED and not reclaimable:
+                        self._report(
+                            "isolation",
+                            f"{phys:#x} is annotated to guest owner "
+                            f"{owner} but not in that guest's stage 2 "
+                            "(and not awaiting reclaim)",
+                            component="vms",
+                        )
+
+    # -- reporting --------------------------------------------------------
+
+    def _report(self, kind: str, detail: str, component: str = "") -> None:
+        violation = Violation(kind=kind, detail=detail, component=component)
+        self.violations.append(violation)
+        if self.console is not None and not self.console.lock.held:
+            self.console.print_violation(violation)
+        if self.fail_fast:
+            for record in self._records.values():
+                record.aborted = True
+            raise SpecViolation(kind, detail)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "checks_run": self.checks_run,
+            "checks_passed": self.checks_passed,
+            "checks_skipped": self.checks_skipped,
+            "violations": len(self.violations),
+            "multiphase_component_skips": self.components_skipped_multiphase,
+        }

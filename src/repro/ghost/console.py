@@ -1,0 +1,59 @@
+"""Ghost printing infrastructure: coherent output through the UART.
+
+At EL2 there is "no standard-library printf or other IO beyond a UART"
+(paper §3.2), and "our printing infrastructure also requires a lock to get
+coherent output". This module is that printer: it serialises report text
+through the simulated UART device, one byte-wide register write per
+character, under its own spinlock so concurrent CPUs' reports do not
+interleave mid-line.
+
+The host-side test harness can read everything printed via
+:meth:`GhostConsole.transcript` (the analogue of capturing the serial
+console in QEMU).
+"""
+
+from __future__ import annotations
+
+from repro.arch.memory import PhysicalMemory
+from repro.pkvm.spinlock import HypSpinLock
+
+
+class GhostConsole:
+    """A UART-backed printer with a coherence lock."""
+
+    def __init__(self, mem: PhysicalMemory, uart_base: int):
+        self.mem = mem
+        self.uart_base = uart_base
+        #: The paper's printing lock — ghost-only, never taken by pKVM.
+        self.lock = HypSpinLock("ghost_print")
+        self._captured: list[str] = []
+        #: Bytes pushed through the UART data register.
+        self.bytes_written = 0
+
+    def puts(self, text: str, cpu_index: int = 0) -> None:
+        """Print one string coherently (single lock hold)."""
+        self.lock.acquire(cpu_index)
+        try:
+            for ch in text:
+                # one write to the UART data register per character
+                self.mem.write64(self.uart_base, ord(ch) & 0xFF)
+                self.bytes_written += 1
+            self.mem.write64(self.uart_base, ord("\n"))
+            self.bytes_written += 1
+            self._captured.append(text)
+        finally:
+            self.lock.release(cpu_index)
+
+    def print_violation(self, violation, cpu_index: int = 0) -> None:
+        """Report one spec violation in the paper's diff style."""
+        header = f"ghost: [{violation.kind}] {violation.component or '-'}"
+        self.puts(header, cpu_index)
+        for line in violation.detail.splitlines():
+            self.puts("  " + line, cpu_index)
+
+    def transcript(self) -> list[str]:
+        """Everything printed so far (the captured serial console)."""
+        return list(self._captured)
+
+    def clear(self) -> None:
+        self._captured.clear()

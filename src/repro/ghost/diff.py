@@ -1,0 +1,162 @@
+"""Printing and diffing ghost states.
+
+"With runtime computation and recording of reified ghost datatypes, we can
+implement diffing of two abstract states, invaluable in error reporting
+and debugging of both code and spec" (paper §4.2.2). The output format
+follows the paper's example:
+
+    host.share +ipa :...101b18000 phys:101b18000 S0 RWX M
+    pkvm.pgt  +virt:8000c1b18000 phys:101b18000 SB RW- M
+    regs      -r0=.....c600000d r1=.....101b18
+    regs      +r0=.............0 r1=.............0
+"""
+
+from __future__ import annotations
+
+from repro.ghost.maplets import Mapping, Maplet
+from repro.ghost.state import (
+    AbstractPgtable,
+    GhostCpuLocal,
+    GhostHost,
+    GhostPkvm,
+    GhostState,
+    GhostVms,
+)
+
+
+def _fmt_maplet(m: Maplet, label: str) -> str:
+    t = m.target
+    if t.kind == "annotated":
+        return f"{label}:{m.va:x}+{m.nr_pages}p owner:{t.owner_id}"
+    return (
+        f"{label}:{m.va:x}+{m.nr_pages}p phys:{t.oa:x} "
+        f"{t.page_state} {t.perms} {t.memtype}"
+    )
+
+
+def diff_mappings(name: str, pre: Mapping, post: Mapping, label: str) -> list[str]:
+    removed, added = pre.diff(post)
+    lines = [f"{name} -{_fmt_maplet(m, label)}" for m in removed]
+    lines += [f"{name} +{_fmt_maplet(m, label)}" for m in added]
+    return lines
+
+
+def _fmt_regs(regs: tuple[int, ...], prefix: str) -> str:
+    shown = " ".join(f"r{i}={v:x}" for i, v in enumerate(regs[:4]))
+    return f"regs {prefix}{shown}"
+
+
+def diff_locals(pre: GhostCpuLocal | None, post: GhostCpuLocal | None) -> list[str]:
+    lines: list[str] = []
+    if pre is not None and post is not None and pre.regs != post.regs:
+        lines.append(_fmt_regs(pre.regs, "-"))
+        lines.append(_fmt_regs(post.regs, "+"))
+    pre_loaded = pre.loaded_vcpu if pre else None
+    post_loaded = post.loaded_vcpu if post else None
+    if pre_loaded != post_loaded:
+        lines.append(f"loaded_vcpu -{pre_loaded} +{post_loaded}")
+    return lines
+
+
+def diff_components(key: str, pre, post) -> list[str]:
+    """Human-readable diff of one ownership component."""
+    if pre is None and post is None:
+        return []
+    if isinstance(post, GhostHost) or isinstance(pre, GhostHost):
+        pre = pre or GhostHost()
+        post = post or GhostHost()
+        return diff_mappings("host.annot", pre.annot, post.annot, "ipa ") + (
+            diff_mappings("host.share", pre.shared, post.shared, "ipa ")
+        )
+    if isinstance(post, GhostPkvm) or isinstance(pre, GhostPkvm):
+        pre = pre or GhostPkvm()
+        post = post or GhostPkvm()
+        return diff_mappings(
+            "pkvm.pgt", pre.pgt.mapping, post.pgt.mapping, "virt"
+        )
+    if isinstance(post, AbstractPgtable) or isinstance(pre, AbstractPgtable):
+        pre = pre or AbstractPgtable()
+        post = post or AbstractPgtable()
+        lines = diff_mappings(key, pre.mapping, post.mapping, "ipa ")
+        if pre.footprint != post.footprint:
+            gone = sorted(pre.footprint - post.footprint)
+            new = sorted(post.footprint - pre.footprint)
+            if gone:
+                lines.append(f"{key}.footprint -{[hex(p) for p in gone]}")
+            if new:
+                lines.append(f"{key}.footprint +{[hex(p) for p in new]}")
+        return lines
+    if isinstance(post, GhostVms) or isinstance(pre, GhostVms):
+        pre = pre or GhostVms()
+        post = post or GhostVms()
+        lines = []
+        for h in sorted(set(pre.vms) | set(post.vms)):
+            a, b = pre.vms.get(h), post.vms.get(h)
+            if a != b:
+                lines.append(f"vms[{h:#x}] -{a}")
+                lines.append(f"vms[{h:#x}] +{b}")
+        if pre.reclaimable != post.reclaimable:
+            gone = set(pre.reclaimable) - set(post.reclaimable)
+            new = set(post.reclaimable) - set(pre.reclaimable)
+            if gone:
+                lines.append(
+                    "reclaim -" + " ".join(f"{p:x}" for p in sorted(gone))
+                )
+            if new:
+                lines.append(
+                    "reclaim +" + " ".join(f"{p:x}" for p in sorted(new))
+                )
+        if pre.nr_created != post.nr_created:
+            lines.append(f"nr_created {pre.nr_created} -> {post.nr_created}")
+        return lines
+    if isinstance(post, GhostCpuLocal) or isinstance(pre, GhostCpuLocal):
+        return diff_locals(pre, post)
+    return [f"{key}: {pre!r} -> {post!r}"]
+
+
+def diff_states(pre: GhostState, post: GhostState) -> str:
+    """Full-state diff in the paper's output format."""
+    lines: list[str] = []
+    lines += diff_components("host", pre.host, post.host)
+    lines += diff_components("pkvm", pre.pkvm, post.pkvm)
+    lines += diff_components("vms", pre.vms, post.vms)
+    for h in sorted(set(pre.vm_pgts) | set(post.vm_pgts)):
+        lines += diff_components(
+            f"vm[{h:#x}].pgt", pre.vm_pgts.get(h), post.vm_pgts.get(h)
+        )
+    for i in sorted(set(pre.locals_) | set(post.locals_)):
+        lines += diff_components(
+            f"cpu{i}", pre.locals_.get(i), post.locals_.get(i)
+        )
+    return "\n".join(lines) if lines else "(no difference)"
+
+
+def format_state(state: GhostState) -> str:
+    """Pretty-print a whole ghost state."""
+    lines: list[str] = []
+    if state.host.present:
+        lines.append("host.annot:")
+        lines += [f"  {_fmt_maplet(m, 'ipa ')}" for m in state.host.annot]
+        lines.append("host.share:")
+        lines += [f"  {_fmt_maplet(m, 'ipa ')}" for m in state.host.shared]
+    if state.pkvm.present:
+        lines.append("pkvm.pgt:")
+        lines += [f"  {_fmt_maplet(m, 'virt')}" for m in state.pkvm.pgt.mapping]
+    if state.vms.present:
+        lines.append(f"vms ({len(state.vms.vms)} live):")
+        for h, vm in sorted(state.vms.vms.items()):
+            lines.append(
+                f"  [{h:#x}] idx={vm.index} prot={vm.protected} "
+                f"vcpus={len(vm.vcpus)}/{vm.nr_vcpus}"
+            )
+        if state.vms.reclaimable:
+            lines.append(f"  reclaimable: {len(state.vms.reclaimable)} pages")
+    for h, pgt in sorted(state.vm_pgts.items()):
+        lines.append(f"vm[{h:#x}].pgt:")
+        lines += [f"  {_fmt_maplet(m, 'ipa ')}" for m in pgt.mapping]
+    for i, local in sorted(state.locals_.items()):
+        if local.present:
+            lines.append(f"cpu{i}: {_fmt_regs(local.regs, '')}")
+            if local.loaded_vcpu:
+                lines.append(f"  loaded: {local.loaded_vcpu}")
+    return "\n".join(lines)

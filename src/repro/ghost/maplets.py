@@ -1,0 +1,347 @@
+"""Finite range maps: the extensional meaning of a page table.
+
+"What is relevant is the finite partial mapping from 4KB-page input
+addresses to tuples of their output address, permissions, and
+software-defined attributes: the extension of the Arm-A page-table walk
+function" (paper §3.1). The representation is the paper's: an ordered list
+of *maximally coalesced maplets*, each capturing a contiguous run of pages
+whose targets continue each other.
+
+A maplet target is either *mapped* (output address + attributes) or an
+*annotation* (owner id carried by invalid entries); both appear in the
+host's stage 2 and both matter to the specification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+from repro.arch.defs import PAGE_SIZE, MemType, Perms
+from repro.arch.pte import PageState
+from repro.ghost.arena import arena
+
+
+class MappingError(Exception):
+    """An ill-formed mapping operation (overlap, missing range, ...).
+
+    In the runtime oracle these surface as specification-infrastructure
+    failures: either the spec is wrong or the implementation produced a
+    state the abstraction declares impossible (e.g. a double mapping).
+    """
+
+
+@dataclass(frozen=True)
+class MapletTarget:
+    """Where a run of pages goes: a mapped range or an owner annotation."""
+
+    kind: str  # "mapped" | "annotated"
+    oa: int = 0
+    perms: Perms = Perms.none()
+    memtype: MemType = MemType.NORMAL
+    page_state: PageState = PageState.OWNED
+    owner_id: int = 0
+
+    @staticmethod
+    def mapped(
+        oa: int,
+        perms: Perms,
+        memtype: MemType = MemType.NORMAL,
+        page_state: PageState = PageState.OWNED,
+    ) -> "MapletTarget":
+        return MapletTarget(
+            "mapped", oa=oa, perms=perms, memtype=memtype, page_state=page_state
+        )
+
+    @staticmethod
+    def annotated(owner_id: int) -> "MapletTarget":
+        return MapletTarget("annotated", owner_id=owner_id)
+
+    def at_offset(self, offset: int) -> "MapletTarget":
+        """The target ``offset`` bytes into a run starting with this one."""
+        if self.kind == "mapped":
+            return replace(self, oa=self.oa + offset)
+        return self
+
+    def continues(self, earlier: "MapletTarget", offset: int) -> bool:
+        """Whether this target extends ``earlier`` at byte ``offset``."""
+        return self == earlier.at_offset(offset)
+
+    def describe(self) -> str:
+        if self.kind == "annotated":
+            return f"owner:{self.owner_id}"
+        return (
+            f"phys:{self.oa:x} {self.page_state} {self.perms} {self.memtype}"
+        )
+
+
+@dataclass(frozen=True)
+class Maplet:
+    """A maximally coalesced run: ``nr_pages`` pages from ``va``.
+
+    Page ``va + i*4K`` maps to ``target.at_offset(i*4K)``.
+    """
+
+    va: int
+    nr_pages: int
+    target: MapletTarget
+
+    @property
+    def end(self) -> int:
+        return self.va + self.nr_pages * PAGE_SIZE
+
+    def target_at(self, va: int) -> MapletTarget:
+        if not self.va <= va < self.end:
+            raise MappingError(f"{va:#x} outside maplet")
+        return self.target.at_offset(va - self.va)
+
+    def describe(self) -> str:
+        return f"ipa:{self.va:x}+{self.nr_pages}p -> {self.target.describe()}"
+
+
+class Mapping:
+    """An ordered list of disjoint, maximally coalesced maplets.
+
+    Supports the finite-map operations the specifications use: empty,
+    insert, remove, lookup, union-compatibility, equality, diff. All
+    operations preserve the normal form (sorted, disjoint, coalesced),
+    which the property-based tests pin down as the class invariant.
+    """
+
+    __slots__ = ("_maplets", "__weakref__")
+
+    def __init__(self, maplets: list[Maplet] | None = None):
+        self._maplets: list[Maplet] = maplets or []
+        arena.account_mapping(self)
+
+    # -- construction ------------------------------------------------------
+
+    @staticmethod
+    def empty() -> "Mapping":
+        return Mapping()
+
+    @staticmethod
+    def singleton(va: int, nr_pages: int, target: MapletTarget) -> "Mapping":
+        m = Mapping()
+        m.insert(va, nr_pages, target)
+        return m
+
+    def copy(self) -> "Mapping":
+        return Mapping(list(self._maplets))
+
+    # -- basic queries ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._maplets)
+
+    def __iter__(self) -> Iterator[Maplet]:
+        return iter(self._maplets)
+
+    def __bool__(self) -> bool:
+        return bool(self._maplets)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Mapping):
+            return NotImplemented
+        return self._maplets == other._maplets
+
+    def __hash__(self):
+        return hash(tuple(self._maplets))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(m.describe() for m in self._maplets)
+        return f"Mapping[{inner}]"
+
+    def nr_pages(self) -> int:
+        """Total pages in the domain."""
+        return sum(m.nr_pages for m in self._maplets)
+
+    def lookup(self, va: int) -> MapletTarget | None:
+        """The target of the page containing ``va``, or None."""
+        va &= ~(PAGE_SIZE - 1)
+        idx = self._find(va)
+        if idx is None:
+            return None
+        return self._maplets[idx].target_at(va)
+
+    def __contains__(self, va: int) -> bool:
+        return self.lookup(va) is not None
+
+    def contains_range(self, va: int, nr_pages: int) -> bool:
+        covered = sum(n for _va, n, _t in self.runs_in(va, nr_pages))
+        return covered == nr_pages
+
+    def runs_in(self, va: int, nr_pages: int):
+        """Yield ``(run_va, run_nr_pages, target_at_run_va)`` for the
+        maplet fragments overlapping ``[va, va + nr_pages*4K)``.
+
+        O(log n + overlapping maplets) — the range-query primitive the
+        cross-component invariant checks use instead of per-page lookups.
+        """
+        end = va + nr_pages * PAGE_SIZE
+        lo, hi = 0, len(self._maplets)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._maplets[mid].end <= va:
+                lo = mid + 1
+            else:
+                hi = mid
+        for maplet in self._maplets[lo:]:
+            if maplet.va >= end:
+                break
+            run_start = max(va, maplet.va)
+            run_end = min(end, maplet.end)
+            yield (
+                run_start,
+                (run_end - run_start) // PAGE_SIZE,
+                maplet.target_at(run_start),
+            )
+
+    def _find(self, va: int) -> int | None:
+        lo, hi = 0, len(self._maplets)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            m = self._maplets[mid]
+            if va < m.va:
+                hi = mid
+            elif va >= m.end:
+                lo = mid + 1
+            else:
+                return mid
+        return None
+
+    # -- mutation -----------------------------------------------------------
+
+    def insert(
+        self, va: int, nr_pages: int, target: MapletTarget, *, overwrite: bool = False
+    ) -> None:
+        """Add ``nr_pages`` pages at ``va``, coalescing with neighbours.
+
+        Overlap with existing content is a :class:`MappingError` unless
+        ``overwrite`` — the specs insert into vacated ranges, so a
+        collision means either a spec bug or an implementation double-map,
+        and must be loud.
+        """
+        if va % PAGE_SIZE:
+            raise MappingError(f"unaligned insert at {va:#x}")
+        if nr_pages <= 0:
+            raise MappingError(f"empty insert at {va:#x}")
+        end = va + nr_pages * PAGE_SIZE
+        if overwrite:
+            self.remove_if_present(va, nr_pages)
+        else:
+            for m in self._maplets:
+                if m.va < end and va < m.end:
+                    raise MappingError(
+                        f"insert [{va:#x}, {end:#x}) overlaps {m.describe()}"
+                    )
+        self._maplets.append(Maplet(va, nr_pages, target))
+        self._normalise()
+
+    def extend_coalesce(self, va: int, nr_pages: int, target: MapletTarget) -> None:
+        """Append an in-order run, coalescing with the last maplet.
+
+        The paper's ``extend_mapping_coalesce`` (Fig. 2): the abstraction
+        traversal visits entries in ascending input-address order, so
+        extension is O(1) instead of a general insert.
+        """
+        if va % PAGE_SIZE:
+            raise MappingError(f"unaligned extend at {va:#x}")
+        if self._maplets:
+            last = self._maplets[-1]
+            if va < last.end:
+                raise MappingError(
+                    f"extend at {va:#x} not in ascending order"
+                )
+            if va == last.end and target.continues(last.target, va - last.va):
+                self._maplets[-1] = Maplet(
+                    last.va, last.nr_pages + nr_pages, last.target
+                )
+                arena.account_mapping(self)
+                return
+        self._maplets.append(Maplet(va, nr_pages, target))
+        arena.account_mapping(self)
+
+    def remove(self, va: int, nr_pages: int) -> None:
+        """Remove exactly ``nr_pages`` pages at ``va``; all must be present."""
+        if not self.contains_range(va, nr_pages):
+            raise MappingError(
+                f"remove [{va:#x}, +{nr_pages}p) not fully mapped"
+            )
+        self.remove_if_present(va, nr_pages)
+
+    def remove_if_present(self, va: int, nr_pages: int) -> None:
+        """Remove any pages of ``[va, va+nr_pages*4K)`` that are present."""
+        if va % PAGE_SIZE:
+            raise MappingError(f"unaligned remove at {va:#x}")
+        end = va + nr_pages * PAGE_SIZE
+        out: list[Maplet] = []
+        for m in self._maplets:
+            if m.end <= va or m.va >= end:
+                out.append(m)
+                continue
+            if m.va < va:
+                out.append(Maplet(m.va, (va - m.va) // PAGE_SIZE, m.target))
+            if m.end > end:
+                out.append(
+                    Maplet(
+                        end,
+                        (m.end - end) // PAGE_SIZE,
+                        m.target.at_offset(end - m.va),
+                    )
+                )
+        self._maplets = out
+        self._normalise()
+
+    def _normalise(self) -> None:
+        """Restore the normal form: sorted, disjoint, maximally coalesced."""
+        self._maplets.sort(key=lambda m: m.va)
+        out: list[Maplet] = []
+        for m in self._maplets:
+            if out:
+                prev = out[-1]
+                if m.va < prev.end:
+                    raise MappingError(
+                        f"overlap after update: {prev.describe()} / {m.describe()}"
+                    )
+                if m.va == prev.end and m.target.continues(
+                    prev.target, m.va - prev.va
+                ):
+                    out[-1] = Maplet(
+                        prev.va, prev.nr_pages + m.nr_pages, prev.target
+                    )
+                    continue
+            out.append(m)
+        self._maplets = out
+        arena.account_mapping(self)
+
+    # -- set-like operations --------------------------------------------------
+
+    def domain_overlaps(self, other: "Mapping") -> bool:
+        """Whether any page is in both domains."""
+        for m in self._maplets:
+            for page in range(m.va, m.end, PAGE_SIZE):
+                if page in other:
+                    return True
+        return False
+
+    def diff(self, other: "Mapping") -> tuple[list[Maplet], list[Maplet]]:
+        """(removed, added) page runs going from ``self`` to ``other``.
+
+        Used by the error-reporting diff printer (paper §4.2.2).
+        """
+        removed = _page_difference(self, other)
+        added = _page_difference(other, self)
+        return removed, added
+
+
+def _page_difference(a: Mapping, b: Mapping) -> list[Maplet]:
+    """Pages of ``a`` whose target in ``b`` differs (or is absent),
+    re-coalesced into maplets."""
+    result = Mapping()
+    for m in a:
+        for page in range(m.va, m.end, PAGE_SIZE):
+            ta = m.target_at(page)
+            if b.lookup(page) != ta:
+                result.insert(page, 1, ta)
+    return list(result)

@@ -1,0 +1,24 @@
+"""The pKVM-style hypervisor implementation.
+
+A pure isolation kernel, re-implemented from the paper's description of
+pKVM (§2): it manages stage 2 translations for the Android "host" kernel
+and for each guest VM, a stage 1 translation for its own execution, and a
+page-ownership discipline over all of physical memory — and nothing else
+(no scheduling, devices, or filesystems, which stay in the host).
+
+Module map:
+
+- :mod:`repro.pkvm.spinlock` — hyp_spin_lock with ghost instrumentation hooks
+- :mod:`repro.pkvm.allocator` — the hyp_pool buddy allocator and vCPU memcaches
+- :mod:`repro.pkvm.pgtable` — the generic callback-driven page-table walker
+- :mod:`repro.pkvm.mem_protect` — the ownership state machine and transitions
+- :mod:`repro.pkvm.vm` — VM/vCPU metadata, the vm_table and its lock
+- :mod:`repro.pkvm.hyp` — the top-level trap handler and hypercall dispatch
+- :mod:`repro.pkvm.host` — the (untrusted) host kernel model
+- :mod:`repro.pkvm.bugs` — the bug-injection registry (paper + synthetic bugs)
+"""
+
+from repro.pkvm.bugs import Bugs
+from repro.pkvm.defs import GuestHypercallId, HypercallId, OwnerId
+
+__all__ = ["Bugs", "GuestHypercallId", "HypercallId", "OwnerId"]

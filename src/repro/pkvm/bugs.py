@@ -1,0 +1,107 @@
+"""Bug-injection registry.
+
+The paper's evaluation has two bug populations:
+
+1. the **five real pKVM bugs** it found (§6 "Bugs found"), and
+2. a set of **synthetic bugs** introduced "to further confirm the
+   discriminating power of our testing" (§5).
+
+Each is represented here as a named flag; the hypervisor code consults the
+flags at the exact point where the real code was wrong, so enabling a flag
+re-introduces the bug and the benchmark harness can show the oracle
+catching it. All flags default to off — the default build is the *fixed*
+hypervisor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class Bugs:
+    """Every injectable bug. All off by default (fixed hypervisor)."""
+
+    # -- the five real pKVM bugs from the paper (§6) ----------------------
+
+    #: Bug 1: missing alignment check in the memcache topup path, letting a
+    #: malicious host get pKVM to zero memory at an unaligned address
+    #: (clobbering adjacent data).
+    memcache_alignment: bool = False
+
+    #: Bug 2: missing size check in the memcache topup, hitting a signed
+    #: integer overflow for huge page counts.
+    memcache_overflow: bool = False
+
+    #: Bug 3: missing synchronisation between vCPU init and vCPU load,
+    #: permitting a race that observes uninitialised vCPU metadata.
+    vcpu_load_race: bool = False
+
+    #: Bug 4: the host-pagefault path was not robust to the host's mappings
+    #: changing concurrently (another CPU handling the same fault),
+    #: escalating a benign -EAGAIN into a hypervisor panic.
+    host_fault_fragile: bool = False
+
+    #: Bug 5: pKVM's linear-map initialisation did not check for overlap
+    #: with its private IO mappings, so on devices with very large physical
+    #: memory the linear map could shadow IO device mappings.
+    linear_map_overlap: bool = False
+
+    # -- synthetic bugs (§5 "Synthetic bug testing") -----------------------
+
+    #: share_hyp skips the page-state permission check entirely.
+    synth_share_skip_check: bool = False
+
+    #: share_hyp updates the host stage 2 but forgets the hyp stage 1 side.
+    synth_share_skip_hyp_map: bool = False
+
+    #: share_hyp installs the wrong page state (OWNED instead of
+    #: SHARED_OWNED) in the host stage 2.
+    synth_share_wrong_state: bool = False
+
+    #: unshare_hyp leaves the hyp-side borrowed mapping in place.
+    synth_unshare_leak: bool = False
+
+    #: donate marks the host annotation with the wrong owner id.
+    synth_donate_wrong_owner: bool = False
+
+    #: The return-code write-back to the host registers is skipped on the
+    #: error path (host sees a stale/garbage return value).
+    synth_missing_ret_write: bool = False
+
+    #: teardown_vm forgets to return one donated metadata page to the host.
+    synth_teardown_page_leak: bool = False
+
+    #: host mem-abort demand mapping maps one page too many (off-by-one on
+    #: the computed range).
+    synth_fault_off_by_one: bool = False
+
+    #: vcpu_run forgets to reinstall the host's stage 2 after the guest
+    #: exits — the host would resume in the guest's address space.
+    synth_vttbr_not_restored: bool = False
+
+    def enabled(self) -> list[str]:
+        """Names of all currently enabled bugs."""
+        return [f.name for f in fields(self) if getattr(self, f.name)]
+
+    @staticmethod
+    def paper_bug_names() -> list[str]:
+        return [
+            "memcache_alignment",
+            "memcache_overflow",
+            "vcpu_load_race",
+            "host_fault_fragile",
+            "linear_map_overlap",
+        ]
+
+    @staticmethod
+    def synthetic_bug_names() -> list[str]:
+        return [f.name for f in fields(Bugs) if f.name.startswith("synth_")]
+
+    @staticmethod
+    def single(name: str) -> "Bugs":
+        """A Bugs record with exactly one flag enabled."""
+        valid = {f.name for f in fields(Bugs)}
+        if name not in valid:
+            raise ValueError(f"unknown bug {name!r}")
+        return Bugs(**{name: True})

@@ -1,0 +1,99 @@
+"""pKVM-wide constants: error codes, component ids, hypercall numbers.
+
+Error codes follow the kernel convention of negative errnos returned in the
+host's ``x1`` after the hypercall (the paper's Fig. 5 epilogue writes the
+return code with ``ghost_write_gpr(g_post, 1, ret)``).
+"""
+
+from __future__ import annotations
+
+import enum
+
+# -- errnos (kernel numbering) -------------------------------------------
+
+ENOENT = 2
+E2BIG = 7
+EAGAIN = 11
+ENOMEM = 12
+EBUSY = 16
+EEXIST = 17
+EINVAL = 22
+EPERM = 1
+
+
+class OwnerId(enum.IntEnum):
+    """pKVM component ids, as annotated into invalid host stage 2 PTEs.
+
+    ``HOST`` is 0 so that an all-zero (never-touched) host stage 2 entry
+    means "owned by the host, not yet mapped on demand" — exactly the real
+    encoding convention.
+    """
+
+    HOST = 0
+    HYP = 1
+    #: Base id for guests; guest ``n`` is ``GUEST + n``.
+    GUEST = 16
+
+
+class HypercallId(enum.IntEnum):
+    """Host-side hypercall numbers (the value placed in x0 for ``hvc``)."""
+
+    HOST_SHARE_HYP = 0xC600_0001
+    HOST_UNSHARE_HYP = 0xC600_0002
+    HOST_RECLAIM_PAGE = 0xC600_0003
+    HOST_MAP_GUEST = 0xC600_0004
+    INIT_VM = 0xC600_0005
+    INIT_VCPU = 0xC600_0006
+    TEARDOWN_VM = 0xC600_0007
+    VCPU_LOAD = 0xC600_0008
+    VCPU_PUT = 0xC600_0009
+    VCPU_RUN = 0xC600_000A
+    MEMCACHE_TOPUP = 0xC600_000B
+    #: Non-protected guests only: the host lends a page it keeps access
+    #: to (share), instead of donating it away.
+    HOST_SHARE_GUEST = 0xC600_000C
+    HOST_UNSHARE_GUEST = 0xC600_000D
+    #: The hypercall number the paper's diff shows (0x...c600000d) is the
+    #: share call in their tree; numbering is per-tree and arbitrary.
+
+
+class GuestHypercallId(enum.IntEnum):
+    """Guest-side hypercall numbers (the much more limited guest API)."""
+
+    GUEST_SHARE_HOST = 0xC600_1001
+    GUEST_UNSHARE_HOST = 0xC600_1002
+    GUEST_MEMINFO = 0xC600_1003
+
+
+#: Offset between a physical address and pKVM's linear-map virtual address
+#: for it (``__hyp_va``). A constant established at init and mirrored into
+#: the ghost globals.
+HYP_VA_OFFSET = 0x8000_0000_0000
+
+#: Base of pKVM's "private" VA range, used for IO and other non-linear
+#: mappings. The linear map must not grow into this range — paper bug 5 is
+#: precisely this overlap on machines with very large physical memory.
+HYP_PRIVATE_VA_BASE = 0x8000_C000_0000
+
+#: Maximum pages a single memcache topup may transfer. The missing bound
+#: check on this is paper bug 2.
+MEMCACHE_TOPUP_MAX = 64
+
+#: Capacity of one vCPU memcache.
+MEMCACHE_CAPACITY = 128
+
+
+def s64(value: int) -> int:
+    """Reinterpret a 64-bit pattern as a signed integer (C ``(s64)x``).
+
+    The hypervisor is C; several of the bugs the paper found involve
+    signed/unsigned confusion, so the simulation must be able to express
+    the same wraparound arithmetic.
+    """
+    value &= (1 << 64) - 1
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+def u64(value: int) -> int:
+    """Truncate to a 64-bit unsigned pattern (C ``(u64)x``)."""
+    return value & ((1 << 64) - 1)

@@ -1,0 +1,131 @@
+"""The (untrusted) Android host kernel model.
+
+pKVM's security model assumes the host kernel is compromised after
+initialisation, so for testing purposes the host is just *whatever issues
+hypercalls and memory accesses*: this class owns the host's view of DRAM,
+issues ``hvc`` instructions, and performs memory accesses through its
+stage 2 with the architectural fault-retry loop (fault, trap to EL2,
+demand map, retry).
+
+Well-behaved convenience flows (create a VM properly, etc.) live in
+:mod:`repro.testing.proxy`, the hyp-proxy analogue; this class happily
+issues *arbitrary* calls too, which is what the random tester needs.
+"""
+
+from __future__ import annotations
+
+from repro.arch.cpu import Cpu
+from repro.arch.defs import pfn_to_phys, phys_to_pfn
+from repro.arch.exceptions import EsrEc, HostCrash, Syndrome
+from repro.arch.translate import TranslationFault, walk
+from repro.arch.defs import Stage
+from repro.pkvm.defs import s64
+from repro.pkvm.hyp import PKvm
+
+
+class Host:
+    """The host kernel: page ownership bookkeeping and hypercall issue."""
+
+    def __init__(self, mem, cpus: list[Cpu], pkvm: PKvm):
+        self.mem = mem
+        self.cpus = cpus
+        self.pkvm = pkvm
+        dram = mem.dram_regions()[-1]
+        #: Host-allocatable frames: DRAM minus pKVM's carveout.
+        self._first_pfn = phys_to_pfn(dram.base)
+        self._limit_pfn = phys_to_pfn(pkvm.carveout.base)
+        self._cursor = self._first_pfn
+        self._free: list[int] = []
+        self._allocated: set[int] = set()
+
+    # -- host page allocator ------------------------------------------------
+
+    def alloc_page(self) -> int:
+        """Allocate one physical page of host memory (returns its address)."""
+        if self._free:
+            pfn = self._free.pop()
+        else:
+            if self._cursor >= self._limit_pfn:
+                raise MemoryError("host out of pages")
+            pfn = self._cursor
+            self._cursor += 1
+        self._allocated.add(pfn)
+        return pfn_to_phys(pfn)
+
+    def free_page(self, phys: int) -> None:
+        pfn = phys_to_pfn(phys)
+        if pfn not in self._allocated:
+            raise ValueError(f"freeing page the host never allocated: {phys:#x}")
+        self._allocated.remove(pfn)
+        self._free.append(pfn)
+
+    def allocated_pages(self) -> int:
+        return len(self._allocated)
+
+    # -- hypercalls -----------------------------------------------------------
+
+    def hvc(self, call_id: int, *args: int, cpu: Cpu | None = None) -> int:
+        """Issue a hypercall; returns the (signed) value from x1."""
+        cpu = cpu or self.cpus[0]
+        cpu.write_gpr(0, int(call_id))
+        for i, arg in enumerate(args, start=1):
+            cpu.write_gpr(i, arg)
+        for i in range(len(args) + 1, 4):
+            cpu.write_gpr(i, 0)
+        self.pkvm.handle_trap(cpu, Syndrome(ec=EsrEc.HVC64))
+        return s64(cpu.read_gpr(1))
+
+    def hvc_aux(self, call_id: int, *args: int, cpu: Cpu | None = None) -> tuple[int, int]:
+        """Like :meth:`hvc` but also returns the auxiliary value in x2."""
+        cpu = cpu or self.cpus[0]
+        ret = self.hvc(call_id, *args, cpu=cpu)
+        return ret, cpu.read_gpr(2)
+
+    # -- memory access through the host stage 2 -------------------------------
+
+    def _access(
+        self, addr: int, *, write: bool, value: int = 0, cpu: Cpu | None = None
+    ) -> int:
+        cpu = cpu or self.cpus[0]
+        for _attempt in range(2):
+            try:
+                result = walk(
+                    self.mem,
+                    self.pkvm.mp.host_mmu.root,
+                    addr,
+                    Stage.STAGE2,
+                    write=write,
+                )
+            except TranslationFault as fault:
+                self.pkvm.handle_trap(
+                    cpu,
+                    Syndrome(
+                        ec=EsrEc.DATA_ABORT_LOWER,
+                        fault_ipa=addr,
+                        is_write=write,
+                        fault_level=fault.level,
+                        is_permission=fault.is_permission,
+                    ),
+                )
+                if cpu.read_gpr(1) != 0:
+                    raise HostCrash(
+                        f"unrecoverable host fault at {addr:#x}"
+                    ) from fault
+                continue
+            if write:
+                self.mem.write64(result.oa & ~7, value)
+                return 0
+            return self.mem.read64(result.oa & ~7)
+        raise HostCrash(f"fault loop at {addr:#x}")
+
+    def read64(self, addr: int, cpu: Cpu | None = None) -> int:
+        """Host load, with the architectural demand-fault retry."""
+        return self._access(addr, write=False, cpu=cpu)
+
+    def write64(self, addr: int, value: int, cpu: Cpu | None = None) -> None:
+        """Host store, with the architectural demand-fault retry."""
+        self._access(addr, write=True, value=value, cpu=cpu)
+
+    def touch(self, addr: int, cpu: Cpu | None = None) -> None:
+        """Fault a page in (the first access a freshly booted host makes)."""
+        self.read64(addr & ~7, cpu=cpu)

@@ -1,0 +1,611 @@
+"""Memory ownership protection: the page-state machine and its transitions.
+
+This is the pKVM ``mem_protect.c`` analogue. It owns the two page tables
+whose locks structure most hypercalls:
+
+- ``host_mmu``: the host's stage 2 (an identity map, filled lazily), whose
+  entries also encode the logical owner of every physical page;
+- ``pkvm_pgd``: pKVM's own stage 1 mapping.
+
+Each transition follows the implementation shape the paper documents for
+``do_share`` (Fig. 4): a *check* walk over the current state, then one
+*update* walk per affected page table, under two-phase locking taken by
+the caller in ``hyp.py``.
+
+Page-state conventions (matching pKVM):
+
+=====================  ===================================================
+host stage 2 entry     meaning
+=====================  ===================================================
+invalid, zero          host-owned, not yet mapped on demand
+valid, OWNED           host-owned, mapped
+valid, SHARED_OWNED    host-owned, shared with pKVM
+valid, SHARED_BORROWED guest-owned, lent to the host
+invalid, annotated     owned by pKVM (HYP) or a guest — never demand-map
+=====================  ===================================================
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.arch.defs import (
+    PAGE_SIZE,
+    MemType,
+    Perms,
+    Stage,
+    level_block_size,
+)
+from repro.arch.exceptions import HypervisorPanic
+from repro.arch.memory import PhysicalMemory
+from repro.arch.pte import EntryKind, PageState
+from repro.pkvm.allocator import HypPool
+from repro.pkvm.bugs import Bugs
+from repro.pkvm.defs import (
+    EBUSY,
+    EINVAL,
+    ENOENT,
+    EPERM,
+    HYP_VA_OFFSET,
+    OwnerId,
+)
+from repro.pkvm.pgtable import (
+    KvmPgtable,
+    MapAttrs,
+    PoolMmOps,
+    check_page_state,
+    lookup,
+    map_range,
+    set_owner_range,
+    unmap_range,
+)
+from repro.pkvm.spinlock import HypSpinLock
+
+BLOCK_SIZE_L2 = level_block_size(2)
+
+
+def hyp_va(phys: int) -> int:
+    """pKVM's linear-map virtual address for a physical address."""
+    return phys + HYP_VA_OFFSET
+
+
+def hyp_va_to_phys(va: int) -> int:
+    return va - HYP_VA_OFFSET
+
+
+def host_memory_attrs(is_memory: bool, state: PageState) -> MapAttrs:
+    """Host stage 2 attributes: RWX normal memory, RW-XN for devices."""
+    if is_memory:
+        return MapAttrs(Perms.rwx(), MemType.NORMAL, state)
+    return MapAttrs(Perms.rw(), MemType.DEVICE, state)
+
+
+def hyp_memory_attrs(is_memory: bool, state: PageState) -> MapAttrs:
+    """pKVM stage 1 attributes: RW (never X) — the paper's diff shows
+    shared pages arriving at pKVM as ``SB RW- M``."""
+    memtype = MemType.NORMAL if is_memory else MemType.DEVICE
+    return MapAttrs(Perms.rw(), memtype, state)
+
+
+def guest_memory_attrs(state: PageState) -> MapAttrs:
+    return MapAttrs(Perms.rwx(), MemType.NORMAL, state)
+
+
+class HostAbortResult(enum.Enum):
+    """Outcome of a host stage 2 abort, as seen by the trap dispatcher."""
+
+    #: pKVM mapped the page on demand; the host retries the access.
+    MAPPED = "mapped"
+    #: The host had no right to the address: a fault is injected into EL1.
+    INJECT = "inject"
+
+
+class MemProtect:
+    """Owner of the host stage 2 and hyp stage 1 tables and their locks."""
+
+    def __init__(
+        self,
+        mem: PhysicalMemory,
+        pool: HypPool,
+        bugs: Bugs,
+    ):
+        self.mem = mem
+        self.pool = pool
+        self.bugs = bugs
+        self.host_lock = HypSpinLock("host_mmu")
+        self.pkvm_lock = HypSpinLock("pkvm_pgd")
+        self.host_mmu = KvmPgtable(mem, Stage.STAGE2, PoolMmOps(pool), "host_s2")
+        self.pkvm_pgd = KvmPgtable(mem, Stage.STAGE1, PoolMmOps(pool), "hyp_s1")
+
+    # -- lock components (the instrumented functions of paper §3.2) -------
+
+    def host_lock_component(self, cpu_index: int) -> None:
+        self.host_lock.acquire(cpu_index)
+
+    def host_unlock_component(self, cpu_index: int) -> None:
+        self.host_lock.release(cpu_index)
+
+    def hyp_lock_component(self, cpu_index: int) -> None:
+        self.pkvm_lock.acquire(cpu_index)
+
+    def hyp_unlock_component(self, cpu_index: int) -> None:
+        self.pkvm_lock.release(cpu_index)
+
+    # -- state queries (callers hold the relevant lock) --------------------
+
+    def host_state_of(self, phys: int) -> tuple[EntryKind, PageState, int]:
+        """(entry kind, page state, annotation owner) for one host page."""
+        pte = lookup(self.host_mmu, phys)
+        return pte.kind, pte.page_state, pte.owner_id
+
+    def host_owns_exclusively(self, phys: int) -> bool:
+        """The ``is_owned_exclusively_by(g_pre, GHOST_HOST, phys)`` analogue,
+        asked of the concrete state: not annotated away, not shared."""
+        kind, state, _ = self.host_state_of(phys)
+        if kind is EntryKind.INVALID:
+            return True  # default: host-owned, not yet demand-mapped
+        if kind is EntryKind.INVALID_ANNOTATED:
+            return False
+        return state is PageState.OWNED
+
+    def hyp_state_of(self, va: int) -> tuple[EntryKind, PageState]:
+        pte = lookup(self.pkvm_pgd, va)
+        return pte.kind, pte.page_state
+
+    # -- host <-> hyp transitions ------------------------------------------
+    #
+    # Callers (hyp.py) hold host_lock and pkvm_lock, in that order.
+
+    def do_share_hyp(self, phys: int, nr_pages: int = 1) -> int:
+        """host_share_hyp's do_share: check, then update both tables.
+
+        Multi-page shares are all-or-nothing at the check stage (one
+        check walk over the whole range before any update), matching the
+        two-phase structure of the real ``do_share``.
+        """
+        size = nr_pages * PAGE_SIZE
+        if nr_pages < 1:
+            return -EINVAL
+        if not all(
+            self.mem.is_memory(phys + i * PAGE_SIZE) for i in range(nr_pages)
+        ):
+            return -EINVAL  # MMIO cannot be shared with pKVM
+
+        if not self.bugs.synth_share_skip_check:
+            # check_share(): one walk over the host range.
+            ret = check_page_state(
+                self.host_mmu,
+                phys,
+                size,
+                PageState.OWNED,
+                allow_default_host=True,
+            )
+            if ret:
+                return ret
+            # The completer side must be vacant.
+            for i in range(nr_pages):
+                kind, _ = self.hyp_state_of(hyp_va(phys + i * PAGE_SIZE))
+                if kind.is_leaf:
+                    return -EBUSY
+
+        # host_initiate_share(): mark shared+owned in the host stage 2.
+        host_state = (
+            PageState.OWNED
+            if self.bugs.synth_share_wrong_state
+            else PageState.SHARED_OWNED
+        )
+        ret = map_range(
+            self.host_mmu,
+            phys,
+            size,
+            phys,
+            host_memory_attrs(True, host_state),
+        )
+        if ret:
+            return ret
+
+        # hyp_complete_share(): map borrowed into pKVM's stage 1.
+        if not self.bugs.synth_share_skip_hyp_map:
+            ret = map_range(
+                self.pkvm_pgd,
+                hyp_va(phys),
+                size,
+                phys,
+                hyp_memory_attrs(True, PageState.SHARED_BORROWED),
+            )
+            if ret:
+                # Completer failure (e.g. OOM): withdraw the initiator's
+                # update, or the page would be left shared with nobody
+                # borrowing it — an isolation-invariant violation the
+                # oracle catches.
+                rollback = map_range(
+                    self.host_mmu,
+                    phys,
+                    size,
+                    phys,
+                    host_memory_attrs(True, PageState.OWNED),
+                )
+                if rollback:
+                    raise HypervisorPanic(
+                        f"share rollback failed at {phys:#x}: {rollback}"
+                    )
+                return ret
+        return 0
+
+    def do_unshare_hyp(self, phys: int, nr_pages: int = 1) -> int:
+        size = nr_pages * PAGE_SIZE
+        if nr_pages < 1:
+            return -EINVAL
+        if not all(
+            self.mem.is_memory(phys + i * PAGE_SIZE) for i in range(nr_pages)
+        ):
+            return -EINVAL
+        ret = check_page_state(
+            self.host_mmu, phys, size, PageState.SHARED_OWNED
+        )
+        if ret:
+            return ret
+        for i in range(nr_pages):
+            kind, state = self.hyp_state_of(hyp_va(phys + i * PAGE_SIZE))
+            if not (kind.is_leaf and state is PageState.SHARED_BORROWED):
+                return -EPERM
+
+        # Host side goes back to exclusively owned (still mapped).
+        ret = map_range(
+            self.host_mmu,
+            phys,
+            size,
+            phys,
+            host_memory_attrs(True, PageState.OWNED),
+        )
+        if ret:
+            return ret
+        if not self.bugs.synth_unshare_leak:
+            ret = unmap_range(self.pkvm_pgd, hyp_va(phys), size)
+            if ret:
+                return ret
+        return 0
+
+    def do_donate_hyp(self, phys: int) -> int:
+        """Move a host page into pKVM's exclusive ownership."""
+        if not self.mem.is_memory(phys):
+            return -EINVAL
+        ret = check_page_state(
+            self.host_mmu,
+            phys,
+            PAGE_SIZE,
+            PageState.OWNED,
+            allow_default_host=True,
+        )
+        if ret:
+            return ret
+        kind, _ = self.hyp_state_of(hyp_va(phys))
+        if kind.is_leaf:
+            return -EBUSY
+
+        owner = (
+            OwnerId.GUEST
+            if self.bugs.synth_donate_wrong_owner
+            else OwnerId.HYP
+        )
+        ret = set_owner_range(self.host_mmu, phys, PAGE_SIZE, owner)
+        if ret:
+            return ret
+        ret = map_range(
+            self.pkvm_pgd,
+            hyp_va(phys),
+            PAGE_SIZE,
+            phys,
+            hyp_memory_attrs(True, PageState.OWNED),
+        )
+        if ret:
+            # Withdraw the annotation so the page stays host-owned.
+            rollback = set_owner_range(
+                self.host_mmu, phys, PAGE_SIZE, int(OwnerId.HOST)
+            )
+            if rollback:
+                raise HypervisorPanic(
+                    f"donate rollback failed at {phys:#x}: {rollback}"
+                )
+            return ret
+        return 0
+
+    def do_reclaim_from_hyp(self, phys: int) -> int:
+        """Return a pKVM-owned page to the host (teardown/reclaim path).
+
+        pKVM zeroes the page before handing it back, so no hypervisor data
+        leaks into the host.
+        """
+        kind, state, owner = self.host_state_of(phys)
+        if not (kind is EntryKind.INVALID_ANNOTATED and owner == OwnerId.HYP):
+            return -EPERM
+        hkind, hstate = self.hyp_state_of(hyp_va(phys))
+        if not (hkind.is_leaf and hstate is PageState.OWNED):
+            return -EPERM
+        ret = unmap_range(self.pkvm_pgd, hyp_va(phys), PAGE_SIZE)
+        if ret:
+            return ret
+        self.mem.zero_page(phys >> 12)
+        return map_range(
+            self.host_mmu,
+            phys,
+            PAGE_SIZE,
+            phys,
+            host_memory_attrs(True, PageState.OWNED),
+        )
+
+    # -- host <-> guest transitions ----------------------------------------
+    #
+    # Callers hold host_lock and the VM's lock.
+
+    def do_donate_guest(
+        self, phys: int, guest_pgt: KvmPgtable, ipa: int, guest_owner: int
+    ) -> int:
+        """Donate a host page to a protected guest (host_map_guest)."""
+        if not self.mem.is_memory(phys):
+            return -EINVAL
+        ret = check_page_state(
+            self.host_mmu,
+            phys,
+            PAGE_SIZE,
+            PageState.OWNED,
+            allow_default_host=True,
+        )
+        if ret:
+            return ret
+        gpte = lookup(guest_pgt, ipa)
+        if gpte.kind.is_leaf:
+            return -EPERM
+        ret = map_range(
+            guest_pgt,
+            ipa,
+            PAGE_SIZE,
+            phys,
+            guest_memory_attrs(PageState.OWNED),
+        )
+        if ret:
+            return ret
+        ret = set_owner_range(self.host_mmu, phys, PAGE_SIZE, guest_owner)
+        if ret:
+            rollback = unmap_range(guest_pgt, ipa, PAGE_SIZE)
+            if rollback:
+                raise HypervisorPanic(
+                    f"guest donate rollback failed at {ipa:#x}: {rollback}"
+                )
+            return ret
+        return 0
+
+    def do_guest_share_host(
+        self, guest_pgt: KvmPgtable, ipa: int, phys: int
+    ) -> int:
+        """A guest lends one of its pages to the host (virtio buffers &c).
+
+        The host stage 2 entry goes from the guest-owner annotation to a
+        valid SHARED_BORROWED mapping — the borrowed state now carries the
+        not-host-owned information.
+        """
+        gpte = lookup(guest_pgt, ipa)
+        if not (gpte.kind.is_leaf and gpte.page_state is PageState.OWNED):
+            return -EPERM
+        ret = map_range(
+            guest_pgt,
+            ipa,
+            PAGE_SIZE,
+            phys,
+            guest_memory_attrs(PageState.SHARED_OWNED),
+        )
+        if ret:
+            return ret
+        ret = map_range(
+            self.host_mmu,
+            phys,
+            PAGE_SIZE,
+            phys,
+            host_memory_attrs(True, PageState.SHARED_BORROWED),
+        )
+        if ret:
+            rollback = map_range(
+                guest_pgt,
+                ipa,
+                PAGE_SIZE,
+                phys,
+                guest_memory_attrs(PageState.OWNED),
+            )
+            if rollback:
+                raise HypervisorPanic(
+                    f"guest->host share rollback failed at {ipa:#x}: {rollback}"
+                )
+            return ret
+        return 0
+
+    def do_guest_unshare_host(
+        self, guest_pgt: KvmPgtable, ipa: int, phys: int, guest_owner: int
+    ) -> int:
+        """Undo a guest->host share: the host stage 2 entry goes back to
+        the guest-owner *annotation* — merely unmapping it would let the
+        host demand-map the guest's page afterwards."""
+        gpte = lookup(guest_pgt, ipa)
+        if not (gpte.kind.is_leaf and gpte.page_state is PageState.SHARED_OWNED):
+            return -EPERM
+        kind, state, _ = self.host_state_of(phys)
+        if not (kind.is_leaf and state is PageState.SHARED_BORROWED):
+            return -EPERM
+        ret = map_range(
+            guest_pgt,
+            ipa,
+            PAGE_SIZE,
+            phys,
+            guest_memory_attrs(PageState.OWNED),
+        )
+        if ret:
+            return ret
+        return set_owner_range(self.host_mmu, phys, PAGE_SIZE, guest_owner)
+
+    def do_share_guest(
+        self, phys: int, guest_pgt: KvmPgtable, ipa: int
+    ) -> int:
+        """Lend a host page to a non-protected guest (host_share_guest).
+
+        Unlike donation, the host keeps access: its stage 2 entry goes to
+        SHARED_OWNED and the guest's stage 2 maps the page borrowed.
+        """
+        if not self.mem.is_memory(phys):
+            return -EINVAL
+        ret = check_page_state(
+            self.host_mmu,
+            phys,
+            PAGE_SIZE,
+            PageState.OWNED,
+            allow_default_host=True,
+        )
+        if ret:
+            return ret
+        gpte = lookup(guest_pgt, ipa)
+        if gpte.kind.is_leaf:
+            return -EPERM
+        # Guest (completer) side first: it allocates from the memcache and
+        # is the fallible half; the host-side state flip then cannot leave
+        # a share with no borrower.
+        ret = map_range(
+            guest_pgt,
+            ipa,
+            PAGE_SIZE,
+            phys,
+            guest_memory_attrs(PageState.SHARED_BORROWED),
+        )
+        if ret:
+            return ret
+        ret = map_range(
+            self.host_mmu,
+            phys,
+            PAGE_SIZE,
+            phys,
+            host_memory_attrs(True, PageState.SHARED_OWNED),
+        )
+        if ret:
+            rollback = unmap_range(guest_pgt, ipa, PAGE_SIZE)
+            if rollback:
+                raise HypervisorPanic(
+                    f"guest share rollback failed at {ipa:#x}: {rollback}"
+                )
+            return ret
+        return 0
+
+    def do_unshare_guest(
+        self, phys: int, guest_pgt: KvmPgtable, ipa: int
+    ) -> int:
+        """Withdraw a page lent to a non-protected guest."""
+        kind, state, _ = self.host_state_of(phys)
+        if not (kind.is_leaf and state is PageState.SHARED_OWNED):
+            return -EPERM
+        gpte = lookup(guest_pgt, ipa)
+        if not (
+            gpte.kind.is_leaf
+            and gpte.page_state is PageState.SHARED_BORROWED
+            and gpte.oa == phys
+        ):
+            return -EPERM
+        ret = unmap_range(guest_pgt, ipa, PAGE_SIZE)
+        if ret:
+            return ret
+        return map_range(
+            self.host_mmu,
+            phys,
+            PAGE_SIZE,
+            phys,
+            host_memory_attrs(True, PageState.OWNED),
+        )
+
+    def do_reclaim_from_guest(
+        self, phys: int, guest_pgt: KvmPgtable, ipa: int, guest_owner: int
+    ) -> int:
+        """Reclaim one torn-down guest's page back to the host.
+
+        The page is either still annotated to the guest, or — if the dead
+        guest had lent it to the host — mapped SHARED_BORROWED; both
+        collapse to host-owned.
+        """
+        kind, state, owner = self.host_state_of(phys)
+        annotated = kind is EntryKind.INVALID_ANNOTATED and owner == guest_owner
+        borrowed = kind.is_leaf and state is PageState.SHARED_BORROWED
+        if not (annotated or borrowed):
+            return -ENOENT
+        ret = unmap_range(guest_pgt, ipa, PAGE_SIZE)
+        if ret:
+            return ret
+        self.mem.zero_page(phys >> 12)
+        return map_range(
+            self.host_mmu,
+            phys,
+            PAGE_SIZE,
+            phys,
+            host_memory_attrs(True, PageState.OWNED),
+        )
+
+    # -- host stage 2 fault handling (map on demand) ------------------------
+    #
+    # Caller holds host_lock.
+
+    def host_handle_mem_abort(self, ipa: int) -> HostAbortResult:
+        """Lazily map host memory on a stage 2 abort (paper §2).
+
+        The specification for this is deliberately loose: any legal host
+        mapping may result. The implementation prefers a 2MB block when the
+        whole block is free, else maps a single page; this is exactly the
+        looseness the ghost host abstraction (annot + shared only) absorbs.
+        """
+        page = ipa & ~(PAGE_SIZE - 1)
+        region = self.mem.region_of(page)
+        if region is None:
+            return HostAbortResult.INJECT
+
+        kind, state, owner = self.host_state_of(page)
+        if kind is EntryKind.INVALID_ANNOTATED:
+            # The host does not own this page; it gets a fault back.
+            return HostAbortResult.INJECT
+        if kind.is_leaf:
+            # Already mapped: another CPU raced us here and handled the
+            # same fault. The fixed code treats this as spurious; the
+            # pre-fix code (paper bug 4) escalated it to a panic.
+            if self.bugs.host_fault_fragile:
+                raise HypervisorPanic(
+                    f"host abort on already-mapped IPA {ipa:#x}"
+                )
+            return HostAbortResult.MAPPED
+
+        is_memory = region.kind is MemType.NORMAL
+        attrs = host_memory_attrs(is_memory, PageState.OWNED)
+
+        if is_memory:
+            base, size = self._demand_map_range(page, region)
+        else:
+            base, size = page, PAGE_SIZE
+        if self.bugs.synth_fault_off_by_one:
+            size += PAGE_SIZE
+        ret = map_range(
+            self.host_mmu, base, size, base, attrs, try_block=True
+        )
+        if ret:
+            raise HypervisorPanic(
+                f"host stage 2 demand map failed at {ipa:#x}: {ret}"
+            )
+        return HostAbortResult.MAPPED
+
+    def _demand_map_range(self, page: int, region) -> tuple[int, int]:
+        """Pick the range to map for a demand fault at ``page``.
+
+        Use the containing 2MB block when it is entirely inside the region
+        and entirely untouched (no mappings, no annotations); otherwise
+        just the single faulting page. Mirrors pKVM's
+        ``host_stage2_adjust_range``.
+        """
+        block_base = page & ~(BLOCK_SIZE_L2 - 1)
+        if block_base < region.base or block_base + BLOCK_SIZE_L2 > region.end:
+            return page, PAGE_SIZE
+        pte = lookup(self.host_mmu, block_base)
+        whole_block_free = (
+            pte.kind is EntryKind.INVALID and pte.level <= 2
+        )
+        if whole_block_free:
+            return block_base, BLOCK_SIZE_L2
+        return page, PAGE_SIZE

@@ -1,0 +1,226 @@
+"""Cooperative scheduler for simulated hardware threads.
+
+Each simulated CPU runs on a real Python thread, but the scheduler admits
+exactly one at a time: a thread only executes between two yield points
+while it holds the turn. Instrumented code (spinlocks, page-table memory
+writes) calls :func:`yield_point`, at which the scheduler may hand the turn
+to another runnable thread according to its policy:
+
+- ``"rr"`` — round robin at every yield point;
+- ``"random"`` — seeded pseudo-random choice, for stress interleaving;
+- ``"script"`` — an explicit list of thread names consumed one per yield
+  point, for replaying a specific race.
+
+Threads outside any scheduler (the common single-CPU case) see
+:func:`yield_point` as a no-op, so the hypervisor code is identical whether
+or not a concurrency test is running.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Any, Callable
+
+_REGISTRY: dict[int, "Scheduler"] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+class DeadlockError(Exception):
+    """Every live simulated thread is blocked (e.g. spinning on locks)."""
+
+
+class SimThread:
+    """One simulated hardware thread managed by a :class:`Scheduler`."""
+
+    def __init__(self, scheduler: "Scheduler", name: str, fn: Callable[[], Any]):
+        self.scheduler = scheduler
+        self.name = name
+        self.fn = fn
+        self.result: Any = None
+        self.exception: BaseException | None = None
+        self.done = False
+        #: Set while the thread is spinning on a contended lock; used for
+        #: deadlock detection.
+        self.blocked_on: str | None = None
+        self.thread = threading.Thread(target=self._run, name=name, daemon=True)
+
+    def _run(self) -> None:
+        ident = threading.get_ident()
+        with _REGISTRY_LOCK:
+            _REGISTRY[ident] = self.scheduler
+        try:
+            self.scheduler._wait_for_turn(self)
+            self.result = self.fn()
+        except BaseException as exc:  # noqa: BLE001 - reported to the harness
+            self.exception = exc
+        finally:
+            with _REGISTRY_LOCK:
+                _REGISTRY.pop(ident, None)
+            self.scheduler._thread_finished(self)
+
+
+class Scheduler:
+    """Admits one simulated thread at a time, switching at yield points."""
+
+    def __init__(
+        self,
+        policy: str = "rr",
+        seed: int = 0,
+        script: list[str] | None = None,
+    ):
+        if policy not in ("rr", "random", "script"):
+            raise ValueError(f"unknown scheduling policy {policy!r}")
+        if policy == "script" and script is None:
+            raise ValueError("script policy requires a script")
+        self.policy = policy
+        self._rng = random.Random(seed)
+        self._script = list(script or [])
+        self._script_pos = 0
+        self._threads: list[SimThread] = []
+        self._cond = threading.Condition()
+        self._current: SimThread | None = None
+        self._started = False
+        #: Total number of yield points taken; a cheap logical clock.
+        self.ticks = 0
+        #: Trace of (tick, thread name, tag) for debugging interleavings.
+        self.trace: list[tuple[int, str, str]] = []
+        #: Per-decision (chosen thread, runnable thread names) — the raw
+        #: material the systematic interleaving explorer branches on.
+        self.decision_log: list[tuple[str, tuple[str, ...]]] = []
+
+    # -- public API ------------------------------------------------------
+
+    def spawn(self, fn: Callable[[], Any], name: str | None = None) -> SimThread:
+        if self._started:
+            raise RuntimeError("cannot spawn after run() started")
+        name = name or f"cpu{len(self._threads)}"
+        if any(t.name == name for t in self._threads):
+            raise ValueError(f"duplicate thread name {name!r}")
+        thread = SimThread(self, name, fn)
+        self._threads.append(thread)
+        return thread
+
+    def run(self) -> dict[str, Any]:
+        """Run all spawned threads to completion; return name -> result.
+
+        Re-raises the first simulated-thread exception after all threads
+        have stopped, so a panic in one CPU surfaces in the harness.
+        """
+        if not self._threads:
+            return {}
+        self._started = True
+        for t in self._threads:
+            t.thread.start()
+        with self._cond:
+            self._current = self._threads[0]
+            self._cond.notify_all()
+            while not all(t.done for t in self._threads):
+                self._cond.wait(timeout=30)
+                if not all(t.done for t in self._threads) and not any(
+                    t.thread.is_alive() for t in self._threads
+                ):
+                    raise DeadlockError("simulated threads died without finishing")
+        for t in self._threads:
+            if t.exception is not None:
+                raise t.exception
+        return {t.name: t.result for t in self._threads}
+
+    def yield_point(self, tag: str = "") -> None:
+        """Possibly hand the turn to another runnable thread."""
+        me = self._current
+        assert me is not None
+        self.ticks += 1
+        if len(self.trace) < 100_000:
+            self.trace.append((self.ticks, me.name, tag))
+        with self._cond:
+            nxt = self._pick_next(me)
+            if nxt is not me:
+                self._current = nxt
+                self._cond.notify_all()
+                self._wait_until_current(me)
+
+    def block_until(self, predicate: Callable[[], bool], tag: str) -> None:
+        """Spin (yielding) until ``predicate`` holds — the spinlock loop.
+
+        Detects deadlock: if every live thread is blocked, no predicate can
+        ever become true again.
+        """
+        me = self._current
+        assert me is not None
+        me.blocked_on = tag
+        try:
+            spins = 0
+            while not predicate():
+                live = [t for t in self._threads if not t.done]
+                if all(t.blocked_on is not None for t in live):
+                    raise DeadlockError(
+                        "all live threads blocked: "
+                        + ", ".join(f"{t.name} on {t.blocked_on}" for t in live)
+                    )
+                self.yield_point(f"spin:{tag}")
+                spins += 1
+                if spins > 1_000_000:
+                    raise DeadlockError(f"livelock spinning on {tag}")
+        finally:
+            me.blocked_on = None
+
+    # -- internals -------------------------------------------------------
+
+    def _pick_next(self, me: SimThread) -> SimThread:
+        runnable = [t for t in self._threads if not t.done]
+        if not runnable:
+            return me
+        chosen = self._choose(me, runnable)
+        if len(self.decision_log) < 100_000:
+            self.decision_log.append(
+                (chosen.name, tuple(t.name for t in runnable))
+            )
+        return chosen
+
+    def _choose(self, me: SimThread, runnable: list[SimThread]) -> SimThread:
+        if self.policy == "script" and self._script_pos < len(self._script):
+            wanted = self._script[self._script_pos]
+            self._script_pos += 1
+            for t in runnable:
+                if t.name == wanted:
+                    return t
+            return me if me in runnable else runnable[0]
+        if self.policy == "random":
+            return self._rng.choice(runnable)
+        # round robin (also the script fallback once the script runs out)
+        idx = runnable.index(me) if me in runnable else -1
+        return runnable[(idx + 1) % len(runnable)]
+
+    def _wait_until_current(self, me: SimThread) -> None:
+        while self._current is not me:
+            self._cond.wait(timeout=30)
+            if self._current is not me and not any(
+                t.thread.is_alive() for t in self._threads if t is not me
+            ) and not all(t.done for t in self._threads if t is not me):
+                raise DeadlockError("scheduler lost all peer threads")
+
+    def _wait_for_turn(self, thread: SimThread) -> None:
+        with self._cond:
+            self._wait_until_current(thread)
+
+    def _thread_finished(self, thread: SimThread) -> None:
+        with self._cond:
+            thread.done = True
+            if self._current is thread:
+                runnable = [t for t in self._threads if not t.done]
+                self._current = runnable[0] if runnable else None
+            self._cond.notify_all()
+
+
+def current_scheduler() -> Scheduler | None:
+    """The scheduler managing the calling thread, if any."""
+    with _REGISTRY_LOCK:
+        return _REGISTRY.get(threading.get_ident())
+
+
+def yield_point(tag: str = "") -> None:
+    """Yield to the scheduler if the caller is a simulated thread."""
+    sched = current_scheduler()
+    if sched is not None:
+        sched.yield_point(tag)

@@ -1,0 +1,147 @@
+"""Hypercall trace recording and replay.
+
+When the random tester finds a disagreement, the valuable artifact is the
+*trace* that provoked it: the exact sequence of hypercalls, host memory
+accesses, and guest programs. This module records such traces as plain
+data and replays them on a fresh machine — turning a random finding into
+a deterministic regression test (how the paper's randomly-found spec
+errors become fixtures).
+
+A trace is a list of tuple-shaped steps, so traces serialise trivially
+(``repr``/``ast.literal_eval`` round-trip).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.arch.exceptions import HostCrash
+from repro.machine import Machine
+from repro.pkvm.bugs import Bugs
+
+
+@dataclass
+class Trace:
+    """A replayable interaction sequence against one machine."""
+
+    #: Machine configuration needed to reproduce the run.
+    nr_cpus: int = 4
+    dram_size: int = 256 * 1024 * 1024
+    #: steps: ("hvc", cpu, call_id, args) | ("write", addr, value)
+    #:      | ("read", addr) | ("script", handle, vcpu_idx, ops)
+    steps: list[tuple] = field(default_factory=list)
+
+    def record_hvc(self, cpu_index: int, call_id: int, *args: int) -> None:
+        self.steps.append(("hvc", cpu_index, int(call_id), tuple(args)))
+
+    def record_write(self, addr: int, value: int) -> None:
+        self.steps.append(("write", addr, value))
+
+    def record_read(self, addr: int) -> None:
+        self.steps.append(("read", addr))
+
+    def record_script(self, handle: int, vcpu_idx: int, ops: list) -> None:
+        self.steps.append(("script", handle, vcpu_idx, tuple(map(tuple, ops))))
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    # -- serialisation -----------------------------------------------------
+
+    def dumps(self) -> str:
+        return repr(
+            {
+                "nr_cpus": self.nr_cpus,
+                "dram_size": self.dram_size,
+                "steps": self.steps,
+            }
+        )
+
+    @staticmethod
+    def loads(text: str) -> "Trace":
+        data = ast.literal_eval(text)
+        trace = Trace(nr_cpus=data["nr_cpus"], dram_size=data["dram_size"])
+        trace.steps = [tuple(step) for step in data["steps"]]
+        return trace
+
+    # -- replay -------------------------------------------------------------
+
+    def replay(
+        self, *, ghost: bool = True, bugs: Bugs | None = None
+    ) -> Machine:
+        """Replay on a fresh machine; exceptions (violations, panics)
+        propagate exactly as they did originally. Host crashes during
+        replayed reads/writes are tolerated (they were part of the run)."""
+        machine = Machine(
+            nr_cpus=self.nr_cpus,
+            dram_size=self.dram_size,
+            ghost=ghost,
+            bugs=bugs,
+        )
+        for step in self.steps:
+            self._apply(machine, step)
+        return machine
+
+    @staticmethod
+    def _apply(machine: Machine, step: tuple) -> None:
+        kind = step[0]
+        if kind == "hvc":
+            _k, cpu_index, call_id, args = step
+            machine.host.hvc(call_id, *args, cpu=machine.cpu(cpu_index))
+        elif kind == "write":
+            _k, addr, value = step
+            try:
+                machine.host.write64(addr, value)
+            except HostCrash:
+                pass
+        elif kind == "read":
+            try:
+                machine.host.read64(step[1])
+            except HostCrash:
+                pass
+        elif kind == "script":
+            _k, handle, vcpu_idx, ops = step
+            vm = machine.pkvm.vm_table.get(handle)
+            if vm is not None and vcpu_idx < len(vm.vcpus):
+                vcpu = vm.vcpus[vcpu_idx]
+                vcpu.script = [tuple(op) for op in ops]
+                vcpu.script_pos = 0
+        else:
+            raise ValueError(f"unknown trace step kind {kind!r}")
+
+
+class TracingHost:
+    """Wraps a machine's host, recording every interaction into a Trace.
+
+    Use as a drop-in front-end: drive ``tracing.hvc/write64/read64``
+    instead of the host's, then replay ``tracing.trace`` elsewhere.
+    """
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.trace = Trace(
+            nr_cpus=len(machine.cpus),
+            dram_size=machine.mem.dram_regions()[-1].size,
+        )
+
+    def hvc(self, call_id: int, *args: int, cpu_index: int = 0) -> int:
+        self.trace.record_hvc(cpu_index, call_id, *args)
+        return self.machine.host.hvc(
+            call_id, *args, cpu=self.machine.cpu(cpu_index)
+        )
+
+    def write64(self, addr: int, value: int) -> None:
+        self.trace.record_write(addr, value)
+        self.machine.host.write64(addr, value)
+
+    def read64(self, addr: int) -> int:
+        self.trace.record_read(addr)
+        return self.machine.host.read64(addr)
+
+    def set_guest_script(self, handle: int, vcpu_idx: int, ops: list) -> None:
+        self.trace.record_script(handle, vcpu_idx, ops)
+        vm = self.machine.pkvm.vm_table.get(handle)
+        vcpu = vm.vcpus[vcpu_idx]
+        vcpu.script = list(ops)
+        vcpu.script_pos = 0

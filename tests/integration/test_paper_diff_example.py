@@ -1,0 +1,84 @@
+"""The paper's §4.2.2 worked diff example, end to end.
+
+The paper shows the recorded ghost-state diff of one host_share_hyp call:
+
+    recorded post ghost state diff from recorded pre:
+    host.share +ipa :...101b18000 phys:101b18000 S0 RWX M
+    pkvm.pgt  +virt:8000c1b18000 phys:101b18000 SB RW- M
+    regs      -r0=.....c600000d r1=.....101b18
+    regs      +r0=.............0 r1=.............0
+
+(with the host-side state actually Shared-and-Owned). This test performs
+the same call and asserts each structural fact of that diff: one new
+identity-mapped host page marked shared-owned RWX normal-memory; one new
+pKVM page at the hyp VA of the same physical address, borrowed, RW no-X,
+normal memory; argument registers zeroed.
+"""
+
+from repro.arch.defs import MemType, Perms
+from repro.arch.pte import PageState
+from repro.ghost.diff import diff_components
+from repro.machine import Machine
+from repro.pkvm.defs import HYP_VA_OFFSET, HypercallId
+from repro.testing.proxy import HypProxy
+
+
+def test_share_diff_matches_paper_example():
+    machine = Machine.boot()
+    proxy = HypProxy(machine)
+    page = proxy.alloc_page()
+
+    pre_host = machine.checker.committed["host"].copy()
+    pre_pkvm = machine.checker.committed["pkvm"].copy()
+    cpu = machine.cpu(0)
+    ret = machine.host.hvc(HypercallId.HOST_SHARE_HYP, page >> 12)
+    assert ret == 0
+    post_host = machine.checker.committed["host"]
+    post_pkvm = machine.checker.committed["pkvm"]
+
+    # host.share +ipa:<p> phys:<p> SO RWX M — identity mapped, one page
+    added = post_host.shared.lookup(page)
+    assert added is not None
+    assert added.oa == page                       # identity (ipa == phys)
+    assert added.page_state is PageState.SHARED_OWNED
+    assert added.perms == Perms.rwx()
+    assert added.memtype is MemType.NORMAL
+    assert post_host.shared.nr_pages() == pre_host.shared.nr_pages() + 1
+
+    # pkvm.pgt +virt:<offset+p> phys:<p> SB RW- M
+    hyp_entry = post_pkvm.pgt.mapping.lookup(page + HYP_VA_OFFSET)
+    assert hyp_entry is not None
+    assert hyp_entry.oa == page                   # same physical location
+    assert hyp_entry.page_state is PageState.SHARED_BORROWED
+    assert hyp_entry.perms == Perms.rw()          # no execute
+    assert hyp_entry.memtype is MemType.NORMAL
+
+    # regs: the hypercall number and argument are zeroed on return
+    assert cpu.read_gpr(0) == 0
+    assert cpu.read_gpr(1) == 0
+
+    # and the printed diff carries the paper's vocabulary
+    text = "\n".join(
+        diff_components("host", pre_host, post_host)
+        + diff_components("pkvm", pre_pkvm, post_pkvm)
+    )
+    assert f"host.share +ipa :{page:x}+1p" in text
+    assert "SO RWX M" in text
+    assert f"virt:{page + HYP_VA_OFFSET:x}" in text
+    assert "SB RW- M" in text
+
+
+def test_unshare_diff_is_the_exact_inverse():
+    machine = Machine.boot()
+    proxy = HypProxy(machine)
+    page = proxy.alloc_page()
+    pre_host = machine.checker.committed["host"].copy()
+    pre_pkvm = machine.checker.committed["pkvm"].copy()
+    proxy.share_page(page)
+    proxy.unshare_page(page)
+    assert machine.checker.committed["host"].shared == pre_host.shared
+    assert machine.checker.committed["host"].annot == pre_host.annot
+    assert (
+        machine.checker.committed["pkvm"].pgt.mapping
+        == pre_pkvm.pgt.mapping
+    )

@@ -1,0 +1,74 @@
+"""Property-based tests for the buddy allocator: arbitrary alloc/free
+sequences preserve the allocator invariants and never alias."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.defs import PAGE_SIZE
+from repro.arch.memory import PhysicalMemory, default_memory_map
+from repro.pkvm.allocator import HypPool, OutOfMemory
+
+BASE = 0x4800_0000
+POOL_PAGES = 128
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.integers(min_value=0, max_value=4)),
+        st.tuples(st.just("free"), st.integers(min_value=0, max_value=30)),
+    ),
+    max_size=60,
+)
+
+
+def run_ops(op_list):
+    mem = PhysicalMemory(default_memory_map())
+    pool = HypPool(mem, BASE, POOL_PAGES)
+    held: list[tuple[int, int]] = []  # (phys, order)
+    for op, arg in op_list:
+        if op == "alloc":
+            try:
+                phys = pool.alloc_pages(arg)
+            except OutOfMemory:
+                continue
+            held.append((phys, arg))
+        elif held:
+            phys, _order = held.pop(arg % len(held))
+            pool.free_pages(phys)
+    return pool, held
+
+
+@given(ops)
+@settings(max_examples=150, deadline=None)
+def test_invariants_always_hold(op_list):
+    pool, _held = run_ops(op_list)
+    pool.check_invariants()
+
+
+@given(ops)
+@settings(max_examples=150, deadline=None)
+def test_held_runs_never_alias(op_list):
+    _pool, held = run_ops(op_list)
+    claimed: set[int] = set()
+    for phys, order in held:
+        run = set(range(phys, phys + (PAGE_SIZE << order), PAGE_SIZE))
+        assert not (run & claimed), "allocator handed out aliasing runs"
+        claimed |= run
+
+
+@given(ops)
+@settings(max_examples=100, deadline=None)
+def test_accounting_matches_held(op_list):
+    pool, held = run_ops(op_list)
+    held_pages = sum(1 << order for _phys, order in held)
+    assert pool.allocated_pages == held_pages
+    assert pool.free_page_count() == POOL_PAGES - held_pages
+
+
+@given(ops)
+@settings(max_examples=100, deadline=None)
+def test_full_free_restores_max_run(op_list):
+    pool, held = run_ops(op_list)
+    for phys, _order in held:
+        pool.free_pages(phys)
+    # all pages free again: a maximal order-6 (64-page) run must exist
+    phys = pool.alloc_pages(6)
+    assert pool.contains(phys)

@@ -1,0 +1,141 @@
+"""Property-based tests: the coalescing range map against a page-level
+model dictionary.
+
+The Mapping class invariant — sorted, disjoint, maximally coalesced — and
+its extensional equality are the foundations the whole specification
+stands on, so they get the heaviest property coverage.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.defs import PAGE_SIZE, Perms
+from repro.arch.pte import PageState
+from repro.ghost.maplets import Mapping, MapletTarget, MappingError
+
+PAGES = st.integers(min_value=0, max_value=63)
+RUNS = st.integers(min_value=1, max_value=8)
+STATES = st.sampled_from(list(PageState))
+OWNERS = st.integers(min_value=1, max_value=20)
+
+
+def target_for(kind: str, oa_page: int, state: PageState, owner: int):
+    if kind == "annotated":
+        return MapletTarget.annotated(owner)
+    return MapletTarget.mapped(
+        oa_page * PAGE_SIZE, Perms.rwx(), page_state=state
+    )
+
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "remove"]),
+        PAGES,
+        RUNS,
+        st.sampled_from(["mapped", "annotated"]),
+        PAGES,
+        STATES,
+        OWNERS,
+    ),
+    max_size=40,
+)
+
+
+def apply_ops(op_list):
+    """Apply to both the Mapping and a page-level model dict."""
+    mapping = Mapping()
+    model: dict[int, MapletTarget] = {}
+    for op, va_page, nr, kind, oa_page, state, owner in op_list:
+        va = va_page * PAGE_SIZE
+        target = target_for(kind, oa_page, state, owner)
+        if op == "insert":
+            mapping.insert(va, nr, target, overwrite=True)
+            for i in range(nr):
+                model[va + i * PAGE_SIZE] = target.at_offset(i * PAGE_SIZE)
+        else:
+            mapping.remove_if_present(va, nr)
+            for i in range(nr):
+                model.pop(va + i * PAGE_SIZE, None)
+    return mapping, model
+
+
+@given(ops)
+@settings(max_examples=200)
+def test_mapping_agrees_with_model(op_list):
+    mapping, model = apply_ops(op_list)
+    domain = {p * PAGE_SIZE for p in range(80)}
+    for page in domain:
+        assert mapping.lookup(page) == model.get(page)
+    assert mapping.nr_pages() == len(model)
+
+
+@given(ops)
+@settings(max_examples=200)
+def test_normal_form_invariant(op_list):
+    """Sorted, disjoint, maximally coalesced."""
+    mapping, _model = apply_ops(op_list)
+    maplets = list(mapping)
+    for a, b in zip(maplets, maplets[1:]):
+        assert a.end <= b.va, "not sorted/disjoint"
+        if a.end == b.va:
+            assert not b.target.continues(a.target, b.va - a.va), (
+                "adjacent compatible maplets not coalesced"
+            )
+
+
+@given(ops, ops)
+@settings(max_examples=100)
+def test_equality_is_extensional(ops_a, ops_b):
+    a, model_a = apply_ops(ops_a)
+    b, model_b = apply_ops(ops_b)
+    assert (a == b) == (model_a == model_b)
+
+
+@given(ops)
+@settings(max_examples=100)
+def test_copy_equal_and_independent(op_list):
+    mapping, _ = apply_ops(op_list)
+    clone = mapping.copy()
+    assert clone == mapping
+    clone.insert(70 * PAGE_SIZE, 1, MapletTarget.annotated(1), overwrite=True)
+    assert 70 * PAGE_SIZE not in mapping
+
+
+@given(ops)
+@settings(max_examples=100)
+def test_diff_roundtrip(op_list):
+    """Applying a diff's removals and additions transforms pre into post."""
+    mapping, _ = apply_ops(op_list)
+    other = Mapping.singleton(3 * PAGE_SIZE, 2, MapletTarget.annotated(9))
+    removed, added = mapping.diff(other)
+    rebuilt = mapping.copy()
+    for m in removed:
+        rebuilt.remove_if_present(m.va, m.nr_pages)
+    for m in added:
+        rebuilt.insert(m.va, m.nr_pages, m.target, overwrite=True)
+    assert rebuilt == other
+
+
+@given(PAGES, RUNS, STATES)
+@settings(max_examples=50)
+def test_insert_remove_roundtrip(va_page, nr, state):
+    va = va_page * PAGE_SIZE
+    m = Mapping()
+    target = MapletTarget.mapped(0, Perms.rwx(), page_state=state)
+    m.insert(va, nr, target)
+    m.remove(va, nr)
+    assert not m
+
+
+@given(ops)
+@settings(max_examples=100)
+def test_overlapping_insert_always_rejected(op_list):
+    mapping, model = apply_ops(op_list)
+    if not model:
+        return
+    some_page = next(iter(model))
+    try:
+        mapping.insert(some_page, 1, MapletTarget.annotated(2))
+        raised = False
+    except MappingError:
+        raised = True
+    assert raised

@@ -1,0 +1,154 @@
+"""Property-based tests for the page-table walkers: arbitrary map /
+unmap / annotate sequences against a page-level model, with the ghost
+abstraction function as the read-back path.
+
+This is the key cross-layer property: for any sequence of updates, the
+concrete Arm-format table interpreted by the abstraction function equals
+the model — i.e. the walkers and the abstraction agree on what a page
+table means.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.defs import PAGE_SIZE, Perms, Stage
+from repro.arch.memory import PhysicalMemory, default_memory_map
+from repro.arch.pte import PageState
+from repro.ghost.abstraction import interpret_pgtable
+from repro.ghost.maplets import MapletTarget
+from repro.pkvm.allocator import HypPool
+from repro.pkvm.pgtable import (
+    KvmPgtable,
+    MapAttrs,
+    PoolMmOps,
+    map_range,
+    set_owner_range,
+    unmap_range,
+)
+
+BLOCK_2M = 2 * 1024 * 1024
+
+PAGES = st.integers(min_value=0, max_value=1100)  # spans 3 L2 regions
+RUNS = st.integers(min_value=1, max_value=6)
+STATES = st.sampled_from(list(PageState))
+OWNERS = st.integers(min_value=0, max_value=5)
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("map"), PAGES, RUNS, PAGES, STATES),
+        st.tuples(st.just("block"), st.integers(0, 2), STATES),
+        st.tuples(st.just("annotate"), PAGES, RUNS, OWNERS),
+        st.tuples(st.just("unmap"), PAGES, RUNS),
+    ),
+    max_size=25,
+)
+
+
+def fresh_pgt():
+    mem = PhysicalMemory(default_memory_map())
+    pool = HypPool(mem, 0x4800_0000, 1024)
+    return KvmPgtable(mem, Stage.STAGE2, PoolMmOps(pool), "prop")
+
+
+def run_ops(op_list):
+    pgt = fresh_pgt()
+    model: dict[int, MapletTarget] = {}
+    for op in op_list:
+        if op[0] == "map":
+            _n, va_page, nr, oa_page, state = op
+            va = va_page * PAGE_SIZE
+            oa = oa_page * PAGE_SIZE
+            ret = map_range(
+                pgt, va, nr * PAGE_SIZE, oa, MapAttrs(Perms.rwx(), page_state=state)
+            )
+            assert ret == 0
+            for i in range(nr):
+                model[va + i * PAGE_SIZE] = MapletTarget.mapped(
+                    oa + i * PAGE_SIZE, Perms.rwx(), page_state=state
+                )
+        elif op[0] == "block":
+            _n, block_idx, state = op
+            va = block_idx * BLOCK_2M
+            oa = (block_idx + 32) * BLOCK_2M  # distinct target region
+            ret = map_range(
+                pgt,
+                va,
+                BLOCK_2M,
+                oa,
+                MapAttrs(Perms.rwx(), page_state=state),
+                try_block=True,
+            )
+            assert ret == 0
+            for i in range(512):
+                model[va + i * PAGE_SIZE] = MapletTarget.mapped(
+                    oa + i * PAGE_SIZE, Perms.rwx(), page_state=state
+                )
+        elif op[0] == "annotate":
+            _n, va_page, nr, owner = op
+            va = va_page * PAGE_SIZE
+            ret = set_owner_range(pgt, va, nr * PAGE_SIZE, owner)
+            assert ret == 0
+            for i in range(nr):
+                page = va + i * PAGE_SIZE
+                if owner == 0:
+                    model.pop(page, None)
+                else:
+                    model[page] = MapletTarget.annotated(owner)
+        else:
+            _n, va_page, nr = op
+            va = va_page * PAGE_SIZE
+            ret = unmap_range(pgt, va, nr * PAGE_SIZE)
+            assert ret == 0
+            for i in range(nr):
+                model.pop(va + i * PAGE_SIZE, None)
+    return pgt, model
+
+
+@given(ops)
+@settings(max_examples=60, deadline=None)
+def test_abstraction_equals_model(op_list):
+    pgt, model = run_ops(op_list)
+    mapping = interpret_pgtable(pgt.mem, pgt.root, Stage.STAGE2).mapping
+    assert mapping.nr_pages() == len(model)
+    for page, target in model.items():
+        assert mapping.lookup(page) == target
+
+
+@given(ops)
+@settings(max_examples=60, deadline=None)
+def test_hardware_walk_agrees_with_model(op_list):
+    from repro.arch.translate import TranslationFault, walk
+
+    pgt, model = run_ops(op_list)
+    probe_pages = set(model) | {p * PAGE_SIZE for p in range(0, 1100, 97)}
+    for page in probe_pages:
+        target = model.get(page)
+        if target is not None and target.kind == "mapped":
+            result = walk(pgt.mem, pgt.root, page, Stage.STAGE2)
+            assert result.oa == target.oa
+        else:
+            try:
+                walk(pgt.mem, pgt.root, page, Stage.STAGE2)
+                reached = True
+            except TranslationFault:
+                reached = False
+            assert not reached, f"unexpected mapping at {page:#x}"
+
+
+@given(ops)
+@settings(max_examples=40, deadline=None)
+def test_footprint_tracks_tree(op_list):
+    pgt, _model = run_ops(op_list)
+    abs_pgt = interpret_pgtable(pgt.mem, pgt.root, Stage.STAGE2)
+    assert abs_pgt.footprint == frozenset(pgt.table_pages)
+
+
+@given(ops)
+@settings(max_examples=40, deadline=None)
+def test_unmap_everything_empties_mapping(op_list):
+    pgt, model = run_ops(op_list)
+    if model:
+        lo = min(model)
+        hi = max(model) + PAGE_SIZE
+        assert unmap_range(pgt, lo, hi - lo) == 0
+    mapping = interpret_pgtable(pgt.mem, pgt.root, Stage.STAGE2).mapping
+    assert not mapping

@@ -1,0 +1,104 @@
+"""Property-based tests for the Mapping range-query and in-order
+extension primitives (runs_in, extend_coalesce) against the page model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.defs import PAGE_SIZE, Perms
+from repro.arch.pte import PageState
+from repro.ghost.maplets import Mapping, MapletTarget, MappingError
+
+PAGES = st.integers(min_value=0, max_value=63)
+RUNS = st.integers(min_value=1, max_value=8)
+
+
+def mapped(oa_page, state=PageState.OWNED):
+    return MapletTarget.mapped(
+        oa_page * PAGE_SIZE, Perms.rwx(), page_state=state
+    )
+
+
+ops = st.lists(
+    st.tuples(PAGES, RUNS, PAGES, st.sampled_from(list(PageState))),
+    max_size=30,
+)
+
+
+def build(op_list):
+    mapping = Mapping()
+    model = {}
+    for va_page, nr, oa_page, state in op_list:
+        va = va_page * PAGE_SIZE
+        target = mapped(oa_page, state)
+        mapping.insert(va, nr, target, overwrite=True)
+        for i in range(nr):
+            model[va + i * PAGE_SIZE] = target.at_offset(i * PAGE_SIZE)
+    return mapping, model
+
+
+@given(ops, PAGES, RUNS)
+@settings(max_examples=200, deadline=None)
+def test_runs_in_covers_exactly_the_mapped_pages(op_list, q_page, q_nr):
+    mapping, model = build(op_list)
+    q_va = q_page * PAGE_SIZE
+    seen = {}
+    for run_va, run_nr, target in mapping.runs_in(q_va, q_nr):
+        for i in range(run_nr):
+            page = run_va + i * PAGE_SIZE
+            assert page not in seen, "runs overlap"
+            seen[page] = target.at_offset(i * PAGE_SIZE)
+    expected = {
+        page: t
+        for page, t in model.items()
+        if q_va <= page < q_va + q_nr * PAGE_SIZE
+    }
+    assert seen == expected
+
+
+@given(ops, PAGES, RUNS)
+@settings(max_examples=150, deadline=None)
+def test_contains_range_agrees_with_model(op_list, q_page, q_nr):
+    mapping, model = build(op_list)
+    q_va = q_page * PAGE_SIZE
+    expected = all(
+        (q_va + i * PAGE_SIZE) in model for i in range(q_nr)
+    )
+    assert mapping.contains_range(q_va, q_nr) == expected
+
+
+sorted_runs = st.lists(
+    st.tuples(RUNS, PAGES, st.sampled_from(list(PageState))), max_size=12
+)
+
+
+@given(sorted_runs)
+@settings(max_examples=200, deadline=None)
+def test_extend_coalesce_equals_general_insert(runs):
+    """Building in ascending order with extend_coalesce gives exactly the
+    same mapping as general inserts (the Fig. 2 fast path is safe)."""
+    fast = Mapping()
+    slow = Mapping()
+    va = 0
+    for nr, oa_page, state in runs:
+        target = mapped(oa_page, state)
+        fast.extend_coalesce(va, nr, target)
+        slow.insert(va, nr, target)
+        va += nr * PAGE_SIZE
+    assert fast == slow
+
+
+@given(sorted_runs)
+@settings(max_examples=100, deadline=None)
+def test_extend_coalesce_rejects_out_of_order(runs):
+    mapping = Mapping()
+    va = 0
+    for nr, oa_page, state in runs:
+        mapping.extend_coalesce(va, nr, mapped(oa_page, state))
+        va += nr * PAGE_SIZE
+    if va == 0:
+        return
+    try:
+        mapping.extend_coalesce(0, 1, mapped(99))
+        ok = False
+    except MappingError:
+        ok = True
+    assert ok

@@ -1,0 +1,177 @@
+"""Property-based tests on the specification functions themselves: purity
+and algebraic structure (share ∘ unshare = identity, etc.), over randomly
+generated ghost pre-states."""
+
+import copy
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.defs import PAGE_SIZE, Perms
+from repro.arch.exceptions import EsrEc
+from repro.arch.pte import PageState
+from repro.ghost.calldata import GhostCallData
+from repro.ghost.maplets import Mapping, MapletTarget
+from repro.ghost.spec import (
+    compute_post__pkvm_host_share_hyp,
+    compute_post__pkvm_host_unshare_hyp,
+    compute_post_trap,
+)
+from repro.ghost.state import (
+    GhostCpuLocal,
+    GhostGlobals,
+    GhostHost,
+    GhostPkvm,
+    GhostState,
+    GhostVms,
+)
+from repro.pkvm.defs import HypercallId
+
+OFFSET = 0x8000_0000_0000
+GLOBALS = GhostGlobals(
+    nr_cpus=1,
+    hyp_va_offset=OFFSET,
+    dram_ranges=((0x4000_0000, 0x5000_0000),),
+    carveout=(0x4F00_0000, 0x5000_0000),
+)
+CPU = 0
+
+page_indices = st.sets(
+    st.integers(min_value=0, max_value=40), max_size=8
+)
+
+
+def build_pre(call_id, args, shared_pages, annot_pages):
+    g = GhostState.blank(GLOBALS)
+    regs = [0] * 31
+    regs[0] = call_id
+    for i, a in enumerate(args, start=1):
+        regs[i] = a
+    g.locals_[CPU] = GhostCpuLocal(present=True, regs=tuple(regs))
+    host = GhostHost(present=True)
+    pkvm = GhostPkvm(present=True)
+    for idx in shared_pages:
+        phys = 0x4100_0000 + idx * PAGE_SIZE
+        host.shared.insert(
+            phys,
+            1,
+            MapletTarget.mapped(
+                phys, Perms.rwx(), page_state=PageState.SHARED_OWNED
+            ),
+        )
+        pkvm.pgt.mapping.insert(
+            phys + OFFSET,
+            1,
+            MapletTarget.mapped(
+                phys, Perms.rw(), page_state=PageState.SHARED_BORROWED
+            ),
+        )
+    for idx in annot_pages:
+        phys = 0x4200_0000 + idx * PAGE_SIZE
+        host.annot.insert(phys, 1, MapletTarget.annotated(1))
+    g.host = host
+    g.pkvm = pkvm
+    g.vms = GhostVms(present=True)
+    return g
+
+
+def snapshot(g):
+    return (
+        copy.deepcopy(list(g.host.shared)),
+        copy.deepcopy(list(g.host.annot)),
+        copy.deepcopy(list(g.pkvm.pgt.mapping)),
+        g.locals_[CPU].regs,
+    )
+
+
+@given(page_indices, page_indices, st.integers(0, 50))
+@settings(max_examples=150, deadline=None)
+def test_share_spec_is_pure(shared, annot, target_idx):
+    """The spec function must not mutate its pre-state, whatever the
+    input (the paper's hygiene property)."""
+    pfn = (0x4100_0000 + target_idx * PAGE_SIZE) >> 12
+    g_pre = build_pre(HypercallId.HOST_SHARE_HYP, [pfn], shared, annot)
+    before = snapshot(g_pre)
+    g_post = GhostState.blank(GLOBALS)
+    compute_post__pkvm_host_share_hyp(
+        g_post, g_pre, GhostCallData(ec=EsrEc.HVC64), CPU
+    )
+    assert snapshot(g_pre) == before
+
+
+@given(page_indices, page_indices, st.integers(0, 40))
+@settings(max_examples=150, deadline=None)
+def test_share_then_unshare_is_identity(shared, annot, target_idx):
+    """Where a share succeeds, the following unshare restores the exact
+    abstract state."""
+    pfn = (0x4100_0000 + target_idx * PAGE_SIZE) >> 12
+    g_pre = build_pre(HypercallId.HOST_SHARE_HYP, [pfn], shared, annot)
+    g_mid = GhostState.blank(GLOBALS)
+    res = compute_post__pkvm_host_share_hyp(
+        g_mid, g_pre, GhostCallData(ec=EsrEc.HVC64), CPU
+    )
+    if res.ret != 0:
+        return  # only successful shares have an inverse
+    # thread the untouched components through, as the checker would
+    g_mid.vms = g_pre.vms
+    g_mid.globals_ = g_pre.globals_
+    regs = list(g_mid.locals_[CPU].regs)
+    regs[0] = HypercallId.HOST_UNSHARE_HYP
+    regs[1] = pfn
+    g_mid.locals_[CPU].regs = tuple(regs)
+
+    g_final = GhostState.blank(GLOBALS)
+    res2 = compute_post__pkvm_host_unshare_hyp(
+        g_final, g_mid, GhostCallData(ec=EsrEc.HVC64), CPU
+    )
+    assert res2.ret == 0
+    assert g_final.host.shared == g_pre.host.shared
+    assert g_final.host.annot == g_pre.host.annot
+    assert g_final.pkvm.pgt.mapping == g_pre.pkvm.pgt.mapping
+
+
+@given(page_indices, page_indices, st.integers(0, 50))
+@settings(max_examples=100, deadline=None)
+def test_share_is_idempotent_failure(shared, annot, target_idx):
+    """Sharing an already-shared page always fails and changes nothing."""
+    from repro.pkvm.defs import EPERM
+
+    phys = 0x4100_0000 + target_idx * PAGE_SIZE
+    g_pre = build_pre(
+        HypercallId.HOST_SHARE_HYP, [phys >> 12], shared | {target_idx}, annot
+    )
+    g_post = GhostState.blank(GLOBALS)
+    res = compute_post__pkvm_host_share_hyp(
+        g_post, g_pre, GhostCallData(ec=EsrEc.HVC64), CPU
+    )
+    assert res.ret == -EPERM
+    assert res.touched == {"local:0"}
+
+
+@given(page_indices, page_indices, st.integers(0, 2**20))
+@settings(max_examples=100, deadline=None)
+def test_dispatch_totality(shared, annot, call_id):
+    """compute_post_trap produces a result (or a principled skip) for any
+    hypercall number, never an unhandled exception."""
+    g_pre = build_pre(call_id, [0x4100_0000 >> 12], shared, annot)
+    g_post = GhostState.blank(GLOBALS)
+    res = compute_post_trap(
+        g_post, g_pre, GhostCallData(ec=EsrEc.HVC64), CPU
+    )
+    assert res is not None
+
+
+@given(page_indices, page_indices)
+@settings(max_examples=100, deadline=None)
+def test_spec_ret_matches_register(shared, annot):
+    """The SpecResult.ret and the x1 the epilogue wrote always agree."""
+    from repro.pkvm.defs import u64
+
+    g_pre = build_pre(
+        HypercallId.HOST_SHARE_HYP, [0x4100_0000 >> 12], shared, annot
+    )
+    g_post = GhostState.blank(GLOBALS)
+    res = compute_post__pkvm_host_share_hyp(
+        g_post, g_pre, GhostCallData(ec=EsrEc.HVC64), CPU
+    )
+    if res.valid:
+        assert g_post.locals_[CPU].regs[1] == u64(res.ret)

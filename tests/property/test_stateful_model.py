@@ -1,0 +1,122 @@
+"""Hypothesis stateful testing: the hypervisor against a reference model.
+
+A rule-based state machine drives share/unshare/donate-to-guest flows
+through the proxy while maintaining its own trivial model (a dict of page
+states). Two oracles run simultaneously: hypothesis compares returns and
+reachable state against the model, and the ghost checker compares every
+handler against the specification. Shrinking then gives minimal
+counterexample traces — the property-based complement of the seeded
+random tester.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.arch.defs import PAGE_SIZE, phys_to_pfn
+from repro.machine import Machine
+from repro.pkvm.defs import EPERM, HypercallId
+from repro.testing.proxy import HypProxy
+
+NR_PAGES = 6
+NR_GFNS = 4
+PageIdx = st.integers(0, NR_PAGES - 1)
+GfnIdx = st.integers(0, NR_GFNS - 1)
+
+
+class HypervisorModel(RuleBasedStateMachine):
+    """Model states per page: 'owned' | 'shared_hyp' | 'guest'."""
+
+    @initialize()
+    def boot(self):
+        self.machine = Machine()
+        self.proxy = HypProxy(self.machine)
+        self.pages = [self.proxy.alloc_page() for _ in range(NR_PAGES)]
+        self.state = {i: "owned" for i in range(NR_PAGES)}
+        self.gfn_to_page: dict[int, int] = {}
+        self.handle, self.vcpu = self.proxy.create_running_guest(
+            memcache_pages=8
+        )
+
+    # -- rules ---------------------------------------------------------------
+
+    @rule(idx=PageIdx)
+    def share_hyp(self, idx):
+        ret = self.proxy.share_page(self.pages[idx])
+        if self.state[idx] == "owned":
+            assert ret == 0, f"legal share failed: {ret}"
+            self.state[idx] = "shared_hyp"
+        else:
+            assert ret == -EPERM, f"illegal share returned {ret}"
+
+    @rule(idx=PageIdx)
+    def unshare_hyp(self, idx):
+        ret = self.proxy.unshare_page(self.pages[idx])
+        if self.state[idx] == "shared_hyp":
+            assert ret == 0, f"legal unshare failed: {ret}"
+            self.state[idx] = "owned"
+        else:
+            assert ret == -EPERM, f"illegal unshare returned {ret}"
+
+    @rule(idx=PageIdx, gfn_idx=GfnIdx)
+    def donate_to_guest(self, idx, gfn_idx):
+        gfn = 0x40 + gfn_idx
+        ret = self.proxy.hvc(
+            HypercallId.HOST_MAP_GUEST, phys_to_pfn(self.pages[idx]), gfn
+        )
+        legal = self.state[idx] == "owned" and gfn not in self.gfn_to_page
+        if legal:
+            assert ret == 0, f"legal donation failed: {ret}"
+            self.state[idx] = "guest"
+            self.gfn_to_page[gfn] = idx
+        else:
+            assert ret == -EPERM, f"illegal donation returned {ret}"
+
+    @rule(idx=PageIdx)
+    def touch(self, idx):
+        from repro.arch.exceptions import HostCrash
+
+        try:
+            self.machine.host.read64(self.pages[idx])
+            reachable = True
+        except HostCrash:
+            reachable = False
+        assert reachable == (self.state[idx] != "guest"), (
+            f"page in state {self.state[idx]} "
+            f"{'reachable' if reachable else 'unreachable'}"
+        )
+
+    # -- invariants ------------------------------------------------------------
+
+    @invariant()
+    def ghost_agrees_with_model(self):
+        if not hasattr(self, "machine"):
+            return
+        committed = self.machine.checker.committed
+        for idx, state in self.state.items():
+            page = self.pages[idx]
+            shared = committed["host"].shared.lookup(page)
+            annot = committed["host"].annot.lookup(page)
+            if state == "owned":
+                assert shared is None and annot is None
+            elif state == "shared_hyp":
+                assert shared is not None and annot is None
+            else:  # guest
+                assert annot is not None and shared is None
+
+    @invariant()
+    def no_spec_violations(self):
+        if hasattr(self, "machine"):
+            assert not self.machine.checker.violations
+
+
+TestHypervisorModel = HypervisorModel.TestCase
+TestHypervisorModel.settings = settings(
+    max_examples=20, stateful_step_count=25, deadline=None
+)

@@ -1,0 +1,111 @@
+"""Unit tests for the hyp_pool buddy allocator and the vCPU memcache."""
+
+import pytest
+
+from repro.arch.defs import PAGE_SIZE
+from repro.arch.memory import PhysicalMemory, default_memory_map
+from repro.pkvm.allocator import MAX_ORDER, HypPool, Memcache, OutOfMemory
+
+BASE = 0x4800_0000
+
+
+@pytest.fixture
+def pool():
+    mem = PhysicalMemory(default_memory_map())
+    return HypPool(mem, BASE, 64)
+
+
+class TestBuddyAllocation:
+    def test_alloc_returns_pool_addresses(self, pool):
+        phys = pool.alloc_page()
+        assert pool.contains(phys)
+        assert phys % PAGE_SIZE == 0
+
+    def test_alloc_pages_are_distinct(self, pool):
+        seen = {pool.alloc_page() for _ in range(64)}
+        assert len(seen) == 64
+
+    def test_exhaustion_raises(self, pool):
+        for _ in range(64):
+            pool.alloc_page()
+        with pytest.raises(OutOfMemory):
+            pool.alloc_page()
+
+    def test_alloc_zeroes_pages(self, pool):
+        phys = pool.alloc_page()
+        pool.mem.write64(phys, 99)
+        pool.free_pages(phys)
+        phys2 = pool.alloc_page()
+        # may or may not be the same page, but whatever we get is zeroed
+        assert pool.mem.read64(phys2) == 0
+
+    def test_higher_order_alignment(self, pool):
+        phys = pool.alloc_pages(order=3)
+        assert phys % (PAGE_SIZE << 3) == 0
+
+    def test_order_bounds(self, pool):
+        with pytest.raises(ValueError):
+            pool.alloc_pages(order=-1)
+        with pytest.raises(ValueError):
+            pool.alloc_pages(order=MAX_ORDER + 1)
+
+    def test_free_then_realloc_recovers_capacity(self, pool):
+        pages = [pool.alloc_page() for _ in range(64)]
+        for page in pages:
+            pool.free_pages(page)
+        assert pool.free_page_count() == 64
+        for _ in range(64):
+            pool.alloc_page()
+
+    def test_coalescing_restores_big_orders(self, pool):
+        pages = [pool.alloc_page() for _ in range(64)]
+        for page in pages:
+            pool.free_pages(page)
+        # after coalescing, an order-5 (32-page) run must exist again
+        phys = pool.alloc_pages(order=5)
+        assert pool.contains(phys)
+
+    def test_double_free_rejected(self, pool):
+        phys = pool.alloc_page()
+        pool.free_pages(phys)
+        with pytest.raises(ValueError):
+            pool.free_pages(phys)
+
+    def test_free_foreign_address_rejected(self, pool):
+        with pytest.raises(ValueError):
+            pool.free_pages(0x4000_0000)
+
+    def test_invariants_hold_through_mixed_ops(self, pool):
+        held = []
+        for order in (0, 1, 2, 0, 3):
+            held.append(pool.alloc_pages(order))
+            pool.check_invariants()
+        for phys in held:
+            pool.free_pages(phys)
+            pool.check_invariants()
+
+    def test_accounting(self, pool):
+        assert pool.allocated_pages == 0
+        a = pool.alloc_pages(order=2)
+        assert pool.allocated_pages == 4
+        pool.free_pages(a)
+        assert pool.allocated_pages == 0
+
+    def test_unaligned_base_rejected(self):
+        mem = PhysicalMemory(default_memory_map())
+        with pytest.raises(ValueError):
+            HypPool(mem, BASE + 8, 4)
+
+
+class TestMemcache:
+    def test_stack_discipline(self):
+        mc = Memcache()
+        mc.push(0x1000)
+        mc.push(0x2000)
+        assert len(mc) == 2
+        assert mc.pop() == 0x2000
+        assert mc.pop() == 0x1000
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(OutOfMemory):
+            Memcache().pop()

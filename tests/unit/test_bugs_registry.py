@@ -1,0 +1,52 @@
+"""Unit tests for the bug-injection registry and signed arithmetic."""
+
+import pytest
+
+from repro.pkvm.bugs import Bugs
+from repro.pkvm.defs import s64, u64
+
+
+class TestBugs:
+    def test_default_is_fixed(self):
+        assert Bugs().enabled() == []
+
+    def test_single(self):
+        bugs = Bugs.single("memcache_alignment")
+        assert bugs.enabled() == ["memcache_alignment"]
+
+    def test_single_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            Bugs.single("nonexistent_bug")
+
+    def test_paper_bug_census(self):
+        assert len(Bugs.paper_bug_names()) == 5
+
+    def test_synthetic_bugs_prefixed(self):
+        names = Bugs.synthetic_bug_names()
+        assert len(names) >= 8
+        assert all(n.startswith("synth_") for n in names)
+
+    def test_all_names_injectable(self):
+        for name in Bugs.paper_bug_names() + Bugs.synthetic_bug_names():
+            assert Bugs.single(name).enabled() == [name]
+
+
+class TestSignedArithmetic:
+    def test_s64_positive(self):
+        assert s64(5) == 5
+
+    def test_s64_negative_pattern(self):
+        assert s64((1 << 64) - 1) == -1
+        assert s64(1 << 63) == -(1 << 63)
+
+    def test_u64_truncates(self):
+        assert u64(1 << 64) == 0
+        assert u64(-1) == (1 << 64) - 1
+
+    def test_overflow_bug_arithmetic(self):
+        """The exact wraparound paper bug 2 relies on: a huge page count
+        times 8 overflows s64 and goes small/negative."""
+        nr = (1 << 61) + 8
+        assert s64(u64(nr * 8)) == 64  # wraps to a tiny positive number
+        nr = 1 << 60
+        assert s64(u64(nr * 8)) < 0  # wraps exactly onto the sign bit

@@ -1,0 +1,70 @@
+"""Unit tests for the UART-backed ghost printing infrastructure."""
+
+import pytest
+
+from repro.ghost.checker import Violation
+from repro.ghost.console import GhostConsole
+from repro.machine import Machine
+from repro.pkvm.bugs import Bugs
+from repro.pkvm.defs import HypercallId
+
+
+class TestGhostConsole:
+    def test_puts_writes_through_uart(self):
+        machine = Machine(ghost=False)
+        uart = next(r for r in machine.mem.regions if r.name == "uart")
+        console = GhostConsole(machine.mem, uart.base)
+        before = machine.mem.device_accesses
+        console.puts("hello")
+        assert machine.mem.device_accesses == before + 6  # 5 chars + \n
+        assert console.bytes_written == 6
+        assert console.transcript() == ["hello"]
+
+    def test_lock_serialises_output(self):
+        machine = Machine(ghost=False)
+        console = GhostConsole(machine.mem, 0x0900_0000)
+        held_during = []
+        console.lock.on_acquire.append(
+            lambda lock, c: held_during.append(lock.held)
+        )
+        console.puts("x")
+        assert held_during == [True]
+        assert not console.lock.held  # released afterwards
+
+    def test_print_violation_format(self):
+        machine = Machine(ghost=False)
+        console = GhostConsole(machine.mem, 0x0900_0000)
+        violation = Violation(
+            kind="post-mismatch", detail="line one\nline two", component="host"
+        )
+        console.print_violation(violation)
+        lines = console.transcript()
+        assert lines[0] == "ghost: [post-mismatch] host"
+        assert lines[1] == "  line one"
+
+    def test_clear(self):
+        machine = Machine(ghost=False)
+        console = GhostConsole(machine.mem, 0x0900_0000)
+        console.puts("a")
+        console.clear()
+        assert console.transcript() == []
+
+
+class TestCheckerConsoleIntegration:
+    def test_checker_attaches_console(self):
+        machine = Machine()
+        assert machine.checker.console is not None
+
+    def test_violation_reaches_the_serial_console(self):
+        machine = Machine(bugs=Bugs.single("synth_share_wrong_state"))
+        machine.checker.fail_fast = False
+        page = machine.host.alloc_page()
+        machine.host.hvc(HypercallId.HOST_SHARE_HYP, page >> 12)
+        transcript = machine.checker.console.transcript()
+        assert any("post-mismatch" in line for line in transcript)
+
+    def test_clean_run_prints_nothing(self):
+        machine = Machine()
+        page = machine.host.alloc_page()
+        machine.host.hvc(HypercallId.HOST_SHARE_HYP, page >> 12)
+        assert machine.checker.console.transcript() == []

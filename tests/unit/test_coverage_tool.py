@@ -1,0 +1,160 @@
+"""Unit tests for the custom coverage tracker (the GCOV replacement)."""
+
+import textwrap
+
+import pytest
+
+from repro.testing.coverage import (
+    CoverageTracker,
+    _executable_lines,
+    _functions,
+    _import_time_lines,
+    unreachable_on_fixed,
+)
+
+
+def compile_src(src):
+    return compile(textwrap.dedent(src), "<test>", "exec")
+
+
+class TestStaticAnalysis:
+    def test_executable_lines_recurse_into_functions(self):
+        code = compile_src(
+            """
+            x = 1
+            def f():
+                return 2
+            """
+        )
+        lines = _executable_lines(code)
+        assert 2 in lines and 4 in lines
+
+    def test_import_time_lines_exclude_function_bodies(self):
+        code = compile_src(
+            """
+            x = 1
+            def f():
+                return 2
+            class C:
+                y = 3
+                def m(self):
+                    return 4
+            """
+        )
+        import_lines = _import_time_lines(code)
+        assert 2 in import_lines       # module-level assignment
+        assert 6 in import_lines       # class-body assignment
+        assert 4 not in import_lines   # function body
+        assert 8 not in import_lines   # method body
+
+    def test_functions_collects_methods(self):
+        code = compile_src(
+            """
+            def f():
+                pass
+            class C:
+                def m(self):
+                    pass
+            """
+        )
+        names = _functions(code)
+        assert "f" in names
+        assert "C.m" in names
+
+
+class TestUnreachableAnalysis:
+    def test_bug_guard_bodies_excluded(self, tmp_path):
+        src = textwrap.dedent(
+            """
+            def handler(self):
+                if self.bugs.some_flag:
+                    do_buggy_thing()
+                    and_more()
+                return 0
+            """
+        )
+        path = tmp_path / "mod.py"
+        path.write_text(src)
+        excluded = unreachable_on_fixed(str(path))
+        assert 4 in excluded and 5 in excluded
+        assert 6 not in excluded
+
+    def test_negated_guard_body_not_excluded(self, tmp_path):
+        src = textwrap.dedent(
+            """
+            def handler(self):
+                if not self.bugs.some_flag:
+                    fixed_path()
+                return 0
+            """
+        )
+        path = tmp_path / "mod.py"
+        path.write_text(src)
+        excluded = unreachable_on_fixed(str(path))
+        assert 4 not in excluded
+
+    def test_panic_raises_excluded(self, tmp_path):
+        src = textwrap.dedent(
+            """
+            def handler():
+                if broken():
+                    raise HypervisorPanic(
+                        "invariant broken"
+                    )
+            """
+        )
+        path = tmp_path / "mod.py"
+        path.write_text(src)
+        excluded = unreachable_on_fixed(str(path))
+        assert 4 in excluded and 6 in excluded
+
+    def test_missing_file_is_empty(self):
+        assert unreachable_on_fixed("/nonexistent/mod.py") == set()
+
+
+class TestTracking:
+    def test_tracks_only_selected_fragments(self):
+        from repro.ghost.maplets import Mapping
+
+        with CoverageTracker(["repro/ghost/maplets"]) as cov:
+            Mapping.empty()
+            from repro.pkvm.spinlock import HypSpinLock
+
+            HypSpinLock("x").acquire(0)
+        files = list(cov.report())
+        assert all("maplets" in f for f in files)
+
+    def test_line_and_function_hits(self):
+        from repro.ghost.maplets import Mapping, MapletTarget
+
+        with CoverageTracker(["repro/ghost/maplets"]) as cov:
+            m = Mapping.empty()
+            m.insert(0x1000, 1, MapletTarget.annotated(1))
+        module = next(iter(cov.report().values()))
+        assert "Mapping.insert" in module.functions_hit
+        assert module.line_percent > 0
+
+    def test_import_time_lines_count_as_hit(self):
+        with CoverageTracker(["repro/ghost/arena"]) as cov:
+            from repro.ghost.arena import GhostArena
+
+            GhostArena()
+        module = next(iter(cov.report().values()))
+        # no "missed" import statements
+        import linecache
+
+        for ln in module.missed_lines():
+            text = linecache.getline(module.filename, ln)
+            assert not text.startswith(("import ", "from "))
+
+    def test_totals_empty_tracker(self):
+        cov = CoverageTracker(["nonexistent"])
+        assert cov.totals() == (0, 0, 100.0)
+
+    def test_nested_trackers_restore_previous(self):
+        import sys
+
+        before = sys.gettrace()
+        with CoverageTracker(["repro/ghost/maplets"]):
+            pass
+        assert sys.gettrace() is before

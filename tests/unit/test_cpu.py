@@ -1,0 +1,77 @@
+"""Unit tests for CPUs, saved contexts and system registers."""
+
+import pytest
+
+from repro.arch.cpu import Cpu, SavedContext
+from repro.arch.exceptions import ExceptionLevel
+from repro.arch.sysregs import SystemRegisters
+
+
+class TestCpu:
+    def test_initial_state(self):
+        cpu = Cpu(0)
+        assert cpu.current_el is ExceptionLevel.EL1
+        assert cpu.read_gpr(0) == 0
+        assert cpu.loaded_vcpu is None
+
+    def test_gpr_roundtrip_and_mask(self):
+        cpu = Cpu(0)
+        cpu.write_gpr(5, (1 << 64) + 7)
+        assert cpu.read_gpr(5) == 7
+
+    def test_gpr_bounds(self):
+        cpu = Cpu(0)
+        with pytest.raises(ValueError):
+            cpu.read_gpr(31)
+        with pytest.raises(ValueError):
+            cpu.write_gpr(-1, 0)
+
+    def test_trap_entry_saves_el1_context(self):
+        cpu = Cpu(0)
+        cpu.write_gpr(0, 0xAA)
+        cpu.enter_el2()
+        assert cpu.current_el is ExceptionLevel.EL2
+        assert cpu.saved_el1.regs[0] == 0xAA
+
+    def test_eret_restores_possibly_modified_context(self):
+        cpu = Cpu(0)
+        cpu.write_gpr(1, 1)
+        cpu.enter_el2()
+        cpu.saved_el1.regs[1] = 99  # the handler writes the return value
+        cpu.return_to_el1()
+        assert cpu.current_el is ExceptionLevel.EL1
+        assert cpu.read_gpr(1) == 99
+
+    def test_double_entry_rejected(self):
+        cpu = Cpu(0)
+        cpu.enter_el2()
+        with pytest.raises(AssertionError):
+            cpu.enter_el2()
+
+    def test_eret_from_el1_rejected(self):
+        with pytest.raises(AssertionError):
+            Cpu(0).return_to_el1()
+
+    def test_saved_context_copy_independent(self):
+        ctx = SavedContext()
+        ctx.regs[3] = 7
+        copy = ctx.copy()
+        copy.regs[3] = 9
+        assert ctx.regs[3] == 7
+
+    def test_repr(self):
+        assert "Cpu(1" in repr(Cpu(1))
+
+
+class TestSystemRegisters:
+    def test_install_stage2_packs_vmid(self):
+        regs = SystemRegisters()
+        regs.install_stage2(0x4000_1000, vmid=3)
+        assert regs.stage2_root == 0x4000_1000
+        assert regs.vmid == 3
+
+    def test_copy(self):
+        regs = SystemRegisters(ttbr0_el2=5)
+        copy = regs.copy()
+        copy.ttbr0_el2 = 9
+        assert regs.ttbr0_el2 == 5

@@ -1,0 +1,112 @@
+"""Unit tests for the core architectural constants and helpers."""
+
+import pytest
+
+from repro.arch.defs import (
+    BITS_PER_LEVEL,
+    LEAF_LEVEL,
+    PAGE_SIZE,
+    PTRS_PER_TABLE,
+    MemType,
+    Perms,
+    Stage,
+    is_page_aligned,
+    level_block_size,
+    level_index,
+    level_shift,
+    level_supports_block,
+    page_align_down,
+    page_align_up,
+    pfn_to_phys,
+    phys_to_pfn,
+)
+
+
+class TestLevelGeometry:
+    def test_level_shifts(self):
+        assert level_shift(3) == 12
+        assert level_shift(2) == 21
+        assert level_shift(1) == 30
+        assert level_shift(0) == 39
+
+    def test_level_shift_rejects_bad_levels(self):
+        with pytest.raises(ValueError):
+            level_shift(4)
+        with pytest.raises(ValueError):
+            level_shift(-1)
+
+    def test_block_sizes(self):
+        assert level_block_size(3) == 4096
+        assert level_block_size(2) == 2 * 1024 * 1024
+        assert level_block_size(1) == 1024 * 1024 * 1024
+
+    def test_block_support(self):
+        assert not level_supports_block(0)
+        assert level_supports_block(1)
+        assert level_supports_block(2)
+        assert not level_supports_block(3)
+
+    def test_level_index_selects_va_bits(self):
+        va = (3 << 39) | (5 << 30) | (7 << 21) | (11 << 12) | 0x123
+        assert level_index(va, 0) == 3
+        assert level_index(va, 1) == 5
+        assert level_index(va, 2) == 7
+        assert level_index(va, 3) == 11
+
+    def test_level_index_wraps_at_512(self):
+        assert 0 <= level_index(0xFFFF_FFFF_FFFF, 0) < PTRS_PER_TABLE
+
+    def test_consistency_of_constants(self):
+        assert PTRS_PER_TABLE == 1 << BITS_PER_LEVEL
+        assert level_block_size(LEAF_LEVEL) == PAGE_SIZE
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert page_align_down(0x1234) == 0x1000
+        assert page_align_down(0x1000) == 0x1000
+
+    def test_align_up(self):
+        assert page_align_up(0x1001) == 0x2000
+        assert page_align_up(0x1000) == 0x1000
+        assert page_align_up(0) == 0
+
+    def test_is_aligned(self):
+        assert is_page_aligned(0x4000)
+        assert not is_page_aligned(0x4008)
+
+    def test_pfn_roundtrip(self):
+        assert phys_to_pfn(pfn_to_phys(12345)) == 12345
+        assert pfn_to_phys(1) == PAGE_SIZE
+
+
+class TestPerms:
+    def test_str_rendering(self):
+        assert str(Perms.rwx()) == "RWX"
+        assert str(Perms.rw()) == "RW-"
+        assert str(Perms.r_only()) == "R--"
+        assert str(Perms.none()) == "---"
+
+    def test_allows_read(self):
+        assert Perms.r_only().allows()
+        assert not Perms.none().allows()
+
+    def test_allows_write(self):
+        assert Perms.rw().allows(write=True)
+        assert not Perms.r_only().allows(write=True)
+
+    def test_allows_execute(self):
+        assert Perms.rx().allows(execute=True)
+        assert not Perms.rw().allows(execute=True)
+
+    def test_perms_frozen(self):
+        with pytest.raises(Exception):
+            Perms.rw().r = False
+
+    def test_memtype_str(self):
+        assert str(MemType.NORMAL) == "M"
+        assert str(MemType.DEVICE) == "D"
+
+    def test_stage_values(self):
+        assert Stage.STAGE1.value == 1
+        assert Stage.STAGE2.value == 2

@@ -1,0 +1,125 @@
+"""Unit tests for ghost-state diffing/printing and arena accounting."""
+
+from repro.arch.defs import Perms
+from repro.arch.pte import PageState
+from repro.ghost.arena import GhostArena
+from repro.ghost.diff import diff_components, diff_states, format_state
+from repro.ghost.maplets import Mapping, MapletTarget
+from repro.ghost.state import (
+    AbstractPgtable,
+    GhostCpuLocal,
+    GhostGlobals,
+    GhostHost,
+    GhostPkvm,
+    GhostState,
+    GhostVm,
+    GhostVms,
+)
+
+
+def mapped(oa, state=PageState.OWNED):
+    return MapletTarget.mapped(oa, Perms.rwx(), page_state=state)
+
+
+class TestDiff:
+    def test_host_diff_shows_added_share(self):
+        pre = GhostHost(present=True)
+        post = GhostHost(
+            present=True,
+            shared=Mapping.singleton(0x101b18000, 1, mapped(0x101b18000, PageState.SHARED_OWNED)),
+        )
+        lines = diff_components("host", pre, post)
+        assert any("+" in l and "101b18000" in l for l in lines)
+        assert any("SO" in l for l in lines)
+
+    def test_pkvm_diff(self):
+        pre = GhostPkvm(present=True)
+        post = GhostPkvm(
+            present=True,
+            pgt=AbstractPgtable(Mapping.singleton(0x8000_0000_0000, 1, mapped(0x4000_0000))),
+        )
+        lines = diff_components("pkvm", pre, post)
+        assert any("pkvm.pgt +" in l for l in lines)
+
+    def test_register_diff(self):
+        pre = GhostCpuLocal(True, (0xC600_0001, 0x101B18, 0, 0) + (0,) * 27)
+        post = GhostCpuLocal(True, (0, 0, 0, 0) + (0,) * 27)
+        lines = diff_components("local:0", pre, post)
+        assert any(l.startswith("regs -") for l in lines)
+        assert any(l.startswith("regs +") for l in lines)
+
+    def test_equal_components_diff_empty(self):
+        host = GhostHost(present=True)
+        assert diff_components("host", host, host) == []
+
+    def test_vms_diff_reports_reclaim(self):
+        pre = GhostVms(True)
+        post = GhostVms(True, reclaimable={0x4100_0000: ("hyp",)})
+        lines = diff_components("vms", pre, post)
+        assert any("reclaim +" in l for l in lines)
+
+    def test_full_state_diff_and_format(self):
+        g1 = GhostState.blank(GhostGlobals())
+        g2 = g1.copy()
+        g2.host = GhostHost(
+            present=True,
+            shared=Mapping.singleton(0x1000, 1, mapped(0x1000)),
+        )
+        g2.vms = GhostVms(True, {0x1000: GhostVm(0x1000, 0, True, 1)})
+        text = diff_states(g1, g2)
+        assert "host.share" in text
+        formatted = format_state(g2)
+        assert "vms (1 live)" in formatted
+
+    def test_no_difference_message(self):
+        g = GhostState.blank(GhostGlobals())
+        assert diff_states(g, g.copy()) == "(no difference)"
+
+
+class TestArena:
+    def test_mapping_accounting_grows_and_shrinks(self):
+        arena = GhostArena()
+        m = Mapping()
+        arena.account_mapping(m)
+        base = arena.live_bytes()
+        m.insert(0x1000, 1, mapped(0x1000))
+        m.insert(0x3000, 1, mapped(0x9000))
+        arena.account_mapping(m)
+        assert arena.live_bytes() > base
+
+    def test_peak_tracked(self):
+        arena = GhostArena()
+        arena.account_state(10)
+        peak = arena.peak_bytes
+        arena.release_state(10)
+        assert arena.live_bytes() < peak
+        assert arena.peak_bytes == peak
+
+    def test_reset(self):
+        arena = GhostArena()
+        arena.account_state()
+        arena.reset()
+        assert arena.live_bytes() == 0
+
+    def test_gc_releases_mappings(self):
+        import gc
+
+        arena = GhostArena()
+        m = Mapping.singleton(0x1000, 1, mapped(0x1000))
+        arena.account_mapping(m)
+        assert arena.live_bytes() > 0
+        del m
+        gc.collect()
+        assert arena.live_bytes() == 0
+
+    def test_global_arena_tracks_machine_ghost(self):
+        from repro.ghost.arena import arena as global_arena
+        from repro.machine import Machine
+
+        before = global_arena.live_bytes()
+        machine = Machine()  # ghost on
+        page = machine.host.alloc_page()
+        from repro.pkvm.defs import HypercallId
+
+        machine.host.hvc(HypercallId.HOST_SHARE_HYP, page >> 12)
+        assert global_arena.live_bytes() > before

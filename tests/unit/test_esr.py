@@ -1,0 +1,96 @@
+"""Unit tests for the architectural ESR_EL2 syndrome encoding."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.exceptions import (
+    ESR_EC_SHIFT,
+    EsrEc,
+    ISS_WNR,
+    Syndrome,
+)
+
+
+class TestEncode:
+    def test_hvc_encoding(self):
+        esr = Syndrome(ec=EsrEc.HVC64).encode_esr()
+        assert (esr >> ESR_EC_SHIFT) & 0x3F == 0x16
+        assert esr & (1 << 25)  # IL: 32-bit instruction
+
+    def test_data_abort_write_bit(self):
+        rd = Syndrome(ec=EsrEc.DATA_ABORT_LOWER, is_write=False).encode_esr()
+        wr = Syndrome(ec=EsrEc.DATA_ABORT_LOWER, is_write=True).encode_esr()
+        assert not rd & ISS_WNR
+        assert wr & ISS_WNR
+
+    def test_translation_vs_permission_fsc(self):
+        trans = Syndrome(
+            ec=EsrEc.DATA_ABORT_LOWER, fault_level=3
+        ).encode_esr()
+        perm = Syndrome(
+            ec=EsrEc.DATA_ABORT_LOWER, fault_level=3, is_permission=True
+        ).encode_esr()
+        assert trans & 0x3F == 0b000111  # translation fault, level 3
+        assert perm & 0x3F == 0b001111   # permission fault, level 3
+
+
+class TestDecode:
+    def test_hvc_roundtrip(self):
+        syndrome = Syndrome(ec=EsrEc.HVC64)
+        assert Syndrome.decode_esr(syndrome.encode_esr()) == syndrome
+
+    @pytest.mark.parametrize("level", [0, 1, 2, 3])
+    @pytest.mark.parametrize("write", [False, True])
+    @pytest.mark.parametrize("perm", [False, True])
+    def test_abort_roundtrip(self, level, write, perm):
+        syndrome = Syndrome(
+            ec=EsrEc.DATA_ABORT_LOWER,
+            fault_ipa=0x4321_7654_3000,
+            is_write=write,
+            fault_level=level,
+            is_permission=perm,
+        )
+        decoded = Syndrome.decode_esr(
+            syndrome.encode_esr(), fault_ipa=0x4321_7654_3000
+        )
+        assert decoded == syndrome
+
+
+@given(
+    st.sampled_from([EsrEc.DATA_ABORT_LOWER, EsrEc.INSTR_ABORT_LOWER]),
+    st.integers(0, 3),
+    st.booleans(),
+    st.booleans(),
+    st.integers(0, (1 << 48) - 1),
+)
+@settings(max_examples=200)
+def test_roundtrip_property(ec, level, write, perm, ipa):
+    syndrome = Syndrome(
+        ec=ec,
+        fault_ipa=ipa,
+        is_write=write,
+        fault_level=level,
+        is_permission=perm,
+    )
+    assert Syndrome.decode_esr(syndrome.encode_esr(), fault_ipa=ipa) == syndrome
+
+
+class TestArchitecturalDelivery:
+    def test_trap_latches_syndrome_registers(self):
+        from repro.machine import Machine
+        from repro.pkvm.defs import HypercallId
+
+        machine = Machine(ghost=False)
+        addr = machine.host.alloc_page()
+        machine.host.read64(addr + 0x123 & ~7)
+        cpu = machine.cpu(0)
+        # the abort's registers are still latched from the demand fault
+        ipa = ((cpu.sysregs.hpfar_el2 >> 4) << 12) | (
+            cpu.sysregs.far_el2 & 0xFFF
+        )
+        assert ipa & ~0xFFF == addr
+        decoded = Syndrome.decode_esr(cpu.sysregs.esr_el2, ipa)
+        assert decoded.ec is EsrEc.DATA_ABORT_LOWER
+        # a following hypercall overwrites them with the HVC class
+        machine.host.hvc(HypercallId.VCPU_PUT)
+        assert (cpu.sysregs.esr_el2 >> ESR_EC_SHIFT) & 0x3F == 0x16

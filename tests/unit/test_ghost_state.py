@@ -1,0 +1,180 @@
+"""Unit tests for the ghost state types and component access."""
+
+import pytest
+
+from repro.arch.defs import Perms
+from repro.arch.pte import PageState
+from repro.ghost.maplets import Mapping, MapletTarget
+from repro.ghost.state import (
+    AbstractPgtable,
+    GhostCpuLocal,
+    GhostGlobals,
+    GhostHost,
+    GhostLoadedVcpu,
+    GhostPkvm,
+    GhostState,
+    GhostVcpuRef,
+    GhostVm,
+    GhostVms,
+    local_key,
+    vm_pgt_key,
+)
+
+
+def mapped(oa):
+    return MapletTarget.mapped(oa, Perms.rwx())
+
+
+GLOBALS = GhostGlobals(
+    nr_cpus=2,
+    hyp_va_offset=0x8000_0000_0000,
+    dram_ranges=((0x4000_0000, 0x5000_0000),),
+    device_ranges=((0x0900_0000, 0x0900_1000),),
+    carveout=(0x4F00_0000, 0x5000_0000),
+)
+
+
+class TestGlobals:
+    def test_allowed_memory(self):
+        assert GLOBALS.addr_is_allowed_memory(0x4000_0000)
+        assert not GLOBALS.addr_is_allowed_memory(0x0900_0000)
+        assert not GLOBALS.addr_is_allowed_memory(0x9000_0000)
+
+    def test_device(self):
+        assert GLOBALS.addr_is_device(0x0900_0000)
+        assert not GLOBALS.addr_is_device(0x4000_0000)
+
+    def test_hyp_va(self):
+        assert GLOBALS.hyp_va(0x1000) == 0x8000_0000_1000
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            GLOBALS.nr_cpus = 9
+
+
+class TestComponentAccess:
+    def test_blank_state_has_no_components(self):
+        g = GhostState.blank(GLOBALS)
+        for key in ("pkvm", "host", "vms", "local:0", "vm_pgt:4096"):
+            assert g.get_component(key) is None
+
+    def test_set_and_get_roundtrip(self):
+        g = GhostState.blank(GLOBALS)
+        host = GhostHost(present=True)
+        g.set_component("host", host)
+        assert g.get_component("host") is host
+
+    def test_vm_pgt_component(self):
+        g = GhostState.blank(GLOBALS)
+        pgt = AbstractPgtable()
+        g.set_component(vm_pgt_key(0x1000), pgt)
+        assert g.get_component("vm_pgt:4096") is pgt
+
+    def test_local_component(self):
+        g = GhostState.blank(GLOBALS)
+        local = GhostCpuLocal(present=True, regs=tuple(range(31)))
+        g.set_component(local_key(1), local)
+        assert g.get_component("local:1") is local
+
+    def test_unknown_key_rejected(self):
+        g = GhostState.blank(GLOBALS)
+        with pytest.raises(KeyError):
+            g.get_component("nonsense")
+        with pytest.raises(KeyError):
+            g.set_component("nonsense", None)
+
+    def test_absent_present_flag_reads_as_none(self):
+        g = GhostState.blank(GLOBALS)
+        g.set_component("host", GhostHost(present=False))
+        assert g.get_component("host") is None
+
+
+class TestRegisters:
+    def test_write_then_read(self):
+        g = GhostState.blank(GLOBALS)
+        g.write_gpr(0, 1, 0xAB)
+        assert g.read_gpr(0, 1) == 0xAB
+
+    def test_write_truncates(self):
+        g = GhostState.blank(GLOBALS)
+        g.write_gpr(0, 1, 1 << 65)
+        assert g.read_gpr(0, 1) == 0
+
+    def test_read_absent_local_raises(self):
+        g = GhostState.blank(GLOBALS)
+        with pytest.raises(KeyError):
+            g.read_gpr(0, 1)
+
+
+class TestEqualitySemantics:
+    def test_pkvm_equality_ignores_footprint(self):
+        m = Mapping.singleton(0x1000, 1, mapped(0x4000_0000))
+        a = GhostPkvm(True, AbstractPgtable(m.copy(), frozenset({1})))
+        b = GhostPkvm(True, AbstractPgtable(m.copy(), frozenset({2})))
+        assert a == b
+
+    def test_pkvm_equality_respects_mapping(self):
+        a = GhostPkvm(
+            True,
+            AbstractPgtable(Mapping.singleton(0x1000, 1, mapped(0x4000_0000))),
+        )
+        b = GhostPkvm(True, AbstractPgtable())
+        assert a != b
+
+    def test_host_equality_ignores_footprint(self):
+        a = GhostHost(True, footprint=frozenset({1}))
+        b = GhostHost(True, footprint=frozenset({2}))
+        assert a == b
+
+    def test_host_equality_respects_annot_and_shared(self):
+        a = GhostHost(True, annot=Mapping.singleton(0x1000, 1, MapletTarget.annotated(1)))
+        b = GhostHost(True)
+        assert a != b
+
+    def test_abstract_pgtable_equality_is_extensional(self):
+        m = Mapping.singleton(0x1000, 1, mapped(0x4000_0000))
+        assert AbstractPgtable(m.copy(), frozenset({1})) == AbstractPgtable(
+            m.copy(), frozenset({9})
+        )
+
+    def test_vms_equality(self):
+        vm = GhostVm(0x1000, 0, True, 1)
+        a = GhostVms(True, {0x1000: vm})
+        b = GhostVms(True, {0x1000: vm})
+        assert a == b
+        c = GhostVms(True, {0x1000: vm}, nr_created=5)
+        assert a != c
+
+    def test_local_equality(self):
+        a = GhostCpuLocal(True, (1, 2), GhostLoadedVcpu(0x1000, 0))
+        b = GhostCpuLocal(True, (1, 2), GhostLoadedVcpu(0x1000, 0))
+        assert a == b
+        assert a != GhostCpuLocal(True, (1, 3), GhostLoadedVcpu(0x1000, 0))
+
+
+class TestCopy:
+    def test_state_copy_is_deep_for_mappings(self):
+        g = GhostState.blank(GLOBALS)
+        g.host = GhostHost(
+            True, shared=Mapping.singleton(0x1000, 1, mapped(0x4000_0000))
+        )
+        g2 = g.copy()
+        g2.host.shared.remove(0x1000, 1)
+        assert 0x1000 in g.host.shared
+
+    def test_copy_abstraction_helpers(self):
+        src = GhostState.blank(GLOBALS)
+        src.host = GhostHost(True)
+        src.pkvm = GhostPkvm(True)
+        src.vms = GhostVms(True, nr_created=3)
+        dst = GhostState.blank(GLOBALS)
+        dst.copy_abstraction_host(src)
+        dst.copy_abstraction_pkvm(src)
+        dst.copy_abstraction_vms(src)
+        assert dst.host.present and dst.pkvm.present
+        assert dst.vms.nr_created == 3
+
+    def test_vcpu_ref_is_frozen(self):
+        ref = GhostVcpuRef(0, True, None)
+        with pytest.raises(Exception):
+            ref.initialized = False

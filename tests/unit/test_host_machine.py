@@ -1,0 +1,116 @@
+"""Unit tests for the host model and the machine facade."""
+
+import pytest
+
+from repro.arch.defs import PAGE_SIZE
+from repro.arch.exceptions import HostCrash
+from repro.machine import Machine
+from repro.pkvm.defs import EINVAL, HypercallId
+
+
+@pytest.fixture
+def machine():
+    return Machine(ghost=False)
+
+
+class TestHostAllocator:
+    def test_pages_distinct_and_in_dram(self, machine):
+        pages = {machine.host.alloc_page() for _ in range(32)}
+        assert len(pages) == 32
+        for page in pages:
+            assert machine.mem.is_memory(page)
+            assert page % PAGE_SIZE == 0
+
+    def test_never_hands_out_carveout(self, machine):
+        carve = machine.pkvm.carveout
+        for _ in range(100):
+            page = machine.host.alloc_page()
+            assert not (carve.base <= page < carve.end)
+
+    def test_free_and_reuse(self, machine):
+        page = machine.host.alloc_page()
+        machine.host.free_page(page)
+        assert machine.host.alloc_page() == page
+
+    def test_free_foreign_rejected(self, machine):
+        with pytest.raises(ValueError):
+            machine.host.free_page(0x4000_0000 - PAGE_SIZE)
+
+    def test_allocated_pages_counter(self, machine):
+        base = machine.host.allocated_pages()
+        page = machine.host.alloc_page()
+        assert machine.host.allocated_pages() == base + 1
+        machine.host.free_page(page)
+        assert machine.host.allocated_pages() == base
+
+
+class TestHostAccess:
+    def test_demand_fault_retry_succeeds(self, machine):
+        addr = machine.host.alloc_page()
+        machine.host.write64(addr, 123)
+        assert machine.host.read64(addr) == 123
+
+    def test_access_to_carveout_crashes(self, machine):
+        with pytest.raises(HostCrash):
+            machine.host.read64(machine.pkvm.carveout.base)
+
+    def test_access_to_hole_crashes(self, machine):
+        with pytest.raises(HostCrash):
+            machine.host.read64(0x2000_0000)
+
+    def test_hvc_returns_signed(self, machine):
+        ret = machine.host.hvc(HypercallId.HOST_UNSHARE_HYP, 0x41234)
+        assert ret < 0
+
+    def test_hvc_clears_argument_registers(self, machine):
+        cpu = machine.cpu(0)
+        machine.host.hvc(HypercallId.HOST_SHARE_HYP, 0xDEAD_BEEF)
+        assert cpu.read_gpr(0) == 0
+        assert cpu.read_gpr(3) == 0
+
+    def test_hvc_aux(self, machine):
+        ret, aux = machine.host.hvc_aux(HypercallId.VCPU_RUN)
+        assert ret == -EINVAL
+        assert aux == 0
+
+    def test_unknown_hypercall(self, machine):
+        assert machine.host.hvc(0x1234_5678) == -EINVAL
+
+
+class TestMachineBoot:
+    def test_default_boot(self):
+        m = Machine.boot()
+        assert m.ghost_enabled
+        assert len(m.cpus) == 4
+        assert m.boot_seconds > 0
+
+    def test_ghost_optional(self):
+        m = Machine(ghost=False)
+        assert not m.ghost_enabled
+        assert m.pkvm.ghost is None
+
+    def test_carveout_annotated_in_host_stage2(self):
+        from repro.arch.pte import EntryKind
+        from repro.pkvm.defs import OwnerId
+        from repro.pkvm.pgtable import lookup
+
+        m = Machine(ghost=False)
+        pte = lookup(m.pkvm.mp.host_mmu, m.pkvm.carveout.base)
+        assert pte.kind is EntryKind.INVALID_ANNOTATED
+        assert pte.owner_id == int(OwnerId.HYP)
+
+    def test_sysregs_installed_on_all_cpus(self):
+        m = Machine(ghost=False, nr_cpus=3)
+        for cpu in m.cpus:
+            assert cpu.sysregs.ttbr0_el2 == m.pkvm.mp.pkvm_pgd.root
+            assert cpu.sysregs.stage2_root == m.pkvm.mp.host_mmu.root
+
+    def test_traps_counted(self, machine):
+        before = machine.pkvm.traps_handled
+        machine.host.hvc(HypercallId.VCPU_PUT)
+        assert machine.pkvm.traps_handled == before + 1
+
+    def test_custom_dram_size(self):
+        m = Machine(ghost=False, dram_size=64 * 1024 * 1024)
+        dram = m.mem.dram_regions()[-1]
+        assert dram.size == 64 * 1024 * 1024

@@ -1,0 +1,204 @@
+"""Unit tests for the ownership state machine (mem_protect), driven
+directly (below the hypercall layer)."""
+
+import pytest
+
+from repro.arch.defs import PAGE_SIZE, Stage
+from repro.arch.memory import PhysicalMemory, default_memory_map
+from repro.arch.pte import EntryKind, PageState
+from repro.pkvm.allocator import HypPool
+from repro.pkvm.bugs import Bugs
+from repro.pkvm.defs import EBUSY, EINVAL, ENOENT, EPERM, OwnerId
+from repro.pkvm.mem_protect import (
+    BLOCK_SIZE_L2,
+    HostAbortResult,
+    MemProtect,
+    hyp_va,
+    hyp_va_to_phys,
+)
+from repro.pkvm.pgtable import KvmPgtable, PoolMmOps, lookup
+
+PAGE = 0x4100_0000
+GUEST_IPA = 0x40 * PAGE_SIZE
+
+
+@pytest.fixture
+def mp():
+    mem = PhysicalMemory(default_memory_map())
+    pool = HypPool(mem, 0x4800_0000, 512)
+    return MemProtect(mem, pool, Bugs())
+
+
+@pytest.fixture
+def guest_pgt(mp):
+    return KvmPgtable(mp.mem, Stage.STAGE2, PoolMmOps(mp.pool), "guest")
+
+
+def test_hyp_va_roundtrip():
+    assert hyp_va_to_phys(hyp_va(PAGE)) == PAGE
+    assert hyp_va(PAGE) != PAGE
+
+
+class TestShareHyp:
+    def test_share_updates_both_tables(self, mp):
+        assert mp.do_share_hyp(PAGE) == 0
+        kind, state, _ = mp.host_state_of(PAGE)
+        assert kind.is_leaf and state is PageState.SHARED_OWNED
+        hkind, hstate = mp.hyp_state_of(hyp_va(PAGE))
+        assert hkind.is_leaf and hstate is PageState.SHARED_BORROWED
+
+    def test_hyp_side_not_executable(self, mp):
+        mp.do_share_hyp(PAGE)
+        pte = lookup(mp.pkvm_pgd, hyp_va(PAGE))
+        assert not pte.perms.x
+
+    def test_share_mmio_rejected(self, mp):
+        assert mp.do_share_hyp(0x0900_0000) == -EINVAL
+
+    def test_double_share_rejected(self, mp):
+        mp.do_share_hyp(PAGE)
+        assert mp.do_share_hyp(PAGE) == -EPERM
+
+    def test_share_of_donated_rejected(self, mp):
+        mp.do_donate_hyp(PAGE)
+        assert mp.do_share_hyp(PAGE) == -EPERM
+
+    def test_unshare_restores_exclusive_ownership(self, mp):
+        mp.do_share_hyp(PAGE)
+        assert mp.do_unshare_hyp(PAGE) == 0
+        assert mp.host_owns_exclusively(PAGE)
+        hkind, _ = mp.hyp_state_of(hyp_va(PAGE))
+        assert not hkind.is_leaf
+
+    def test_unshare_unshared_rejected(self, mp):
+        assert mp.do_unshare_hyp(PAGE) == -EPERM
+
+    def test_unshare_mmio_rejected(self, mp):
+        assert mp.do_unshare_hyp(0x0900_0000) == -EINVAL
+
+
+class TestDonateHyp:
+    def test_donate_annotates_and_maps(self, mp):
+        assert mp.do_donate_hyp(PAGE) == 0
+        kind, _state, owner = mp.host_state_of(PAGE)
+        assert kind is EntryKind.INVALID_ANNOTATED
+        assert owner == int(OwnerId.HYP)
+        hkind, hstate = mp.hyp_state_of(hyp_va(PAGE))
+        assert hkind.is_leaf and hstate is PageState.OWNED
+
+    def test_donate_shared_page_rejected(self, mp):
+        mp.do_share_hyp(PAGE)
+        assert mp.do_donate_hyp(PAGE) == -EPERM
+
+    def test_reclaim_returns_and_zeroes(self, mp):
+        mp.mem.write64(PAGE, 0x5EC2E7)
+        mp.do_donate_hyp(PAGE)
+        assert mp.do_reclaim_from_hyp(PAGE) == 0
+        assert mp.host_owns_exclusively(PAGE)
+        assert mp.mem.read64(PAGE) == 0
+
+    def test_reclaim_undonated_rejected(self, mp):
+        assert mp.do_reclaim_from_hyp(PAGE) == -EPERM
+
+
+class TestGuestTransitions:
+    def _donate_to_guest(self, mp, guest_pgt, owner=16):
+        assert mp.do_donate_guest(PAGE, guest_pgt, GUEST_IPA, owner) == 0
+
+    def test_donate_guest(self, mp, guest_pgt):
+        self._donate_to_guest(mp, guest_pgt)
+        gpte = lookup(guest_pgt, GUEST_IPA)
+        assert gpte.kind.is_leaf and gpte.oa == PAGE
+        kind, _s, owner = mp.host_state_of(PAGE)
+        assert kind is EntryKind.INVALID_ANNOTATED and owner == 16
+
+    def test_donate_guest_occupied_ipa_rejected(self, mp, guest_pgt):
+        self._donate_to_guest(mp, guest_pgt)
+        other = PAGE + PAGE_SIZE
+        assert mp.do_donate_guest(other, guest_pgt, GUEST_IPA, 16) == -EPERM
+
+    def test_guest_share_host(self, mp, guest_pgt):
+        self._donate_to_guest(mp, guest_pgt)
+        assert mp.do_guest_share_host(guest_pgt, GUEST_IPA, PAGE) == 0
+        kind, state, _ = mp.host_state_of(PAGE)
+        assert kind.is_leaf and state is PageState.SHARED_BORROWED
+        assert lookup(guest_pgt, GUEST_IPA).page_state is PageState.SHARED_OWNED
+
+    def test_guest_double_share_rejected(self, mp, guest_pgt):
+        self._donate_to_guest(mp, guest_pgt)
+        mp.do_guest_share_host(guest_pgt, GUEST_IPA, PAGE)
+        assert mp.do_guest_share_host(guest_pgt, GUEST_IPA, PAGE) == -EPERM
+
+    def test_guest_unshare_restores_annotation(self, mp, guest_pgt):
+        self._donate_to_guest(mp, guest_pgt)
+        mp.do_guest_share_host(guest_pgt, GUEST_IPA, PAGE)
+        assert mp.do_guest_unshare_host(guest_pgt, GUEST_IPA, PAGE, 16) == 0
+        kind, _s, owner = mp.host_state_of(PAGE)
+        assert kind is EntryKind.INVALID_ANNOTATED and owner == 16
+        assert lookup(guest_pgt, GUEST_IPA).page_state is PageState.OWNED
+
+    def test_guest_unshare_unshared_rejected(self, mp, guest_pgt):
+        self._donate_to_guest(mp, guest_pgt)
+        assert (
+            mp.do_guest_unshare_host(guest_pgt, GUEST_IPA, PAGE, 16) == -EPERM
+        )
+
+    def test_reclaim_from_guest(self, mp, guest_pgt):
+        self._donate_to_guest(mp, guest_pgt)
+        mp.mem.write64(PAGE, 0x12345)
+        assert mp.do_reclaim_from_guest(PAGE, guest_pgt, GUEST_IPA, 16) == 0
+        assert mp.host_owns_exclusively(PAGE)
+        assert mp.mem.read64(PAGE) == 0
+        assert not lookup(guest_pgt, GUEST_IPA).kind.is_leaf
+
+    def test_reclaim_shared_guest_page(self, mp, guest_pgt):
+        self._donate_to_guest(mp, guest_pgt)
+        mp.do_guest_share_host(guest_pgt, GUEST_IPA, PAGE)
+        assert mp.do_reclaim_from_guest(PAGE, guest_pgt, GUEST_IPA, 16) == 0
+        assert mp.host_owns_exclusively(PAGE)
+
+    def test_reclaim_wrong_owner_rejected(self, mp, guest_pgt):
+        self._donate_to_guest(mp, guest_pgt)
+        assert (
+            mp.do_reclaim_from_guest(PAGE, guest_pgt, GUEST_IPA, 17) == -ENOENT
+        )
+
+
+class TestHostMemAbort:
+    def test_demand_map_free_block(self, mp):
+        addr = 0x4600_0000  # block-aligned, untouched
+        assert mp.host_handle_mem_abort(addr) is HostAbortResult.MAPPED
+        pte = lookup(mp.host_mmu, addr)
+        assert pte.kind is EntryKind.BLOCK
+
+    def test_demand_map_single_page_near_annotation(self, mp):
+        base = 0x4600_0000
+        mp.do_donate_hyp(base + PAGE_SIZE)
+        assert mp.host_handle_mem_abort(base) is HostAbortResult.MAPPED
+        assert lookup(mp.host_mmu, base).kind is EntryKind.PAGE
+
+    def test_abort_outside_memory_injected(self, mp):
+        assert mp.host_handle_mem_abort(0x2000_0000) is HostAbortResult.INJECT
+
+    def test_abort_on_foreign_page_injected(self, mp):
+        mp.do_donate_hyp(PAGE)
+        assert mp.host_handle_mem_abort(PAGE) is HostAbortResult.INJECT
+
+    def test_device_mapped_single_page(self, mp):
+        assert mp.host_handle_mem_abort(0x0900_0000) is HostAbortResult.MAPPED
+        pte = lookup(mp.host_mmu, 0x0900_0000)
+        assert pte.kind is EntryKind.PAGE
+        assert not pte.perms.x
+
+    def test_spurious_abort_tolerated_when_fixed(self, mp):
+        addr = 0x4600_0000
+        mp.host_handle_mem_abort(addr)
+        # a second "fault" on the now-mapped address is spurious
+        assert mp.host_handle_mem_abort(addr) is HostAbortResult.MAPPED
+
+    def test_block_not_straddling_region_end(self, mp):
+        dram = mp.mem.dram_regions()[-1]
+        # Fault in the last (partial-block) area before the carveout is
+        # still mapped, page-granular or block, without escaping DRAM.
+        addr = dram.base + 0x2345 * PAGE_SIZE
+        assert mp.host_handle_mem_abort(addr) is HostAbortResult.MAPPED

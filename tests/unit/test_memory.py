@@ -1,0 +1,127 @@
+"""Unit tests for the sparse physical memory and the memory map."""
+
+import pytest
+
+from repro.arch.defs import MemType
+from repro.arch.memory import (
+    BadAddress,
+    MemoryRegion,
+    PhysicalMemory,
+    default_memory_map,
+)
+
+DRAM = 0x4000_0000
+
+
+@pytest.fixture
+def mem():
+    return PhysicalMemory(default_memory_map())
+
+
+class TestMemoryMap:
+    def test_default_map_has_dram_and_devices(self, mem):
+        kinds = {r.kind for r in mem.regions}
+        assert MemType.NORMAL in kinds and MemType.DEVICE in kinds
+
+    def test_region_of(self, mem):
+        assert mem.region_of(DRAM).name == "dram"
+        assert mem.region_of(0x0900_0000).name == "uart"
+        assert mem.region_of(0x2000_0000) is None
+
+    def test_is_memory(self, mem):
+        assert mem.is_memory(DRAM)
+        assert not mem.is_memory(0x0900_0000)
+        assert not mem.is_memory(0x7FFF_FFFF_F000)
+
+    def test_overlapping_regions_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(
+                [
+                    MemoryRegion(0x1000, 0x2000, MemType.NORMAL, "a"),
+                    MemoryRegion(0x2000, 0x2000, MemType.NORMAL, "b"),
+                ]
+            )
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory([])
+
+    def test_region_helpers(self):
+        r = MemoryRegion(0x1000, 0x1000, MemType.NORMAL)
+        assert r.end == 0x2000
+        assert r.contains(0x1FFF)
+        assert not r.contains(0x2000)
+
+
+class TestWordAccess:
+    def test_fresh_memory_reads_zero(self, mem):
+        assert mem.read64(DRAM) == 0
+
+    def test_write_read_roundtrip(self, mem):
+        mem.write64(DRAM + 8, 0xDEADBEEF)
+        assert mem.read64(DRAM + 8) == 0xDEADBEEF
+
+    def test_write_truncates_to_64_bits(self, mem):
+        mem.write64(DRAM, (1 << 64) | 5)
+        assert mem.read64(DRAM) == 5
+
+    def test_unaligned_access_rejected(self, mem):
+        with pytest.raises(BadAddress):
+            mem.read64(DRAM + 4)
+        with pytest.raises(BadAddress):
+            mem.write64(DRAM + 1, 0)
+
+    def test_access_outside_map_rejected(self, mem):
+        with pytest.raises(BadAddress):
+            mem.read64(0x2000_0000)
+        with pytest.raises(BadAddress):
+            mem.write64(0x2000_0000, 1)
+
+    def test_device_access_counted(self, mem):
+        before = mem.device_accesses
+        mem.write64(0x0900_0000, ord("x"))
+        assert mem.device_accesses == before + 1
+
+    def test_writes_to_distinct_pages_are_independent(self, mem):
+        mem.write64(DRAM, 1)
+        mem.write64(DRAM + 4096, 2)
+        assert mem.read64(DRAM) == 1
+        assert mem.read64(DRAM + 4096) == 2
+
+
+class TestPageOps:
+    def test_zero_page(self, mem):
+        mem.write64(DRAM, 77)
+        mem.zero_page(DRAM >> 12)
+        assert mem.read64(DRAM) == 0
+
+    def test_zero_range_within_page(self, mem):
+        mem.write64(DRAM, 1)
+        mem.write64(DRAM + 64, 2)
+        mem.zero_range(DRAM, 72)
+        assert mem.read64(DRAM) == 0
+        assert mem.read64(DRAM + 64) == 0
+
+    def test_zero_range_straddles_pages(self, mem):
+        """The corruption paper bug 1 exploits: an unaligned page-sized
+        zero hits two physical pages."""
+        mem.write64(DRAM + 4096, 0xAA)
+        mem.zero_range(DRAM + 64, 4096)
+        assert mem.read64(DRAM + 4096) == 0
+
+    def test_zero_range_rejects_unaligned(self, mem):
+        with pytest.raises(BadAddress):
+            mem.zero_range(DRAM + 1, 8)
+
+    def test_page_words(self, mem):
+        mem.write64(DRAM + 16, 9)
+        words = mem.page_words(DRAM >> 12)
+        assert len(words) == 512
+        assert words[2] == 9
+
+    def test_materialised_pages_counts_writes_only(self, mem):
+        base = mem.materialised_pages()
+        mem.read64(DRAM + 8 * 4096)
+        assert mem.materialised_pages() == base
+        mem.write64(DRAM + 8 * 4096, 1)
+        assert mem.materialised_pages() == base + 1

@@ -1,0 +1,147 @@
+"""Unit tests for descriptor encode/decode (the architectural bit layout
+the ghost abstraction function interprets)."""
+
+import pytest
+
+from repro.arch.defs import MemType, Perms, Stage
+from repro.arch.pte import (
+    EntryKind,
+    PageState,
+    decode_descriptor,
+    entry_kind,
+    make_block_descriptor,
+    make_invalid_annotated,
+    make_page_descriptor,
+    make_table_descriptor,
+    oa_mask_for_level,
+)
+
+
+class TestEntryKind:
+    def test_zero_is_invalid(self):
+        for level in range(4):
+            assert entry_kind(0, level) is EntryKind.INVALID
+
+    def test_annotated_invalid(self):
+        raw = make_invalid_annotated(7)
+        assert entry_kind(raw, 3) is EntryKind.INVALID_ANNOTATED
+
+    def test_table_at_levels_0_to_2(self):
+        raw = make_table_descriptor(0x4000_0000)
+        for level in range(3):
+            assert entry_kind(raw, level) is EntryKind.TABLE
+
+    def test_page_at_level_3(self):
+        raw = make_page_descriptor(0x4000_0000, Stage.STAGE1, Perms.rw())
+        assert entry_kind(raw, 3) is EntryKind.PAGE
+
+    def test_block_at_levels_1_and_2(self):
+        raw = make_block_descriptor(0x4000_0000, 2, Stage.STAGE2, Perms.rwx())
+        assert entry_kind(raw, 2) is EntryKind.BLOCK
+
+    def test_block_encoding_reserved_at_level_0(self):
+        raw = make_block_descriptor(0x4000_0000, 1, Stage.STAGE2, Perms.rwx())
+        assert entry_kind(raw, 0) is EntryKind.INVALID
+
+    def test_is_leaf(self):
+        assert EntryKind.BLOCK.is_leaf and EntryKind.PAGE.is_leaf
+        assert not EntryKind.TABLE.is_leaf
+        assert not EntryKind.INVALID.is_leaf
+
+
+class TestStage1Encoding:
+    def test_rw_roundtrip(self):
+        raw = make_page_descriptor(0x5000_0000, Stage.STAGE1, Perms.rw())
+        pte = decode_descriptor(raw, 3, Stage.STAGE1)
+        assert pte.kind is EntryKind.PAGE
+        assert pte.oa == 0x5000_0000
+        assert pte.perms == Perms.rw()
+        assert pte.memtype is MemType.NORMAL
+
+    def test_read_only(self):
+        raw = make_page_descriptor(0x5000_0000, Stage.STAGE1, Perms.r_only())
+        pte = decode_descriptor(raw, 3, Stage.STAGE1)
+        assert not pte.perms.w
+
+    def test_executable(self):
+        raw = make_page_descriptor(0x5000_0000, Stage.STAGE1, Perms.rx())
+        pte = decode_descriptor(raw, 3, Stage.STAGE1)
+        assert pte.perms.x
+
+    def test_stage1_always_readable(self):
+        with pytest.raises(ValueError):
+            make_page_descriptor(0, Stage.STAGE1, Perms(False, True, False))
+
+    def test_device_memtype(self):
+        raw = make_page_descriptor(
+            0x0900_0000, Stage.STAGE1, Perms.rw(), MemType.DEVICE
+        )
+        pte = decode_descriptor(raw, 3, Stage.STAGE1)
+        assert pte.memtype is MemType.DEVICE
+
+
+class TestStage2Encoding:
+    @pytest.mark.parametrize(
+        "perms", [Perms.rwx(), Perms.rw(), Perms.r_only(), Perms.rx()]
+    )
+    def test_perm_roundtrip(self, perms):
+        raw = make_page_descriptor(0x6000_0000, Stage.STAGE2, perms)
+        pte = decode_descriptor(raw, 3, Stage.STAGE2)
+        assert pte.perms == perms
+
+    @pytest.mark.parametrize("state", list(PageState))
+    def test_page_state_roundtrip(self, state):
+        raw = make_page_descriptor(
+            0x6000_0000, Stage.STAGE2, Perms.rwx(), page_state=state
+        )
+        pte = decode_descriptor(raw, 3, Stage.STAGE2)
+        assert pte.page_state is state
+
+    def test_page_state_strings(self):
+        assert str(PageState.OWNED) == "S0"
+        assert str(PageState.SHARED_OWNED) == "SO"
+        assert str(PageState.SHARED_BORROWED) == "SB"
+
+
+class TestBlocks:
+    def test_block_oa_mask(self):
+        assert oa_mask_for_level(3) & 0xFFF == 0
+        assert oa_mask_for_level(2) & 0x1F_FFFF == 0
+
+    def test_block_roundtrip(self):
+        raw = make_block_descriptor(0x4020_0000, 2, Stage.STAGE2, Perms.rwx())
+        pte = decode_descriptor(raw, 2, Stage.STAGE2)
+        assert pte.kind is EntryKind.BLOCK
+        assert pte.oa == 0x4020_0000
+
+    def test_block_misalignment_rejected(self):
+        with pytest.raises(ValueError):
+            make_block_descriptor(0x4000_1000, 2, Stage.STAGE2, Perms.rwx())
+
+    def test_block_level_rejected(self):
+        with pytest.raises(ValueError):
+            make_block_descriptor(0x4000_0000, 3, Stage.STAGE2, Perms.rwx())
+        with pytest.raises(ValueError):
+            make_block_descriptor(0, 0, Stage.STAGE2, Perms.rwx())
+
+
+class TestAnnotations:
+    def test_owner_roundtrip(self):
+        raw = make_invalid_annotated(42)
+        pte = decode_descriptor(raw, 3, Stage.STAGE2)
+        assert pte.kind is EntryKind.INVALID_ANNOTATED
+        assert pte.owner_id == 42
+
+    def test_annotation_is_invalid_to_hardware(self):
+        raw = make_invalid_annotated(42)
+        assert raw & 1 == 0
+
+    def test_owner_range(self):
+        with pytest.raises(ValueError):
+            make_invalid_annotated(0)  # host is the all-zero default
+        with pytest.raises(ValueError):
+            make_invalid_annotated(256)
+
+    def test_table_address_must_be_aligned(self):
+        with pytest.raises(ValueError):
+            make_table_descriptor(0x4000_0800)

@@ -1,0 +1,109 @@
+"""Unit-level tests for the random tester's abstract model and guidance."""
+
+import pytest
+
+from repro.machine import Machine
+from repro.testing.random_tester import ModelState, ModelVm, RandomTester
+
+
+@pytest.fixture
+def tester():
+    return RandomTester(Machine(), seed=0)
+
+
+class TestModelState:
+    def test_fresh_page_enters_pool(self, tester):
+        page = tester._fresh_page()
+        assert page in tester.model.host_pages
+
+    def test_pick_prefers_known_pages(self, tester):
+        pages = {tester._fresh_page() for _ in range(4)}
+        picks = {tester._pick_host_page() for _ in range(30)}
+        assert picks & pages  # known pages get re-picked
+
+    def test_crash_predictor_rejects_donated(self, tester):
+        page = tester._fresh_page()
+        tester.model.donated_pages.add(page)
+        tester.model.host_pages.remove(page)
+        assert tester._would_crash_host("touch", page)
+
+    def test_crash_predictor_rejects_carveout(self, tester):
+        carve = tester.machine.pkvm.carveout
+        assert tester._would_crash_host("touch", carve.base)
+
+    def test_crash_predictor_allows_owned(self, tester):
+        page = tester._fresh_page()
+        assert not tester._would_crash_host("touch", page)
+
+    def test_model_vm_defaults(self):
+        vm = ModelVm(0x1000, 2)
+        assert vm.protected
+        assert vm.loaded_vcpu is None
+        assert vm.lent_gfns == {}
+
+
+class TestActions:
+    def test_every_action_has_a_handler(self, tester):
+        for name, _weight in RandomTester.ACTIONS:
+            assert hasattr(tester, f"_do_{name}"), name
+
+    def test_action_weights_shape_distribution(self, tester):
+        from collections import Counter
+
+        counts = Counter(tester._actions)
+        weights = dict(RandomTester.ACTIONS)
+        assert counts["share"] == weights["share"]
+        assert counts["garbage_hvc"] == weights["garbage_hvc"]
+
+    def test_share_action_updates_model(self, tester):
+        before = len(tester.model.shared_pages)
+        for _ in range(20):
+            tester._do_share()
+        assert len(tester.model.shared_pages) > before
+
+    def test_create_vm_tracks_handles(self, tester):
+        for _ in range(10):
+            tester._do_create_vm()
+        assert tester.model.vms
+        for handle, vm in tester.model.vms.items():
+            assert tester.machine.pkvm.vm_table.get(handle) is not None
+            assert vm.handle == handle
+
+    def test_vm_cap_respected(self, tester):
+        for _ in range(40):
+            tester._do_create_vm()
+        assert len(tester.model.vms) <= 4
+
+    def test_garbage_hvc_counted_as_error(self, tester):
+        tester._do_garbage_hvc()
+        assert tester.stats.error_returns >= 1
+
+
+class TestGuidanceAblation:
+    def test_unguided_pick_ranges_widely(self):
+        tester = RandomTester(Machine(ghost=False), seed=0, guided=False)
+        picks = {tester._pick_host_page() for _ in range(50)}
+        dram = tester.machine.mem.dram_regions()[-1]
+        assert len(picks) > 30  # spread out, not pooled
+        assert all(p >= dram.base for p in picks)
+
+    def test_unguided_touch_skips_predictor(self):
+        tester = RandomTester(Machine(ghost=False), seed=1, guided=False)
+        for _ in range(30):
+            try:
+                tester._do_touch()
+            except Exception:  # noqa: BLE001 - crashes handled by run()
+                pass
+        assert tester.stats.rejected_crashy == 0
+
+
+class TestStats:
+    def test_hypercalls_per_hour_zero_before_run(self):
+        from repro.testing.random_tester import RandomRunStats
+
+        assert RandomRunStats().hypercalls_per_hour == 0.0
+
+    def test_run_accumulates_seconds(self, tester):
+        tester.run(20)
+        assert tester.stats.seconds > 0
+        assert tester.stats.steps == 20

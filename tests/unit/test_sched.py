@@ -1,0 +1,160 @@
+"""Unit tests for the deterministic cooperative scheduler."""
+
+import pytest
+
+from repro.sim.sched import DeadlockError, Scheduler, current_scheduler, yield_point
+
+
+def test_single_thread_runs_to_completion():
+    s = Scheduler()
+    s.spawn(lambda: 42, "only")
+    assert s.run() == {"only": 42}
+
+
+def test_round_robin_alternates():
+    s = Scheduler(policy="rr")
+    trace = []
+
+    def make(name):
+        def body():
+            for i in range(3):
+                trace.append(name)
+                yield_point()
+        return body
+
+    s.spawn(make("a"), "a")
+    s.spawn(make("b"), "b")
+    s.run()
+    assert trace == ["a", "b", "a", "b", "a", "b"]
+
+
+def test_random_policy_is_seed_deterministic():
+    def run_with(seed):
+        s = Scheduler(policy="random", seed=seed)
+        trace = []
+
+        def make(name):
+            def body():
+                for _ in range(5):
+                    trace.append(name)
+                    yield_point()
+            return body
+
+        for name in ("a", "b", "c"):
+            s.spawn(make(name), name)
+        s.run()
+        return trace
+
+    assert run_with(3) == run_with(3)
+    # Different seeds usually produce different interleavings.
+    assert any(run_with(3) != run_with(s) for s in range(4, 10))
+
+
+def test_script_policy_follows_script():
+    s = Scheduler(policy="script", script=["b", "a", "b"])
+    trace = []
+
+    def make(name):
+        def body():
+            for _ in range(2):
+                trace.append(name)
+                yield_point()
+        return body
+
+    s.spawn(make("a"), "a")
+    s.spawn(make("b"), "b")
+    s.run()
+    assert trace[0] == "a"  # first spawned starts
+    assert trace[1] == "b"  # script hands over
+
+
+def test_script_requires_script():
+    with pytest.raises(ValueError):
+        Scheduler(policy="script")
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError):
+        Scheduler(policy="fifo")
+
+
+def test_duplicate_names_rejected():
+    s = Scheduler()
+    s.spawn(lambda: 1, "x")
+    with pytest.raises(ValueError):
+        s.spawn(lambda: 2, "x")
+
+
+def test_exception_propagates_after_all_finish():
+    s = Scheduler(policy="rr")
+    done = []
+
+    def failing():
+        yield_point()
+        raise RuntimeError("boom")
+
+    s.spawn(failing, "bad")
+    s.spawn(lambda: done.append(True), "good")
+    with pytest.raises(RuntimeError, match="boom"):
+        s.run()
+    assert done == [True]
+
+
+def test_current_scheduler_visible_inside_threads():
+    s = Scheduler()
+    seen = []
+    s.spawn(lambda: seen.append(current_scheduler() is s), "t")
+    s.run()
+    assert seen == [True]
+
+
+def test_current_scheduler_none_outside():
+    assert current_scheduler() is None
+    yield_point()  # no-op, must not raise
+
+
+def test_block_until_waits_for_peer():
+    s = Scheduler(policy="rr")
+    state = {"ready": False}
+    order = []
+
+    def waiter():
+        sched = current_scheduler()
+        sched.block_until(lambda: state["ready"], "ready-flag")
+        order.append("waiter")
+
+    def setter():
+        yield_point()
+        state["ready"] = True
+        order.append("setter")
+
+    s.spawn(waiter, "w")
+    s.spawn(setter, "s")
+    s.run()
+    assert order == ["setter", "waiter"]
+
+
+def test_block_until_detects_deadlock():
+    s = Scheduler(policy="rr")
+
+    def stuck():
+        current_scheduler().block_until(lambda: False, "never")
+
+    s.spawn(stuck, "a")
+    s.spawn(stuck, "b")
+    with pytest.raises(DeadlockError):
+        s.run()
+
+
+def test_trace_records_yield_points():
+    s = Scheduler(policy="rr")
+    s.spawn(lambda: yield_point("tagged"), "t")
+    s.run()
+    assert any(tag == "tagged" for _tick, _name, tag in s.trace)
+
+
+def test_ticks_advance():
+    s = Scheduler(policy="rr")
+    s.spawn(lambda: [yield_point() for _ in range(4)], "t")
+    s.run()
+    assert s.ticks == 4

@@ -1,0 +1,319 @@
+"""Unit tests for the specification functions, run directly on synthetic
+ghost states (no hypervisor involved — the specs are pure)."""
+
+import pytest
+
+from repro.arch.defs import PAGE_SIZE, Perms
+from repro.arch.exceptions import EsrEc
+from repro.arch.pte import PageState
+from repro.ghost.calldata import GhostCallData
+from repro.ghost.maplets import Mapping, MapletTarget
+from repro.ghost.spec import (
+    SpecAccessError,
+    compute_post__host_mem_abort,
+    compute_post__pkvm_host_share_hyp,
+    compute_post__pkvm_host_unshare_hyp,
+    compute_post__pkvm_memcache_topup,
+    compute_post__pkvm_vcpu_load,
+    compute_post_trap,
+    is_owned_exclusively_by_host,
+)
+from repro.ghost.state import (
+    GhostCpuLocal,
+    GhostGlobals,
+    GhostHost,
+    GhostLoadedVcpu,
+    GhostPkvm,
+    GhostState,
+    GhostVcpuRef,
+    GhostVm,
+    GhostVms,
+)
+from repro.pkvm.defs import E2BIG, EINVAL, ENOENT, EPERM, HypercallId, u64
+
+OFFSET = 0x8000_0000_0000
+GLOBALS = GhostGlobals(
+    nr_cpus=1,
+    hyp_va_offset=OFFSET,
+    dram_ranges=((0x4000_0000, 0x5000_0000),),
+    device_ranges=((0x0900_0000, 0x0900_1000),),
+    carveout=(0x4F00_0000, 0x5000_0000),
+)
+PAGE = 0x4100_0000
+CPU = 0
+
+
+def fresh_pre(call_id: int, *args: int) -> GhostState:
+    """A pre-state as the checker would assemble it for a host hvc."""
+    g = GhostState.blank(GLOBALS)
+    regs = [0] * 31
+    regs[0] = call_id
+    for i, a in enumerate(args, start=1):
+        regs[i] = a
+    g.locals_[CPU] = GhostCpuLocal(present=True, regs=tuple(regs))
+    g.host = GhostHost(present=True)
+    g.pkvm = GhostPkvm(present=True)
+    g.vms = GhostVms(present=True)
+    return g
+
+
+def hvc_call(impl_ret: int = 0) -> GhostCallData:
+    return GhostCallData(ec=EsrEc.HVC64, impl_ret=impl_ret)
+
+
+class TestShareSpec:
+    def test_successful_share(self):
+        g_pre = fresh_pre(HypercallId.HOST_SHARE_HYP, PAGE >> 12)
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_host_share_hyp(g_post, g_pre, hvc_call(), CPU)
+        assert res.valid and res.ret == 0
+        assert res.touched == {"host", "pkvm", "local:0"}
+        shared = g_post.host.shared.lookup(PAGE)
+        assert shared.page_state is PageState.SHARED_OWNED
+        borrowed = g_post.pkvm.pgt.mapping.lookup(PAGE + OFFSET)
+        assert borrowed.page_state is PageState.SHARED_BORROWED
+        assert not borrowed.perms.x
+        # the epilogue: x0 cleared, x1 = 0
+        assert g_post.locals_[CPU].regs[0] == 0
+        assert g_post.locals_[CPU].regs[1] == 0
+
+    def test_share_mmio_is_einval(self):
+        g_pre = fresh_pre(HypercallId.HOST_SHARE_HYP, 0x0900_0000 >> 12)
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_host_share_hyp(g_post, g_pre, hvc_call(), CPU)
+        assert res.ret == -EINVAL
+        assert res.touched == {"local:0"}
+        assert g_post.locals_[CPU].regs[1] == u64(-EINVAL)
+
+    def test_share_non_exclusive_is_eperm(self):
+        g_pre = fresh_pre(HypercallId.HOST_SHARE_HYP, PAGE >> 12)
+        g_pre.host.annot.insert(PAGE, 1, MapletTarget.annotated(1))
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_host_share_hyp(g_post, g_pre, hvc_call(), CPU)
+        assert res.ret == -EPERM
+
+    def test_enomem_looseness_skips(self):
+        from repro.pkvm.defs import ENOMEM
+
+        g_pre = fresh_pre(HypercallId.HOST_SHARE_HYP, PAGE >> 12)
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_host_share_hyp(
+            g_post, g_pre, hvc_call(impl_ret=-ENOMEM), CPU
+        )
+        assert not res.valid
+        assert "ENOMEM" in res.note
+
+    def test_spec_requires_host_component(self):
+        g_pre = fresh_pre(HypercallId.HOST_SHARE_HYP, PAGE >> 12)
+        g_pre.host = GhostHost(present=False)
+        g_post = GhostState.blank(GLOBALS)
+        with pytest.raises(SpecAccessError):
+            compute_post__pkvm_host_share_hyp(g_post, g_pre, hvc_call(), CPU)
+
+    def test_spec_does_not_mutate_pre(self):
+        g_pre = fresh_pre(HypercallId.HOST_SHARE_HYP, PAGE >> 12)
+        g_post = GhostState.blank(GLOBALS)
+        compute_post__pkvm_host_share_hyp(g_post, g_pre, hvc_call(), CPU)
+        assert not g_pre.host.shared
+        assert not g_pre.pkvm.pgt.mapping
+
+
+class TestUnshareSpec:
+    def _pre_shared(self):
+        g = fresh_pre(HypercallId.HOST_UNSHARE_HYP, PAGE >> 12)
+        g.host.shared.insert(
+            PAGE,
+            1,
+            MapletTarget.mapped(PAGE, Perms.rwx(), page_state=PageState.SHARED_OWNED),
+        )
+        g.pkvm.pgt.mapping.insert(
+            PAGE + OFFSET,
+            1,
+            MapletTarget.mapped(
+                PAGE, Perms.rw(), page_state=PageState.SHARED_BORROWED
+            ),
+        )
+        return g
+
+    def test_successful_unshare(self):
+        g_pre = self._pre_shared()
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_host_unshare_hyp(g_post, g_pre, hvc_call(), CPU)
+        assert res.valid and res.ret == 0
+        assert not g_post.host.shared
+        assert not g_post.pkvm.pgt.mapping
+
+    def test_unshare_unshared_is_eperm(self):
+        g_pre = fresh_pre(HypercallId.HOST_UNSHARE_HYP, PAGE >> 12)
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_host_unshare_hyp(g_post, g_pre, hvc_call(), CPU)
+        assert res.ret == -EPERM
+
+    def test_unshare_borrowed_is_eperm(self):
+        g_pre = fresh_pre(HypercallId.HOST_UNSHARE_HYP, PAGE >> 12)
+        g_pre.host.shared.insert(
+            PAGE,
+            1,
+            MapletTarget.mapped(
+                PAGE, Perms.rwx(), page_state=PageState.SHARED_BORROWED
+            ),
+        )
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_host_unshare_hyp(g_post, g_pre, hvc_call(), CPU)
+        assert res.ret == -EPERM
+
+
+class TestVcpuLoadSpec:
+    def _pre_with_vm(self, initialized=True, loaded_on=None):
+        g = fresh_pre(HypercallId.VCPU_LOAD, 0x1000, 0)
+        ref = GhostVcpuRef(0, initialized, loaded_on, memcache_pages=(PAGE,))
+        g.vms.vms[0x1000] = GhostVm(0x1000, 0, True, 1, vcpus=(ref,))
+        return g
+
+    def test_successful_load_transfers_ownership(self):
+        g_pre = self._pre_with_vm()
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_vcpu_load(g_post, g_pre, hvc_call(), CPU)
+        assert res.valid and res.ret == 0
+        ref = g_post.vms.vms[0x1000].vcpus[0]
+        assert ref.loaded_on == CPU
+        assert ref.memcache_pages is None  # contents moved to the local
+        loaded = g_post.locals_[CPU].loaded_vcpu
+        assert loaded == GhostLoadedVcpu(0x1000, 0, (PAGE,))
+
+    def test_load_bad_handle(self):
+        g_pre = fresh_pre(HypercallId.VCPU_LOAD, 0x9999, 0)
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_vcpu_load(g_post, g_pre, hvc_call(), CPU)
+        assert res.ret == -ENOENT
+
+    def test_load_uninitialized_vcpu_rejected(self):
+        g_pre = self._pre_with_vm(initialized=False)
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_vcpu_load(g_post, g_pre, hvc_call(), CPU)
+        assert res.ret == -ENOENT
+
+    def test_load_already_loaded_rejected(self):
+        from repro.pkvm.defs import EBUSY
+
+        g_pre = self._pre_with_vm(loaded_on=3)
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_vcpu_load(g_post, g_pre, hvc_call(), CPU)
+        assert res.ret == -EBUSY
+
+
+class TestTopupSpec:
+    def _pre_loaded(self, nr, list_page=PAGE):
+        g = fresh_pre(HypercallId.MEMCACHE_TOPUP, list_page >> 12, nr)
+        g.locals_[CPU].loaded_vcpu = GhostLoadedVcpu(0x1000, 0, ())
+        g.pkvm.pgt.mapping.insert(
+            list_page + OFFSET,
+            1,
+            MapletTarget.mapped(
+                list_page, Perms.rw(), page_state=PageState.SHARED_BORROWED
+            ),
+        )
+        return g
+
+    def test_topup_applies_donations(self):
+        g_pre = self._pre_loaded(2)
+        call = hvc_call()
+        call.read_once = [(PAGE, 0x4200_0000), (PAGE + 8, 0x4201_0000)]
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_memcache_topup(g_post, g_pre, call, CPU)
+        assert res.valid and res.ret == 0
+        assert g_post.host.annot.lookup(0x4200_0000) is not None
+        assert g_post.locals_[CPU].loaded_vcpu.memcache_pages == (
+            0x4200_0000,
+            0x4201_0000,
+        )
+
+    def test_topup_too_big_fails_upfront(self):
+        g_pre = self._pre_loaded(1 << 40)
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_memcache_topup(g_post, g_pre, hvc_call(), CPU)
+        assert res.ret == -E2BIG
+        assert res.touched == {"local:0"}
+
+    def test_topup_unaligned_entry_stops(self):
+        g_pre = self._pre_loaded(2)
+        call = hvc_call()
+        call.read_once = [(PAGE, 0x4200_0040)]
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_memcache_topup(g_post, g_pre, call, CPU)
+        assert res.ret == -EINVAL
+
+    def test_topup_without_loaded_vcpu(self):
+        g_pre = self._pre_loaded(1)
+        g_pre.locals_[CPU].loaded_vcpu = None
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_memcache_topup(g_post, g_pre, hvc_call(), CPU)
+        assert res.ret == -EINVAL
+
+
+class TestMemAbortSpec:
+    def _abort_call(self, ipa):
+        return GhostCallData(ec=EsrEc.DATA_ABORT_LOWER, fault_ipa=ipa)
+
+    def _pre(self):
+        g = fresh_pre(0)
+        return g
+
+    def test_fault_on_owned_memory_resolves(self):
+        g_pre = self._pre()
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__host_mem_abort(
+            g_post, g_pre, self._abort_call(PAGE), CPU
+        )
+        assert res.ret == 0
+        assert res.touched == {"local:0"}  # host deliberately untouched
+        assert g_post.locals_[CPU].regs[1] == 0
+
+    def test_fault_on_device_resolves(self):
+        g_pre = self._pre()
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__host_mem_abort(
+            g_post, g_pre, self._abort_call(0x0900_0000), CPU
+        )
+        assert res.ret == 0
+
+    def test_fault_on_annotated_page_injects(self):
+        g_pre = self._pre()
+        g_pre.host.annot.insert(PAGE, 1, MapletTarget.annotated(1))
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__host_mem_abort(
+            g_post, g_pre, self._abort_call(PAGE), CPU
+        )
+        assert res.ret == 1
+        assert g_post.locals_[CPU].regs[1] == 1
+
+    def test_fault_outside_any_region_injects(self):
+        g_pre = self._pre()
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__host_mem_abort(
+            g_post, g_pre, self._abort_call(0x2000_0000), CPU
+        )
+        assert res.ret == 1
+
+
+class TestTopLevelDispatch:
+    def test_unknown_hypercall_is_einval(self):
+        g_pre = fresh_pre(0xDEAD_BEEF)
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post_trap(g_post, g_pre, hvc_call(), CPU)
+        assert res.valid and res.ret == -EINVAL
+
+    def test_dispatch_reaches_share(self):
+        g_pre = fresh_pre(HypercallId.HOST_SHARE_HYP, PAGE >> 12)
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post_trap(g_post, g_pre, hvc_call(), CPU)
+        assert res.valid and res.ret == 0
+        assert "host" in res.touched
+
+    def test_helpers(self):
+        g = fresh_pre(0)
+        assert is_owned_exclusively_by_host(g, PAGE)
+        g.host.shared.insert(
+            PAGE, 1, MapletTarget.mapped(PAGE, Perms.rwx())
+        )
+        assert not is_owned_exclusively_by_host(g, PAGE)

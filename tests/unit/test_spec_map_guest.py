@@ -1,0 +1,166 @@
+"""Unit tests for the host_map_guest specification and the dispatch
+table's completeness."""
+
+import pytest
+
+from repro.arch.defs import PAGE_SIZE, Perms
+from repro.arch.exceptions import EsrEc
+from repro.arch.pte import PageState
+from repro.ghost.calldata import GhostCallData
+from repro.ghost.maplets import Mapping, MapletTarget
+from repro.ghost.spec import (
+    OOM_PERMITTED,
+    compute_post__pkvm_host_map_guest,
+    _compute_post_hcall,
+)
+from repro.ghost.state import (
+    AbstractPgtable,
+    GhostCpuLocal,
+    GhostGlobals,
+    GhostHost,
+    GhostLoadedVcpu,
+    GhostPkvm,
+    GhostState,
+    GhostVcpuRef,
+    GhostVm,
+    GhostVms,
+)
+from repro.pkvm.defs import EINVAL, ENOMEM, EPERM, HypercallId, OwnerId
+from repro.pkvm.vm import HANDLE_OFFSET
+
+GLOBALS = GhostGlobals(
+    nr_cpus=1,
+    hyp_va_offset=0x8000_0000_0000,
+    dram_ranges=((0x4000_0000, 0x5000_0000),),
+    carveout=(0x4F00_0000, 0x5000_0000),
+)
+CPU = 0
+HANDLE = HANDLE_OFFSET
+PAGE = 0x4200_0000
+MC_PAGES = (0x4201_0000, 0x4202_0000, 0x4203_0000)
+
+
+def pre(pfn=PAGE >> 12, gfn=0x40, loaded=True):
+    g = GhostState.blank(GLOBALS)
+    regs = [0] * 31
+    regs[0] = HypercallId.HOST_MAP_GUEST
+    regs[1] = pfn
+    regs[2] = gfn
+    g.locals_[CPU] = GhostCpuLocal(
+        present=True,
+        regs=tuple(regs),
+        loaded_vcpu=GhostLoadedVcpu(HANDLE, 0, MC_PAGES) if loaded else None,
+    )
+    g.host = GhostHost(present=True)
+    g.pkvm = GhostPkvm(present=True)
+    ref = GhostVcpuRef(0, True, CPU, None)
+    g.vms = GhostVms(
+        present=True, vms={HANDLE: GhostVm(HANDLE, 0, True, 1, vcpus=(ref,))}
+    )
+    g.vm_pgts[HANDLE] = AbstractPgtable()
+    return g
+
+
+def call(after=MC_PAGES[:-2], impl_ret=0):
+    c = GhostCallData(ec=EsrEc.HVC64, impl_ret=impl_ret)
+    c.memcache_after = tuple(after) if after is not None else None
+    return c
+
+
+class TestMapGuestSpec:
+    def test_successful_donation(self):
+        g_pre = pre()
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_host_map_guest(g_post, g_pre, call(), CPU)
+        assert res.valid and res.ret == 0
+        guest = g_post.vm_pgts[HANDLE].mapping.lookup(0x40 * PAGE_SIZE)
+        assert guest.oa == PAGE and guest.page_state is PageState.OWNED
+        annot = g_post.host.annot.lookup(PAGE)
+        assert annot.owner_id == int(OwnerId.GUEST)
+        assert g_post.locals_[CPU].loaded_vcpu.memcache_pages == MC_PAGES[:-2]
+
+    def test_without_loaded_vcpu(self):
+        g_pre = pre(loaded=False)
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_host_map_guest(g_post, g_pre, call(), CPU)
+        assert res.ret == -EINVAL
+
+    def test_mmio_rejected(self):
+        g_pre = pre(pfn=0x0900_0000 >> 12)
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_host_map_guest(g_post, g_pre, call(), CPU)
+        assert res.ret == -EINVAL
+
+    def test_shared_page_rejected(self):
+        g_pre = pre()
+        g_pre.host.shared.insert(
+            PAGE, 1, MapletTarget.mapped(PAGE, Perms.rwx())
+        )
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_host_map_guest(g_post, g_pre, call(), CPU)
+        assert res.ret == -EPERM
+
+    def test_occupied_gfn_rejected(self):
+        g_pre = pre()
+        g_pre.vm_pgts[HANDLE] = AbstractPgtable(
+            Mapping.singleton(
+                0x40 * PAGE_SIZE,
+                1,
+                MapletTarget.mapped(0x4300_0000, Perms.rwx()),
+            )
+        )
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_host_map_guest(g_post, g_pre, call(), CPU)
+        assert res.ret == -EPERM
+
+    def test_memcache_growth_flagged(self):
+        g_pre = pre()
+        grown = MC_PAGES + (0x4209_0000,)
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_host_map_guest(
+            g_post, g_pre, call(after=grown), CPU
+        )
+        assert "grew" in res.note
+
+    def test_missing_memcache_data_skips(self):
+        g_pre = pre()
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_host_map_guest(
+            g_post, g_pre, call(after=None), CPU
+        )
+        assert not res.valid
+
+    def test_enomem_looseness(self):
+        g_pre = pre()
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_host_map_guest(
+            g_post, g_pre, call(impl_ret=-ENOMEM), CPU
+        )
+        assert not res.valid
+        assert "ENOMEM" in res.note
+
+
+class TestDispatchTable:
+    def test_every_hypercall_id_has_a_spec(self):
+        """Spec/implementation parity: every hypercall the dispatcher
+        accepts has a spec function registered (by source inspection of
+        the dispatch table), and running each on a well-formed pre-state
+        never crashes the spec layer."""
+        import inspect
+
+        source = inspect.getsource(_compute_post_hcall)
+        for hc in HypercallId:
+            assert f"HypercallId.{hc.name}:" in source, (
+                f"{hc.name} missing from the spec dispatch table"
+            )
+        g_pre = pre()
+        for hc in HypercallId:
+            regs = list(g_pre.locals_[CPU].regs)
+            regs[0] = int(hc)
+            g_pre.locals_[CPU].regs = tuple(regs)
+            g_post = GhostState.blank(GLOBALS)
+            res = _compute_post_hcall(g_post, g_pre, call(), CPU)
+            assert res is not None
+
+    def test_oom_permitted_ids_are_real(self):
+        assert OOM_PERMITTED <= set(HypercallId)

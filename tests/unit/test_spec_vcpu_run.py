@@ -1,0 +1,149 @@
+"""Unit tests for the vcpu_run specification: guest-event application,
+parametric exit reasons, and the mem-abort path of the top dispatcher."""
+
+import pytest
+
+from repro.arch.defs import PAGE_SIZE, Perms
+from repro.arch.exceptions import EsrEc
+from repro.arch.pte import PageState
+from repro.ghost.calldata import GhostCallData
+from repro.ghost.maplets import Mapping, MapletTarget
+from repro.ghost.spec import compute_post__pkvm_vcpu_run
+from repro.ghost.state import (
+    AbstractPgtable,
+    GhostCpuLocal,
+    GhostGlobals,
+    GhostHost,
+    GhostLoadedVcpu,
+    GhostPkvm,
+    GhostState,
+    GhostVcpuRef,
+    GhostVm,
+    GhostVms,
+)
+from repro.pkvm.defs import EINVAL, HypercallId
+from repro.pkvm.hyp import EXIT_DONE, EXIT_MEM_ABORT, GuestEvent
+from repro.pkvm.vm import HANDLE_OFFSET
+
+GLOBALS = GhostGlobals(
+    nr_cpus=1,
+    hyp_va_offset=0x8000_0000_0000,
+    dram_ranges=((0x4000_0000, 0x5000_0000),),
+    carveout=(0x4F00_0000, 0x5000_0000),
+)
+CPU = 0
+HANDLE = HANDLE_OFFSET
+GUEST_PHYS = 0x4300_0000
+GUEST_IPA = 0x40 * PAGE_SIZE
+
+
+def pre_with_running_guest(state=PageState.OWNED):
+    g = GhostState.blank(GLOBALS)
+    regs = [0] * 31
+    regs[0] = HypercallId.VCPU_RUN
+    g.locals_[CPU] = GhostCpuLocal(
+        present=True,
+        regs=tuple(regs),
+        loaded_vcpu=GhostLoadedVcpu(HANDLE, 0, ()),
+    )
+    g.host = GhostHost(present=True)
+    g.host.annot.insert(GUEST_PHYS, 1, MapletTarget.annotated(16))
+    g.pkvm = GhostPkvm(present=True)
+    ref = GhostVcpuRef(0, True, CPU, None)
+    g.vms = GhostVms(present=True, vms={HANDLE: GhostVm(HANDLE, 0, True, 1, vcpus=(ref,))})
+    g.vm_pgts[HANDLE] = AbstractPgtable(
+        Mapping.singleton(
+            GUEST_IPA,
+            1,
+            MapletTarget.mapped(GUEST_PHYS, Perms.rwx(), page_state=state),
+        )
+    )
+    return g
+
+
+def run_call(events=(), impl_ret=EXIT_DONE, aux=0):
+    call = GhostCallData(ec=EsrEc.HVC64, impl_ret=impl_ret, impl_aux=aux)
+    call.guest_events = list(events)
+    return call
+
+
+class TestPlainRuns:
+    def test_run_without_loaded_vcpu(self):
+        g_pre = pre_with_running_guest()
+        g_pre.locals_[CPU].loaded_vcpu = None
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_vcpu_run(g_post, g_pre, run_call(), CPU)
+        assert res.ret == -EINVAL
+
+    def test_halt_exit_touches_only_locals(self):
+        g_pre = pre_with_running_guest()
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_vcpu_run(g_post, g_pre, run_call(), CPU)
+        assert res.valid
+        assert res.touched == {"local:0"}
+        assert g_post.locals_[CPU].regs[1] == EXIT_DONE
+
+    def test_mem_abort_exit_is_parametric(self):
+        g_pre = pre_with_running_guest()
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_vcpu_run(
+            g_post,
+            g_pre,
+            run_call(impl_ret=EXIT_MEM_ABORT, aux=0x80 * PAGE_SIZE),
+            CPU,
+        )
+        assert res.valid
+        assert g_post.locals_[CPU].regs[1] == EXIT_MEM_ABORT
+        assert g_post.locals_[CPU].regs[2] == 0x80 * PAGE_SIZE
+
+
+class TestGuestEvents:
+    def test_share_event_moves_annotation_to_borrow(self):
+        g_pre = pre_with_running_guest()
+        event = GuestEvent("share", ipa=GUEST_IPA, phys=GUEST_PHYS, ret=0)
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_vcpu_run(g_post, g_pre, run_call([event]), CPU)
+        assert res.valid
+        assert res.touched == {"local:0", "host", f"vm_pgt:{HANDLE}"}
+        assert g_post.host.annot.lookup(GUEST_PHYS) is None
+        borrowed = g_post.host.shared.lookup(GUEST_PHYS)
+        assert borrowed.page_state is PageState.SHARED_BORROWED
+        guest = g_post.vm_pgts[HANDLE].mapping.lookup(GUEST_IPA)
+        assert guest.page_state is PageState.SHARED_OWNED
+
+    def test_share_of_unmapped_ipa_expects_enoent(self):
+        from repro.pkvm.defs import ENOENT
+
+        g_pre = pre_with_running_guest()
+        event = GuestEvent("share", ipa=0x99 * PAGE_SIZE, phys=0, ret=-ENOENT)
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_vcpu_run(g_post, g_pre, run_call([event]), CPU)
+        assert res.valid  # impl agreed with the spec's expected error
+
+    def test_event_ret_disagreement_is_visible(self):
+        """If the implementation *allowed* a share the abstract state says
+        is illegal, the spec result carries the disagreement note and the
+        computed post will not match."""
+        g_pre = pre_with_running_guest(state=PageState.SHARED_OWNED)
+        event = GuestEvent("share", ipa=GUEST_IPA, phys=GUEST_PHYS, ret=0)
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_vcpu_run(g_post, g_pre, run_call([event]), CPU)
+        assert "mismatch" in res.note
+
+    def test_unshare_event_restores_annotation(self):
+        g_pre = pre_with_running_guest(state=PageState.SHARED_OWNED)
+        g_pre.host.annot.remove(GUEST_PHYS, 1)
+        g_pre.host.shared.insert(
+            GUEST_PHYS,
+            1,
+            MapletTarget.mapped(
+                GUEST_PHYS, Perms.rwx(), page_state=PageState.SHARED_BORROWED
+            ),
+        )
+        event = GuestEvent("unshare", ipa=GUEST_IPA, phys=GUEST_PHYS, ret=0)
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_vcpu_run(g_post, g_pre, run_call([event]), CPU)
+        assert res.valid
+        assert g_post.host.shared.lookup(GUEST_PHYS) is None
+        annot = g_post.host.annot.lookup(GUEST_PHYS)
+        assert annot is not None and annot.owner_id == 16

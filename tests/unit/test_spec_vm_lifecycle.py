@@ -1,0 +1,353 @@
+"""Unit tests for the VM-lifecycle specification functions, run directly
+on synthetic ghost states (init_vm, init_vcpu, teardown, reclaim,
+vcpu_put, share_guest/unshare_guest)."""
+
+import pytest
+
+from repro.arch.defs import PAGE_SIZE, Perms
+from repro.arch.exceptions import EsrEc
+from repro.arch.pte import PageState
+from repro.ghost.calldata import GhostCallData
+from repro.ghost.maplets import Mapping, MapletTarget
+from repro.ghost.spec import (
+    compute_post__pkvm_host_reclaim_page,
+    compute_post__pkvm_host_share_guest,
+    compute_post__pkvm_host_unshare_guest,
+    compute_post__pkvm_init_vcpu,
+    compute_post__pkvm_init_vm,
+    compute_post__pkvm_teardown_vm,
+    compute_post__pkvm_vcpu_put,
+)
+from repro.ghost.state import (
+    AbstractPgtable,
+    GhostCpuLocal,
+    GhostGlobals,
+    GhostHost,
+    GhostLoadedVcpu,
+    GhostPkvm,
+    GhostState,
+    GhostVcpuRef,
+    GhostVm,
+    GhostVms,
+)
+from repro.pkvm.defs import EBUSY, EINVAL, ENOENT, EPERM, HypercallId
+from repro.pkvm.vm import HANDLE_OFFSET
+
+OFFSET = 0x8000_0000_0000
+GLOBALS = GhostGlobals(
+    nr_cpus=1,
+    hyp_va_offset=OFFSET,
+    dram_ranges=((0x4000_0000, 0x5000_0000),),
+    carveout=(0x4F00_0000, 0x5000_0000),
+)
+CPU = 0
+PARAMS = 0x4100_0000
+PGD = 0x4101_0000
+HANDLE = HANDLE_OFFSET
+
+
+def pre_state(call_id, *args) -> GhostState:
+    g = GhostState.blank(GLOBALS)
+    regs = [0] * 31
+    regs[0] = call_id
+    for i, a in enumerate(args, start=1):
+        regs[i] = a
+    g.locals_[CPU] = GhostCpuLocal(present=True, regs=tuple(regs))
+    g.host = GhostHost(present=True)
+    g.pkvm = GhostPkvm(present=True)
+    g.vms = GhostVms(present=True)
+    return g
+
+
+def call(impl_ret=0, reads=()):
+    c = GhostCallData(ec=EsrEc.HVC64, impl_ret=impl_ret)
+    c.read_once = [(0, v) for v in reads]
+    return c
+
+
+def with_shared_params(g):
+    """Mark the params page as shared-with-hyp in the pre-state."""
+    g.pkvm.pgt.mapping.insert(
+        PARAMS + OFFSET,
+        1,
+        MapletTarget.mapped(
+            PARAMS, Perms.rw(), page_state=PageState.SHARED_BORROWED
+        ),
+    )
+    return g
+
+
+class TestInitVmSpec:
+    def test_successful_creation(self):
+        g_pre = with_shared_params(
+            pre_state(HypercallId.INIT_VM, PARAMS >> 12)
+        )
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_init_vm(
+            g_post, g_pre, call(reads=[2, 1, PGD >> 12]), CPU
+        )
+        assert res.valid and res.ret == HANDLE
+        vm = g_post.vms.vms[HANDLE]
+        assert vm.nr_vcpus == 2 and vm.protected
+        assert vm.donated_pages == (PGD,)
+        assert g_post.vms.nr_created == 1
+        # the pgd was donated: annotated + mapped at hyp
+        assert g_post.host.annot.lookup(PGD) is not None
+        assert g_post.pkvm.pgt.mapping.lookup(PGD + OFFSET) is not None
+        # the new VM's stage 2 starts empty
+        assert not g_post.vm_pgts[HANDLE].mapping
+
+    def test_handle_uses_creation_counter(self):
+        g_pre = with_shared_params(
+            pre_state(HypercallId.INIT_VM, PARAMS >> 12)
+        )
+        g_pre.vms.nr_created = 7
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_init_vm(
+            g_post, g_pre, call(reads=[1, 1, PGD >> 12]), CPU
+        )
+        assert res.ret == HANDLE_OFFSET + 7
+
+    def test_unshared_params_rejected(self):
+        g_pre = pre_state(HypercallId.INIT_VM, PARAMS >> 12)
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_init_vm(g_post, g_pre, call(), CPU)
+        assert res.ret == -EPERM
+
+    def test_bad_vcpu_count_rejected(self):
+        g_pre = with_shared_params(
+            pre_state(HypercallId.INIT_VM, PARAMS >> 12)
+        )
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_init_vm(
+            g_post, g_pre, call(reads=[0, 1, PGD >> 12]), CPU
+        )
+        assert res.ret == -EINVAL
+
+    def test_read_divergence_skips(self):
+        g_pre = with_shared_params(
+            pre_state(HypercallId.INIT_VM, PARAMS >> 12)
+        )
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_init_vm(g_post, g_pre, call(reads=[1]), CPU)
+        assert not res.valid
+
+    def test_full_table_keeps_donation(self):
+        from repro.pkvm.vm import MAX_VMS
+        from repro.pkvm.defs import ENOMEM
+
+        g_pre = with_shared_params(
+            pre_state(HypercallId.INIT_VM, PARAMS >> 12)
+        )
+        for i in range(MAX_VMS):
+            g_pre.vms.vms[HANDLE_OFFSET + i] = GhostVm(
+                HANDLE_OFFSET + i, i, True, 1
+            )
+        g_pre.vms.nr_created = MAX_VMS
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_init_vm(
+            g_post, g_pre, call(impl_ret=-ENOMEM, reads=[1, 1, PGD >> 12]), CPU
+        )
+        # the donation happened and stays; only the insert failed
+        assert res.valid and res.ret == -ENOMEM
+        assert g_post.host.annot.lookup(PGD) is not None
+
+
+class TestInitVcpuSpec:
+    def _pre(self):
+        g = pre_state(HypercallId.INIT_VCPU, HANDLE, 0x4102_0000 >> 12)
+        g.vms.vms[HANDLE] = GhostVm(HANDLE, 0, True, 2, donated_pages=(PGD,))
+        return g
+
+    def test_appends_initialized_vcpu(self):
+        g_pre = self._pre()
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_init_vcpu(g_post, g_pre, call(), CPU)
+        assert res.valid and res.ret == 0
+        vm = g_post.vms.vms[HANDLE]
+        assert len(vm.vcpus) == 1
+        assert vm.vcpus[0].initialized
+        assert vm.vcpus[0].memcache_pages == ()
+        assert 0x4102_0000 in vm.donated_pages
+
+    def test_bad_handle(self):
+        g_pre = pre_state(HypercallId.INIT_VCPU, 0x9999, 0x4102_0000 >> 12)
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_init_vcpu(g_post, g_pre, call(), CPU)
+        assert res.ret == -ENOENT
+
+    def test_overflow(self):
+        g_pre = self._pre()
+        ref = GhostVcpuRef(0, True, None, ())
+        g_pre.vms.vms[HANDLE] = GhostVm(
+            HANDLE, 0, True, 1, vcpus=(ref,), donated_pages=(PGD,)
+        )
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_init_vcpu(g_post, g_pre, call(), CPU)
+        assert res.ret == -EINVAL
+
+
+class TestTeardownSpec:
+    def _pre_with_guest_state(self):
+        g = pre_state(HypercallId.TEARDOWN_VM, HANDLE)
+        ref = GhostVcpuRef(0, True, None, (0x4103_0000,))
+        g.vms.vms[HANDLE] = GhostVm(
+            HANDLE, 0, True, 1, vcpus=(ref,), donated_pages=(PGD,)
+        )
+        mapping = Mapping()
+        mapping.insert(
+            0x40 * PAGE_SIZE,
+            1,
+            MapletTarget.mapped(
+                0x4104_0000, Perms.rwx(), page_state=PageState.OWNED
+            ),
+        )
+        mapping.insert(
+            0x41 * PAGE_SIZE,
+            1,
+            MapletTarget.mapped(
+                0x4105_0000, Perms.rwx(), page_state=PageState.SHARED_BORROWED
+            ),
+        )
+        g.vm_pgts[HANDLE] = AbstractPgtable(
+            mapping, frozenset({PGD, 0x4106_0000})
+        )
+        return g
+
+    def test_reclaim_set_is_exact(self):
+        g_pre = self._pre_with_guest_state()
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_teardown_vm(g_post, g_pre, call(), CPU)
+        assert res.valid and res.ret == 0
+        assert HANDLE not in g_post.vms.vms
+        rec = g_post.vms.reclaimable
+        assert rec[0x4104_0000][0] == "guest"     # guest-owned page
+        assert rec[0x4105_0000][0] == "hostshare" # page the host lent in
+        assert rec[PGD] == ("hyp",)               # donated metadata
+        assert rec[0x4103_0000] == ("hyp",)       # memcache page
+        assert rec[0x4106_0000] == ("hyp",)       # table page (not root)
+
+    def test_loaded_vcpu_blocks(self):
+        g_pre = self._pre_with_guest_state()
+        vm = g_pre.vms.vms[HANDLE]
+        from dataclasses import replace
+
+        g_pre.vms.vms[HANDLE] = GhostVm(
+            HANDLE,
+            0,
+            True,
+            1,
+            vcpus=(replace(vm.vcpus[0], loaded_on=0, memcache_pages=None),),
+            donated_pages=(PGD,),
+        )
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_teardown_vm(g_post, g_pre, call(), CPU)
+        assert res.ret == -EBUSY
+
+
+class TestReclaimSpec:
+    def test_hostshare_reclaim_withdraws(self):
+        phys = 0x4105_0000
+        g_pre = pre_state(HypercallId.HOST_RECLAIM_PAGE, phys >> 12)
+        g_pre.vms.reclaimable[phys] = ("hostshare", 0x41 * PAGE_SIZE, HANDLE)
+        g_pre.host.shared.insert(
+            phys,
+            1,
+            MapletTarget.mapped(
+                phys, Perms.rwx(), page_state=PageState.SHARED_OWNED
+            ),
+        )
+        mapping = Mapping.singleton(
+            0x41 * PAGE_SIZE,
+            1,
+            MapletTarget.mapped(
+                phys, Perms.rwx(), page_state=PageState.SHARED_BORROWED
+            ),
+        )
+        g_pre.vm_pgts[HANDLE] = AbstractPgtable(mapping)
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_host_reclaim_page(g_post, g_pre, call(), CPU)
+        assert res.valid and res.ret == 0
+        assert g_post.host.shared.lookup(phys) is None
+        assert phys not in g_post.vms.reclaimable
+
+    def test_unknown_page(self):
+        g_pre = pre_state(HypercallId.HOST_RECLAIM_PAGE, 0x4107_0000 >> 12)
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_host_reclaim_page(g_post, g_pre, call(), CPU)
+        assert res.ret == -ENOENT
+
+
+class TestVcpuPutSpec:
+    def test_put_returns_memcache_to_table(self):
+        g_pre = pre_state(HypercallId.VCPU_PUT)
+        ref = GhostVcpuRef(0, True, 0, None)
+        g_pre.vms.vms[HANDLE] = GhostVm(HANDLE, 0, True, 1, vcpus=(ref,))
+        g_pre.locals_[CPU].loaded_vcpu = GhostLoadedVcpu(
+            HANDLE, 0, (0x4108_0000,)
+        )
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_vcpu_put(g_post, g_pre, call(), CPU)
+        assert res.valid and res.ret == 0
+        post_ref = g_post.vms.vms[HANDLE].vcpus[0]
+        assert post_ref.loaded_on is None
+        assert post_ref.memcache_pages == (0x4108_0000,)
+        assert g_post.locals_[CPU].loaded_vcpu is None
+
+    def test_put_nothing_loaded(self):
+        g_pre = pre_state(HypercallId.VCPU_PUT)
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_vcpu_put(g_post, g_pre, call(), CPU)
+        assert res.ret == -EINVAL
+
+
+class TestShareGuestSpec:
+    def _pre(self, protected=False):
+        page = 0x4109_0000
+        g = pre_state(HypercallId.HOST_SHARE_GUEST, page >> 12, 0x40)
+        ref = GhostVcpuRef(0, True, 0, None)
+        g.vms.vms[HANDLE] = GhostVm(HANDLE, 0, protected, 1, vcpus=(ref,))
+        g.locals_[CPU].loaded_vcpu = GhostLoadedVcpu(HANDLE, 0, (0x410A_0000,))
+        g.vm_pgts[HANDLE] = AbstractPgtable()
+        return g, page
+
+    def test_share_updates_both_sides(self):
+        g_pre, page = self._pre()
+        g_post = GhostState.blank(GLOBALS)
+        c = call()
+        c.memcache_after = (0x410A_0000,)
+        res = compute_post__pkvm_host_share_guest(g_post, g_pre, c, CPU)
+        assert res.valid and res.ret == 0
+        assert (
+            g_post.host.shared.lookup(page).page_state
+            is PageState.SHARED_OWNED
+        )
+        guest = g_post.vm_pgts[HANDLE].mapping.lookup(0x40 * PAGE_SIZE)
+        assert guest.page_state is PageState.SHARED_BORROWED
+
+    def test_protected_vm_rejected(self):
+        g_pre, _page = self._pre(protected=True)
+        g_post = GhostState.blank(GLOBALS)
+        res = compute_post__pkvm_host_share_guest(g_post, g_pre, call(), CPU)
+        assert res.ret == -EPERM
+
+    def test_unshare_roundtrip(self):
+        g_pre, page = self._pre()
+        g_post = GhostState.blank(GLOBALS)
+        c = call()
+        c.memcache_after = (0x410A_0000,)
+        compute_post__pkvm_host_share_guest(g_post, g_pre, c, CPU)
+
+        # build the unshare pre from the share post
+        g_pre2 = pre_state(HypercallId.HOST_UNSHARE_GUEST, page >> 12, 0x40)
+        g_pre2.host = g_post.host
+        g_pre2.vm_pgts[HANDLE] = g_post.vm_pgts[HANDLE]
+        g_pre2.vms = g_pre.vms
+        g_pre2.locals_[CPU].loaded_vcpu = g_post.locals_[CPU].loaded_vcpu
+        g_post2 = GhostState.blank(GLOBALS)
+        c2 = call()
+        c2.memcache_after = (0x410A_0000,)
+        res = compute_post__pkvm_host_unshare_guest(g_post2, g_pre2, c2, CPU)
+        assert res.valid and res.ret == 0
+        assert g_post2.host.shared.lookup(page) is None
+        assert g_post2.vm_pgts[HANDLE].mapping.lookup(0x40 * PAGE_SIZE) is None

@@ -1,0 +1,117 @@
+"""Unit tests for the hardware translation-table walk."""
+
+import pytest
+
+from repro.arch.defs import MemType, Perms, Stage
+from repro.arch.memory import PhysicalMemory, default_memory_map
+from repro.arch.pte import (
+    PageState,
+    make_block_descriptor,
+    make_invalid_annotated,
+    make_page_descriptor,
+    make_table_descriptor,
+)
+from repro.arch.translate import TranslationFault, walk, walk_two_stage
+
+DRAM = 0x4000_0000
+TABLES = DRAM + 0x10_0000
+
+
+@pytest.fixture
+def mem():
+    return PhysicalMemory(default_memory_map())
+
+
+def build_path(mem, root, va, leaf_raw, leaf_level=3):
+    """Install table descriptors down to ``leaf_level`` and the leaf."""
+    from repro.arch.defs import level_index
+
+    table = root
+    next_free = [TABLES + 0x1000]
+
+    for level in range(0, leaf_level):
+        slot = table + 8 * level_index(va, level)
+        existing = mem.read64(slot)
+        if existing & 0b11 == 0b11:
+            table = existing & ~0xFFF & ((1 << 48) - 1)
+            continue
+        new_table = next_free[0]
+        next_free[0] += 0x1000
+        mem.write64(slot, make_table_descriptor(new_table))
+        table = new_table
+    mem.write64(table + 8 * level_index(va, leaf_level), leaf_raw)
+
+
+class TestSingleStageWalk:
+    def test_page_walk(self, mem):
+        leaf = make_page_descriptor(0x5000_0000, Stage.STAGE1, Perms.rw())
+        build_path(mem, TABLES, 0x1000, leaf)
+        result = walk(mem, TABLES, 0x1234, Stage.STAGE1)
+        assert result.oa == 0x5000_0234
+        assert result.level == 3
+
+    def test_block_walk_offsets_within_block(self, mem):
+        leaf = make_block_descriptor(0x4020_0000, 2, Stage.STAGE2, Perms.rwx())
+        build_path(mem, TABLES, 0x0, leaf, leaf_level=2)
+        result = walk(mem, TABLES, 0x12345, Stage.STAGE2)
+        assert result.oa == 0x4020_0000 + 0x12345
+        assert result.level == 2
+
+    def test_translation_fault_on_invalid(self, mem):
+        with pytest.raises(TranslationFault) as exc:
+            walk(mem, TABLES, 0x9999_0000, Stage.STAGE1)
+        assert exc.value.level == 0
+        assert not exc.value.is_permission
+
+    def test_fault_level_reported(self, mem):
+        leaf = make_page_descriptor(0x5000_0000, Stage.STAGE1, Perms.rw())
+        build_path(mem, TABLES, 0x1000, leaf)
+        # same table path, different level-3 slot -> faults at level 3
+        with pytest.raises(TranslationFault) as exc:
+            walk(mem, TABLES, 0x5000, Stage.STAGE1)
+        assert exc.value.level == 3
+
+    def test_annotated_entry_faults(self, mem):
+        build_path(mem, TABLES, 0x1000, make_invalid_annotated(3))
+        with pytest.raises(TranslationFault):
+            walk(mem, TABLES, 0x1000, Stage.STAGE2)
+
+    def test_permission_fault_on_write_to_readonly(self, mem):
+        leaf = make_page_descriptor(0x5000_0000, Stage.STAGE2, Perms.r_only())
+        build_path(mem, TABLES, 0x1000, leaf)
+        walk(mem, TABLES, 0x1000, Stage.STAGE2)  # read is fine
+        with pytest.raises(TranslationFault) as exc:
+            walk(mem, TABLES, 0x1000, Stage.STAGE2, write=True)
+        assert exc.value.is_permission
+
+    def test_permission_fault_on_execute(self, mem):
+        leaf = make_page_descriptor(0x5000_0000, Stage.STAGE1, Perms.rw())
+        build_path(mem, TABLES, 0x1000, leaf)
+        with pytest.raises(TranslationFault):
+            walk(mem, TABLES, 0x1000, Stage.STAGE1, execute=True)
+
+    def test_result_carries_attributes(self, mem):
+        leaf = make_page_descriptor(
+            0x5000_0000,
+            Stage.STAGE2,
+            Perms.rwx(),
+            MemType.NORMAL,
+            PageState.SHARED_OWNED,
+        )
+        build_path(mem, TABLES, 0x2000, leaf)
+        result = walk(mem, TABLES, 0x2000, Stage.STAGE2)
+        assert result.page_state is PageState.SHARED_OWNED
+        assert result.perms == Perms.rwx()
+
+
+class TestTwoStageWalk:
+    def test_identity_stage1(self, mem):
+        leaf = make_page_descriptor(0x5000_0000, Stage.STAGE2, Perms.rwx())
+        build_path(mem, TABLES, 0x3000, leaf)
+        result = walk_two_stage(mem, None, TABLES, 0x3008)
+        assert result.oa == 0x5000_0008
+
+    def test_stage2_fault_surfaces(self, mem):
+        with pytest.raises(TranslationFault) as exc:
+            walk_two_stage(mem, None, TABLES, 0x7000_0000)
+        assert exc.value.stage is Stage.STAGE2

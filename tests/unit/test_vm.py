@@ -1,0 +1,137 @@
+"""Unit tests for the vm_table and vCPU metadata structures."""
+
+import pytest
+
+from repro.arch.defs import Stage
+from repro.arch.memory import PhysicalMemory, default_memory_map
+from repro.pkvm.defs import OwnerId
+from repro.pkvm.vm import (
+    HANDLE_OFFSET,
+    MAX_VMS,
+    PreallocatedMmOps,
+    Vcpu,
+    Vm,
+    VmTable,
+)
+from repro.pkvm.pgtable import KvmPgtable
+
+
+@pytest.fixture
+def mem():
+    return PhysicalMemory(default_memory_map())
+
+
+def make_vm(mem, handle, index):
+    pgt = KvmPgtable(
+        mem, Stage.STAGE2, PreallocatedMmOps(mem, [0x4100_0000]), f"g{index}"
+    )
+    return Vm(handle, index, 1, True, pgt, [0x4100_0000])
+
+
+class TestVmTable:
+    def test_insert_allocates_sequential_handles(self, mem):
+        table = VmTable()
+        a = table.insert(lambda h, i: make_vm(mem, h, i))
+        b = table.insert(lambda h, i: make_vm(mem, h, i))
+        assert a.handle == HANDLE_OFFSET
+        assert b.handle == HANDLE_OFFSET + 1
+        assert a.index == 0 and b.index == 1
+
+    def test_get_by_handle(self, mem):
+        table = VmTable()
+        vm = table.insert(lambda h, i: make_vm(mem, h, i))
+        assert table.get(vm.handle) is vm
+        assert table.get(0x9999) is None
+
+    def test_handles_never_reused(self, mem):
+        table = VmTable()
+        a = table.insert(lambda h, i: make_vm(mem, h, i))
+        table.remove(a)
+        b = table.insert(lambda h, i: make_vm(mem, h, i))
+        assert b.handle != a.handle
+        assert b.index == a.index  # but the slot (owner id) is reused
+        assert table.get(a.handle) is None
+
+    def test_table_fills_up(self, mem):
+        table = VmTable()
+        for _ in range(MAX_VMS):
+            assert table.insert(lambda h, i: make_vm(mem, h, i)) is not None
+        assert table.insert(lambda h, i: make_vm(mem, h, i)) is None
+
+    def test_live_vms(self, mem):
+        table = VmTable()
+        a = table.insert(lambda h, i: make_vm(mem, h, i))
+        b = table.insert(lambda h, i: make_vm(mem, h, i))
+        table.remove(a)
+        assert table.live_vms() == [b]
+
+
+class TestVm:
+    def test_owner_id_derives_from_slot(self, mem):
+        vm = make_vm(mem, HANDLE_OFFSET + 5, 3)
+        assert vm.owner_id == int(OwnerId.GUEST) + 3
+
+    def test_vm_has_its_own_lock(self, mem):
+        a = make_vm(mem, HANDLE_OFFSET, 0)
+        b = make_vm(mem, HANDLE_OFFSET + 1, 1)
+        assert a.lock is not b.lock
+
+    def test_guest_pages_empty_initially(self, mem):
+        vm = make_vm(mem, HANDLE_OFFSET, 0)
+        assert vm.guest_pages() == {}
+
+    def test_guest_pages_after_map(self, mem):
+        from repro.arch.defs import PAGE_SIZE, Perms
+        from repro.arch.pte import PageState
+        from repro.pkvm.pgtable import MapAttrs, map_range
+
+        vm = make_vm(mem, HANDLE_OFFSET, 0)
+        vm.pgt.mm_ops.pages.extend([0x4200_0000, 0x4200_1000, 0x4200_2000])
+        assert (
+            map_range(
+                vm.pgt, 0x40000, PAGE_SIZE, 0x4300_0000, MapAttrs(Perms.rwx())
+            )
+            == 0
+        )
+        assert vm.guest_pages() == {0x40000: (0x4300_0000, PageState.OWNED)}
+
+
+class TestVcpu:
+    def test_uninitialised_until_finish_init(self, mem):
+        vm = make_vm(mem, HANDLE_OFFSET, 0)
+        vcpu = Vcpu(vm, 0)
+        assert not vcpu.initialized
+        assert vcpu.memcache is None
+        vcpu.finish_init()
+        assert vcpu.initialized
+        assert vcpu.memcache is not None
+        assert vcpu.saved_regs is not None
+
+    def test_state_tracks_loading(self, mem):
+        from repro.pkvm.vm import VcpuState
+
+        vcpu = Vcpu(make_vm(mem, HANDLE_OFFSET, 0), 0)
+        assert vcpu.state is VcpuState.READY
+        vcpu.loaded_on = 2
+        assert vcpu.state is VcpuState.LOADED
+
+
+class TestPreallocatedMmOps:
+    def test_alloc_pops_and_zeroes(self, mem):
+        mem.write64(0x4100_0000, 0xFF)
+        ops = PreallocatedMmOps(mem, [0x4100_0000])
+        assert ops.alloc_table() == 0x4100_0000
+        assert mem.read64(0x4100_0000) == 0
+
+    def test_exhaustion(self, mem):
+        from repro.pkvm.allocator import OutOfMemory
+
+        ops = PreallocatedMmOps(mem, [])
+        with pytest.raises(OutOfMemory):
+            ops.alloc_table()
+
+    def test_free_records_returns(self, mem):
+        ops = PreallocatedMmOps(mem, [0x4100_0000])
+        phys = ops.alloc_table()
+        ops.free_table(phys)
+        assert ops.returned == [phys]
