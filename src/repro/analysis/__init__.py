@@ -1,0 +1,38 @@
+"""Machine-checked hygiene analyses for the spec/impl boundary.
+
+The oracle is only trustworthy under two disciplines the rest of the
+repo states in prose:
+
+- **spec purity** (paper Fig. 5): every ``compute_post__*`` function must
+  read only the ghost pre-state and the recorded call data — never the
+  implementation's runtime state, and never mutate its inputs;
+- **race-free instrumentation windows** (paper §3.2, §4.4): the ghost
+  recording sits inside lock windows, so the implementation's locking
+  must be consistent — every shared location protected by a consistently
+  held lock, every acquire paired with a release, and all nesting in one
+  global order.
+
+This package turns both into analyses that fail the build:
+
+- :mod:`repro.analysis.purity` — AST linter over the spec module;
+- :mod:`repro.analysis.lockset` — dynamic Eraser-style lockset race
+  detector, pluggable into :func:`repro.sim.explore`;
+- :mod:`repro.analysis.lockorder` — static acquire/release pairing and
+  lock-order checker over ``repro.pkvm``.
+
+Run all three with ``python -m repro.analysis`` (exits nonzero on any
+finding; see ``docs/ANALYSIS.md``).
+"""
+
+from repro.analysis.lockorder import check_lock_discipline
+from repro.analysis.lockset import LocksetTracker, RaceReport
+from repro.analysis.purity import check_spec_purity
+from repro.analysis.report import Finding
+
+__all__ = [
+    "Finding",
+    "LocksetTracker",
+    "RaceReport",
+    "check_lock_discipline",
+    "check_spec_purity",
+]

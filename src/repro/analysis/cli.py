@@ -1,0 +1,127 @@
+"""``python -m repro.analysis`` — run the hygiene passes, exit nonzero on
+any finding.
+
+Examples::
+
+    python -m repro.analysis                    # all three passes
+    python -m repro.analysis purity lockorder   # static passes only
+    python -m repro.analysis --json             # machine-readable report
+    python -m repro.analysis lockset --lockset-scenario unlocked-init-read
+
+The static passes default to the installed ``repro.ghost.spec`` module
+and ``repro.pkvm`` package; ``--spec-module``/``--pkvm-root`` point them
+at other files (used by the tests to lint the deliberately-bad fixtures,
+and usable to vet a spec before it lands).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.lockorder import check_lock_discipline
+from repro.analysis.purity import check_spec_purity
+from repro.analysis.report import Report
+from repro.analysis.scenarios import (
+    DEFAULT_SCENARIO,
+    SCENARIOS,
+    run_lockset_scenario,
+)
+
+PASSES = ("purity", "lockorder", "lockset")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="spec-hygiene and lock-discipline analyses",
+    )
+    parser.add_argument(
+        "passes",
+        nargs="*",
+        metavar="pass",
+        help=f"which passes to run (default: all of {', '.join(PASSES)})",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the findings as JSON instead of text",
+    )
+    parser.add_argument(
+        "--fail-on-finding",
+        action="store_true",
+        help="exit 1 if any pass reports a finding (the default; this "
+        "flag exists so CI invocations state the intent explicitly)",
+    )
+    parser.add_argument(
+        "--spec-module",
+        metavar="PATH",
+        default=None,
+        help="spec source file for the purity pass "
+        "(default: the installed repro.ghost.spec)",
+    )
+    parser.add_argument(
+        "--pkvm-root",
+        metavar="PATH",
+        default=None,
+        help="directory or file for the lock-discipline pass "
+        "(default: the installed repro.pkvm package)",
+    )
+    parser.add_argument(
+        "--lockset-scenario",
+        choices=sorted(SCENARIOS),
+        default=DEFAULT_SCENARIO,
+        help=f"scenario the lockset pass explores (default: {DEFAULT_SCENARIO})",
+    )
+    parser.add_argument(
+        "--max-schedules",
+        type=int,
+        default=32,
+        metavar="N",
+        help="interleaving budget for the lockset pass (default: 32)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    unknown = [p for p in args.passes if p not in PASSES]
+    if unknown:
+        parser.error(
+            f"unknown pass(es): {', '.join(unknown)} "
+            f"(choose from {', '.join(PASSES)})"
+        )
+    selected = tuple(args.passes) or PASSES
+
+    report = Report()
+    ran: list[str] = []
+    if "purity" in selected:
+        report.extend(check_spec_purity(args.spec_module))
+        ran.append("purity")
+    if "lockorder" in selected:
+        report.extend(check_lock_discipline(args.pkvm_root))
+        ran.append("lockorder")
+    if "lockset" in selected:
+        report.extend(
+            run_lockset_scenario(
+                args.lockset_scenario, max_schedules=args.max_schedules
+            )
+        )
+        ran.append("lockset")
+
+    if args.json:
+        payload = report.to_dict()
+        payload["passes"] = ran
+        print(json.dumps(payload, indent=2))
+    else:
+        for finding in report.sorted():
+            print(finding.describe())
+        status = "clean" if report.clean else f"{len(report.findings)} finding(s)"
+        print(f"repro.analysis: {', '.join(ran)}: {status}")
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,319 @@
+"""Static lock-discipline checker for the hypervisor implementation.
+
+Two properties, checked per function over the AST of every module in
+``repro.pkvm``:
+
+- **balance** — every lock acquired inside a function is released on
+  every exit path out of it: explicit ``return``/``raise`` statements and
+  fall-through, with ``try/finally`` blocks interpreted (a ``return``
+  inside a ``try`` runs the pending ``finally`` bodies first). Early
+  returns that skip a release are exactly the bug class the paper's lock
+  windows make fatal: the ghost recording would never observe the
+  matching release, and every later acquirer deadlocks.
+- **global order** — nested acquisitions follow one global order, the one
+  the implementation actually uses::
+
+      vm_table < vm < host_mmu < pkvm_pgd < hyp_pool
+
+  (``vm_table`` before any per-VM lock in teardown/reclaim; the per-VM
+  lock before ``host_mmu`` in the guest share/map paths; ``host_mmu``
+  before ``pkvm_pgd`` in every host/hyp transition, matching pKVM's
+  ``host_lock_component``/``hyp_lock_component`` nesting; the allocator
+  lock innermost, taken during table allocation under the page-table
+  locks). Any acquisition against this order is a potential ABBA
+  deadlock.
+
+The checker is a path-sensitive interpreter over a deliberately small
+statement language (if/loops/with/try), tracking the stack of locks the
+function itself has acquired. It does not model exceptions thrown *by
+callees* — pervasive in Python and overwhelmingly handled by the same
+``try/finally`` this checker does interpret — only explicit control flow.
+Lock operations are recognised by call shape: ``*.lock.acquire(...)``,
+``*.host_lock/pkvm_lock.acquire(...)``, and the four
+``host/hyp_(un)lock_component`` wrappers from ``mem_protect.py``. The
+wrapper functions themselves (single-statement bodies whose whole job is
+one lock op) are exempt from the balance rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+from pathlib import Path
+
+from repro.analysis.report import Finding
+
+#: The global acquisition order (outermost first).
+LOCK_ORDER = ("vm_table", "vm", "host_mmu", "pkvm_pgd", "hyp_pool")
+
+_RANK = {name: i for i, name in enumerate(LOCK_ORDER)}
+
+#: mem_protect.py wrapper methods, usable as lock ops at call sites.
+_COMPONENT_OPS = {
+    "host_lock_component": ("acquire", "host_mmu"),
+    "host_unlock_component": ("release", "host_mmu"),
+    "hyp_lock_component": ("acquire", "pkvm_pgd"),
+    "hyp_unlock_component": ("release", "pkvm_pgd"),
+}
+
+#: Attribute names that denote a specific lock object.
+_LOCK_ATTRS = {"host_lock": "host_mmu", "pkvm_lock": "pkvm_pgd"}
+
+#: Cap on simultaneously tracked path states per function; beyond this
+#: the function is skipped rather than analysed imprecisely.
+_MAX_STATES = 256
+
+
+def classify_lock_op(
+    call: ast.Call, class_name: str | None
+) -> tuple[str, str] | None:
+    """(op, lock name) if ``call`` is a recognised lock operation."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    if func.attr in _COMPONENT_OPS:
+        return _COMPONENT_OPS[func.attr]
+    if func.attr not in ("acquire", "release"):
+        return None
+    recv = func.value
+    if isinstance(recv, ast.Attribute):
+        if recv.attr in _LOCK_ATTRS:
+            return func.attr, _LOCK_ATTRS[recv.attr]
+        if recv.attr == "lock":
+            owner = ast.unparse(recv.value)
+            if "vm_table" in owner:
+                return func.attr, "vm_table"
+            if owner == "self" and class_name == "HypPool":
+                return func.attr, "hyp_pool"
+            return func.attr, "vm"
+    if isinstance(recv, ast.Name) and recv.id in _RANK:
+        return func.attr, recv.id
+    return None
+
+
+def pkvm_root() -> Path:
+    spec = importlib.util.find_spec("repro.pkvm")
+    assert spec is not None and spec.origin is not None
+    return Path(spec.origin).parent
+
+
+def check_lock_discipline(root: str | Path | None = None) -> list[Finding]:
+    """Check every module under ``root`` (default: the repro.pkvm package)."""
+    base = Path(root) if root else pkvm_root()
+    paths = sorted(base.glob("*.py")) if base.is_dir() else [base]
+    findings: list[Finding] = []
+    for path in paths:
+        findings.extend(check_file(path))
+    return findings
+
+
+def check_file(path: Path) -> list[Finding]:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    findings: list[Finding] = []
+    for fn, class_name in _functions(tree):
+        if _is_lock_wrapper(fn, class_name):
+            continue
+        interp = _PathInterp(str(path), fn, class_name)
+        interp.run()
+        findings.extend(interp.findings)
+    # Re-interpreting finally bodies at each exit can re-derive the same
+    # violation; findings are value objects, so dedupe structurally.
+    return sorted(set(findings), key=Finding.sort_key)
+
+
+def _functions(tree: ast.Module):
+    """Yield (function node, enclosing class name) pairs, at any depth."""
+
+    def visit(node: ast.AST, class_name: str | None):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from visit(child, child.name)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, class_name
+                yield from visit(child, class_name)
+            else:
+                yield from visit(child, class_name)
+
+    yield from visit(tree, None)
+
+
+def _is_lock_wrapper(fn: ast.FunctionDef, class_name: str | None) -> bool:
+    body = fn.body
+    if body and isinstance(body[0], ast.Expr) and isinstance(
+        body[0].value, ast.Constant
+    ):
+        body = body[1:]  # docstring
+    if len(body) != 1 or not isinstance(body[0], ast.Expr):
+        return False
+    call = body[0].value
+    return isinstance(call, ast.Call) and classify_lock_op(call, class_name) is not None
+
+
+class _PathInterp:
+    """Enumerate a function's explicit control-flow paths, tracking the
+    stack of locks it has acquired itself (entry state: none held)."""
+
+    def __init__(self, filename: str, fn: ast.FunctionDef, class_name: str | None):
+        self.filename = filename
+        self.fn = fn
+        self.class_name = class_name
+        self.findings: list[Finding] = []
+        self.finally_stack: list[list[ast.stmt]] = []
+        self.bailed = False
+
+    def run(self) -> None:
+        exits = self.exec_block(self.fn.body, ((),))
+        if self.bailed:
+            self.findings.clear()
+            return
+        for held in exits:
+            if held:
+                self._report(
+                    "fallthrough-holding",
+                    f"function may exit still holding {self._fmt(held)}",
+                    self.fn,
+                )
+
+    # -- reporting ---------------------------------------------------------
+
+    def _report(self, rule: str, message: str, node: ast.AST) -> None:
+        self.findings.append(
+            Finding(
+                analysis="lock-discipline",
+                rule=rule,
+                message=message,
+                file=self.filename,
+                line=getattr(node, "lineno", 0),
+                function=self.fn.name,
+            )
+        )
+
+    @staticmethod
+    def _fmt(held: tuple[str, ...]) -> str:
+        return ", ".join(held)
+
+    # -- interpreter -------------------------------------------------------
+
+    def exec_block(
+        self, stmts: list[ast.stmt], states: tuple[tuple[str, ...], ...]
+    ) -> tuple[tuple[str, ...], ...]:
+        current = set(states)
+        for stmt in stmts:
+            nxt: set[tuple[str, ...]] = set()
+            for state in current:
+                nxt.update(self.exec_stmt(stmt, state))
+            if len(nxt) > _MAX_STATES:
+                self.bailed = True
+                return ()
+            current = nxt
+            if not current:
+                break  # every path returned/raised
+        return tuple(current)
+
+    def exec_stmt(
+        self, stmt: ast.stmt, held: tuple[str, ...]
+    ) -> tuple[tuple[str, ...], ...]:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return (held,)  # analysed separately; defining isn't executing
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            return (self._lock_op(stmt.value, held),)
+        if isinstance(stmt, ast.Return):
+            self._exit(stmt, held, "early-return-holding", "return")
+            return ()
+        if isinstance(stmt, ast.Raise):
+            self._exit(stmt, held, "raise-holding", "raise")
+            return ()
+        if isinstance(stmt, ast.If):
+            outs = set(self.exec_block(stmt.body, (held,)))
+            outs.update(self.exec_block(stmt.orelse, (held,)))
+            return tuple(outs)
+        if isinstance(stmt, (ast.For, ast.While)):
+            # Zero or one iterations covers lock balance: a body that
+            # changes the held set changes it identically per iteration.
+            outs = {held}
+            outs.update(self.exec_block(stmt.body, (held,)))
+            base = tuple(outs)
+            if stmt.orelse:
+                return self.exec_block(stmt.orelse, base)
+            return base
+        if isinstance(stmt, ast.With):
+            return self.exec_block(stmt.body, (held,))
+        if isinstance(stmt, ast.Try):
+            return self.exec_try(stmt, held)
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            return (held,)  # approximate: falls through to after the loop
+        return (held,)
+
+    def exec_try(
+        self, stmt: ast.Try, held: tuple[str, ...]
+    ) -> tuple[tuple[str, ...], ...]:
+        self.finally_stack.append(stmt.finalbody)
+        outs = set(self.exec_block(stmt.body, (held,)))
+        if stmt.orelse:
+            outs = set(self.exec_block(stmt.orelse, tuple(outs)))
+        for handler in stmt.handlers:
+            # Handlers run from the state at try entry — exceptions from
+            # callees, before the body's own lock ops took effect, are the
+            # dominant case; modelling every intermediate point would
+            # drown real findings in noise.
+            outs.update(self.exec_block(handler.body, (held,)))
+        self.finally_stack.pop()
+        final_outs: set[tuple[str, ...]] = set()
+        for state in outs:
+            final_outs.update(self.exec_block(stmt.finalbody, (state,)))
+        return tuple(final_outs)
+
+    def _exit(
+        self, stmt: ast.stmt, held: tuple[str, ...], rule: str, verb: str
+    ) -> None:
+        # Pending finally bodies run innermost-first before the frame exits.
+        states = (held,)
+        for finalbody in reversed(self.finally_stack):
+            states = self.exec_block(finalbody, states)
+        for state in states:
+            if state:
+                self._report(
+                    rule,
+                    f"{verb} while still holding {self._fmt(state)} "
+                    "(release is skipped on this path)",
+                    stmt,
+                )
+
+    def _lock_op(
+        self, call: ast.Call, held: tuple[str, ...]
+    ) -> tuple[str, ...]:
+        op = classify_lock_op(call, self.class_name)
+        if op is None:
+            return held
+        kind, name = op
+        if kind == "acquire":
+            if name in held:
+                self._report(
+                    "double-acquire",
+                    f"acquiring {name!r} already held by this function",
+                    call,
+                )
+                return held
+            rank = _RANK.get(name)
+            if rank is not None:
+                for other in held:
+                    other_rank = _RANK.get(other)
+                    if other_rank is not None and other_rank >= rank:
+                        self._report(
+                            "lock-order-inversion",
+                            f"acquiring {name!r} while holding {other!r} "
+                            f"violates the global order "
+                            f"{' < '.join(LOCK_ORDER)}",
+                            call,
+                        )
+            return held + (name,)
+        if name not in held:
+            self._report(
+                "unbalanced-release",
+                f"releasing {name!r}, which this function did not acquire "
+                "on this path",
+                call,
+            )
+            return held
+        idx = len(held) - 1 - held[::-1].index(name)
+        return held[:idx] + held[idx + 1 :]

@@ -1,0 +1,181 @@
+"""Eraser-style dynamic lockset race detection over the simulator.
+
+Savage et al.'s lockset algorithm, specialised to the repro's cooperative
+scheduler: every shared location ``v`` carries a candidate lockset
+``C(v)`` — the set of locks held on *every* access so far — refined by
+intersection with the accessing thread's current lockset. When ``C(v)``
+goes empty for a location that is written by multiple threads, no single
+lock protects it and the access is reported as a race.
+
+The per-location state machine limits false positives from initialisation
+and read-sharing, as in the original paper:
+
+- **virgin** — never accessed; first access makes it exclusive.
+- **exclusive** — only one thread has touched it so far; no refinement
+  (initialisation is typically lock-free and benign).
+- **shared** — read by multiple threads, never written after becoming
+  shared; ``C(v)`` is refined but empty ``C(v)`` is not reported.
+- **shared-modified** — written by multiple threads; empty ``C(v)``
+  is a race.
+
+Wiring: :meth:`LocksetTracker.attach` registers process-wide observers on
+:mod:`repro.pkvm.spinlock` (every ``HypSpinLock`` acquire/release, so
+per-VM locks created mid-run are covered) and on
+:mod:`repro.sim.instrument` (every ``shared_access`` call site). Events
+from OS threads outside the simulation scheduler — machine boot, ordinary
+single-CPU tests — are ignored: the detector reasons about simulated
+hardware threads only. The cooperative scheduler runs exactly one sim
+thread at a time, so the tracker itself needs no synchronisation.
+
+The repro deliberately leaves one location unprotected by design:
+``vcpu_run`` accesses vCPU metadata with no lock because ``vcpu_load``
+transferred ownership to the physical CPU (the paper's §3 "additional
+subtlety"). Those post-transfer accesses are not instrumented; the
+load/put transfer points themselves are, and remain lock-protected.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.analysis.report import Finding
+from repro.pkvm import spinlock
+from repro.pkvm.spinlock import HypSpinLock
+from repro.sim import instrument
+from repro.sim.sched import current_sim_thread
+
+
+class LocationState(enum.Enum):
+    VIRGIN = "virgin"
+    EXCLUSIVE = "exclusive"
+    SHARED = "shared"
+    SHARED_MODIFIED = "shared-modified"
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """One empty-lockset access: no lock consistently protects ``location``."""
+
+    location: str
+    thread: str
+    write: bool
+
+    def describe(self) -> str:
+        kind = "write" if self.write else "read"
+        return (
+            f"{self.location}: {kind} by {self.thread} with empty candidate "
+            "lockset (no lock consistently protects this location)"
+        )
+
+
+@dataclass
+class _Location:
+    state: LocationState = LocationState.VIRGIN
+    owner: str | None = None
+    #: Candidate lockset; None until first refinement (meaningless while
+    #: exclusive — set from the held-set at the sharing transition).
+    candidates: frozenset[str] | None = None
+    reported: bool = False
+
+
+@dataclass
+class LocksetTracker:
+    """Lockset state for one scheduled run (attach → run → detach)."""
+
+    #: Thread name -> set of lock names currently held.
+    held: dict[str, set[str]] = field(default_factory=dict)
+    locations: dict[str, _Location] = field(default_factory=dict)
+    races: list[RaceReport] = field(default_factory=list)
+
+    # -- core algorithm (directly testable without the simulator) --------
+
+    def record_access(
+        self, location: str, *, thread: str, held: frozenset[str], write: bool
+    ) -> None:
+        loc = self.locations.setdefault(location, _Location())
+        if loc.state is LocationState.VIRGIN:
+            loc.state = LocationState.EXCLUSIVE
+            loc.owner = thread
+            return
+        if loc.state is LocationState.EXCLUSIVE:
+            if thread == loc.owner:
+                return
+            # Second thread arrives: start refinement from its lockset.
+            loc.candidates = held
+            loc.state = (
+                LocationState.SHARED_MODIFIED if write else LocationState.SHARED
+            )
+        else:
+            assert loc.candidates is not None
+            loc.candidates = loc.candidates & held
+            if write:
+                loc.state = LocationState.SHARED_MODIFIED
+        if (
+            loc.state is LocationState.SHARED_MODIFIED
+            and not loc.candidates
+            and not loc.reported
+        ):
+            loc.reported = True
+            self.races.append(RaceReport(location, thread, write))
+
+    def record_acquire(self, thread: str, lock: str) -> None:
+        self.held.setdefault(thread, set()).add(lock)
+
+    def record_release(self, thread: str, lock: str) -> None:
+        self.held.setdefault(thread, set()).discard(lock)
+
+    # -- hook plumbing ----------------------------------------------------
+
+    def _on_acquire(self, lock: HypSpinLock, cpu_index: int) -> None:
+        thread = current_sim_thread()
+        if thread is not None:
+            self.record_acquire(thread.name, lock.name)
+
+    def _on_release(self, lock: HypSpinLock, cpu_index: int) -> None:
+        thread = current_sim_thread()
+        if thread is not None:
+            self.record_release(thread.name, lock.name)
+
+    def _on_access(self, location: str, write: bool) -> None:
+        thread = current_sim_thread()
+        if thread is None:
+            return  # boot-time / out-of-scheduler access: single-threaded
+        held = frozenset(self.held.get(thread.name, ()))
+        self.record_access(location, thread=thread.name, held=held, write=write)
+
+    def attach(self) -> "LocksetTracker":
+        spinlock.GLOBAL_ACQUIRE_HOOKS.append(self._on_acquire)
+        spinlock.GLOBAL_RELEASE_HOOKS.append(self._on_release)
+        instrument.register_access_hook(self._on_access)
+        return self
+
+    def detach(self) -> None:
+        if self._on_acquire in spinlock.GLOBAL_ACQUIRE_HOOKS:
+            spinlock.GLOBAL_ACQUIRE_HOOKS.remove(self._on_acquire)
+        if self._on_release in spinlock.GLOBAL_RELEASE_HOOKS:
+            spinlock.GLOBAL_RELEASE_HOOKS.remove(self._on_release)
+        instrument.unregister_access_hook(self._on_access)
+
+    def __enter__(self) -> "LocksetTracker":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # -- results ----------------------------------------------------------
+
+    def race_strings(self) -> tuple[str, ...]:
+        """Stable, deduplicated race descriptions for this run."""
+        return tuple(sorted({r.describe() for r in self.races}))
+
+    def findings(self, scenario: str = "") -> list[Finding]:
+        return [
+            Finding(
+                analysis="lockset",
+                rule="empty-lockset",
+                message=r.describe(),
+                file=scenario,
+            )
+            for r in self.races
+        ]

@@ -1,0 +1,77 @@
+"""The machine-readable violation report shared by all analysis passes."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violation found by an analysis pass.
+
+    Findings are value objects: frozen, orderable, and serialisable, so
+    pass output is stable across runs and easy to assert on in tests or
+    diff in CI logs.
+    """
+
+    #: Which pass produced this ("spec-purity", "lock-discipline", "lockset").
+    analysis: str
+    #: Stable rule identifier within the pass (e.g. "forbidden-import").
+    rule: str
+    #: Human-readable description of the violation.
+    message: str
+    #: Source file (static passes) or scenario name (dynamic pass).
+    file: str = ""
+    #: 1-based source line, 0 when not applicable.
+    line: int = 0
+    #: Enclosing function, when known.
+    function: str = ""
+
+    @property
+    def location(self) -> str:
+        parts = [p for p in (self.file, str(self.line) if self.line else "") if p]
+        loc = ":".join(parts)
+        if self.function:
+            loc = f"{loc} ({self.function})" if loc else self.function
+        return loc
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def describe(self) -> str:
+        loc = self.location
+        prefix = f"{loc}: " if loc else ""
+        return f"[{self.analysis}/{self.rule}] {prefix}{self.message}"
+
+    def sort_key(self) -> tuple:
+        return (self.analysis, self.file, self.line, self.rule, self.message)
+
+
+@dataclass
+class Report:
+    """Findings accumulated across one or more passes."""
+
+    findings: list[Finding] = field(default_factory=list)
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings) -> None:
+        self.findings.extend(findings)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def sorted(self) -> list[Finding]:
+        return sorted(self.findings, key=Finding.sort_key)
+
+    def to_dict(self) -> dict:
+        by_pass: dict[str, int] = {}
+        for f in self.findings:
+            by_pass[f.analysis] = by_pass.get(f.analysis, 0) + 1
+        return {
+            "findings": [f.to_dict() for f in self.sorted()],
+            "counts": by_pass,
+            "total": len(self.findings),
+        }

@@ -62,6 +62,7 @@ from repro.pkvm.vm import (
     Vm,
     VmTable,
 )
+from repro.sim.instrument import shared_access
 from repro.sim.sched import yield_point
 
 #: vCPU-run exit reasons returned to the host in x1.
@@ -496,6 +497,12 @@ class PKvm:
                 ret = -ENOENT
             else:
                 vcpu = vm.vcpus[vcpu_idx]
+                # Reads initialized/loaded_on and writes loaded_on: one
+                # access to the vCPU metadata location. (The post-load
+                # accesses in vcpu_run are intentionally not instrumented:
+                # loading transfers ownership to the hardware thread, a
+                # protocol a lockset analysis cannot express.)
+                shared_access(vcpu.location_key, write=True)
                 if not self.bugs.vcpu_load_race and not vcpu.initialized:
                     ret = -ENOENT
                 elif vcpu.loaded_on is not None:
@@ -517,6 +524,7 @@ class PKvm:
             if vcpu is None:
                 ret = -EINVAL
             else:
+                shared_access(vcpu.location_key, write=True)
                 vcpu.loaded_on = None
                 cpu.loaded_vcpu = None
                 ret = 0

@@ -49,6 +49,7 @@ from repro.arch.pte import (
 )
 from repro.pkvm.allocator import OutOfMemory
 from repro.pkvm.defs import EEXIST, EINVAL, ENOMEM, EPERM, OwnerId
+from repro.sim.instrument import shared_access
 from repro.sim.sched import yield_point
 
 
@@ -141,6 +142,7 @@ class KvmPgtable:
     # -- raw slot access --------------------------------------------------
 
     def read_slot(self, table_pa: int, index: int) -> int:
+        shared_access(f"pgt:{self.name}", write=False)
         return self.mem.read64(table_pa + 8 * index)
 
     def write_slot(self, table_pa: int, index: int, raw: int, old_raw: int) -> None:
@@ -148,6 +150,7 @@ class KvmPgtable:
             raise AssertionError(
                 f"{self.name}: write outside table footprint at {table_pa:#x}"
             )
+        shared_access(f"pgt:{self.name}", write=True)
         if old_raw & 1:
             # Break-before-make: invalidate, then (conceptually) TLBI.
             self.mem.write64(table_pa + 8 * index, 0)

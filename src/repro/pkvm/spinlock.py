@@ -20,6 +20,13 @@ from repro.sim.sched import current_scheduler, yield_point
 AcquireHook = Callable[["HypSpinLock", int], None]
 ReleaseHook = Callable[["HypSpinLock", int], None]
 
+#: Process-wide observers notified of *every* lock's acquire/release —
+#: the instrumentation channel for analyses that cannot enumerate the
+#: locks up front (per-VM locks are created mid-run). Fire after the
+#: state change on acquire and before it on release, like instance hooks.
+GLOBAL_ACQUIRE_HOOKS: list[AcquireHook] = []
+GLOBAL_RELEASE_HOOKS: list[ReleaseHook] = []
+
 
 class LockError(Exception):
     """A locking discipline violation (double acquire, foreign release)."""
@@ -68,17 +75,34 @@ class HypSpinLock:
             )
         self._holder = cpu_index
         self.acquisitions += 1
+        if GLOBAL_ACQUIRE_HOOKS:
+            for hook in GLOBAL_ACQUIRE_HOOKS:
+                hook(self, cpu_index)
         for hook in self.on_acquire:
             hook(self, cpu_index)
 
     def release(self, cpu_index: int) -> None:
+        if self._holder is None:
+            raise LockError(
+                f"cpu{cpu_index} releasing {self.name}, which is not held"
+            )
         if self._holder != cpu_index:
             raise LockError(
-                f"cpu{cpu_index} releasing {self.name} held by {self._holder}"
+                f"cpu{cpu_index} releasing {self.name} held by "
+                f"cpu{self._holder}"
             )
-        for hook in self.on_release:
-            hook(self, cpu_index)
-        self._holder = None
+        # Hooks observe the lock as still held (their recording must be
+        # race-free), but a hook that raises must not leave it held — the
+        # exception already aborts the critical section, and a stuck lock
+        # would turn one failure into a cascade of phantom deadlocks.
+        try:
+            if GLOBAL_RELEASE_HOOKS:
+                for hook in GLOBAL_RELEASE_HOOKS:
+                    hook(self, cpu_index)
+            for hook in self.on_release:
+                hook(self, cpu_index)
+        finally:
+            self._holder = None
         yield_point(f"unlock:{self.name}")
 
     def __repr__(self) -> str:

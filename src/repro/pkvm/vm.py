@@ -23,6 +23,7 @@ from repro.pkvm.allocator import Memcache
 from repro.pkvm.pgtable import KvmPgtable, MmOps
 from repro.pkvm.defs import OwnerId
 from repro.pkvm.spinlock import HypSpinLock
+from repro.sim.instrument import shared_access
 from repro.sim.sched import yield_point
 
 MAX_VMS = 16
@@ -91,10 +92,16 @@ class Vcpu:
         self.script: list = []
 
     def finish_init(self) -> None:
+        shared_access(self.location_key, write=True)
         self.memcache = Memcache()
         self.saved_regs = VcpuRegs()
         yield_point("vcpu_init_fields")
         self.initialized = True
+
+    @property
+    def location_key(self) -> str:
+        """Stable shared-location key for this vCPU's metadata fields."""
+        return f"vcpu:{self.vm.index}:{self.index}"
 
     @property
     def state(self) -> VcpuState:
@@ -164,6 +171,7 @@ class VmTable:
         self.reclaimable: dict[int, tuple] = {}
 
     def get(self, handle: int) -> Vm | None:
+        shared_access("vm_table", write=False)
         for vm in self._slots:
             if vm is not None and vm.handle == handle:
                 return vm
@@ -175,6 +183,7 @@ class VmTable:
 
     def insert(self, make_vm) -> Vm | None:
         """Allocate a free slot and build the VM into it, or None if full."""
+        shared_access("vm_table", write=True)
         for index, slot in enumerate(self._slots):
             if slot is None:
                 vm = make_vm(self.next_handle(), index)
@@ -184,6 +193,7 @@ class VmTable:
         return None
 
     def remove(self, vm: Vm) -> None:
+        shared_access("vm_table", write=True)
         assert self._slots[vm.index] is vm
         self._slots[vm.index] = None
 

@@ -29,6 +29,9 @@ class ScheduleOutcome:
     #: None for a clean run, else the exception raised.
     error: BaseException | None
     decisions: int
+    #: Lockset race reports for this schedule (``detect_races=True``):
+    #: stable sorted strings, so outcomes compare equal across runs.
+    races: tuple[str, ...] = ()
 
     @property
     def failed(self) -> bool:
@@ -53,12 +56,17 @@ class ExploreResult:
                 return outcome
         return None
 
+    def races(self) -> tuple[str, ...]:
+        """Union of race reports across all schedules, deduplicated."""
+        return tuple(sorted({r for o in self.outcomes for r in o.races}))
+
 
 def explore(
     build: Callable[[Scheduler], None],
     *,
     max_schedules: int = 64,
     max_depth: int = 200,
+    detect_races: bool = False,
 ) -> ExploreResult:
     """Enumerate interleavings of a scenario depth-first.
 
@@ -67,6 +75,12 @@ def explore(
     once per schedule. Exploration branches on every scheduler decision
     whose runnable set had more than one thread, re-running with each
     alternative prefix until ``max_schedules`` executions.
+
+    With ``detect_races=True``, an Eraser-style lockset tracker
+    (:mod:`repro.analysis.lockset`) observes each schedule and its
+    empty-lockset reports land in :attr:`ScheduleOutcome.races` — the
+    explorer then flags racy locking even on schedules where the race
+    does not strike.
     """
     result = ExploreResult()
     # Worklist of decision prefixes still to execute (DFS).
@@ -83,18 +97,33 @@ def explore(
         seen.add(prefix)
 
         scheduler = Scheduler(policy="script", script=list(prefix))
-        build(scheduler)
+        tracker = None
+        if detect_races:
+            # Imported lazily: the analysis package depends on this module.
+            from repro.analysis.lockset import LocksetTracker
+
+            tracker = LocksetTracker().attach()
         error: BaseException | None = None
+        try:
+            build(scheduler)
+        except BaseException:
+            if tracker is not None:
+                tracker.detach()
+            raise  # a broken scenario is a harness bug, not an outcome
         try:
             scheduler.run()
         except BaseException as exc:  # noqa: BLE001 - outcome classification
             error = exc
+        finally:
+            if tracker is not None:
+                tracker.detach()
         log = scheduler.decision_log[:max_depth]
         result.outcomes.append(
             ScheduleOutcome(
                 script=tuple(name for name, _alts in log),
                 error=error,
                 decisions=len(scheduler.decision_log),
+                races=tracker.race_strings() if tracker is not None else (),
             )
         )
 

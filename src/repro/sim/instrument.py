@@ -1,0 +1,41 @@
+"""Shared-access instrumentation channel.
+
+Dynamic analyses (the Eraser-style lockset race detector in
+``repro.analysis.lockset``) need to observe every access to shared
+implementation state, but the implementation must not depend on the
+analysis code. This module is the neutral meeting point: implementation
+code calls :func:`shared_access` at the places where shared ghost/impl
+locations are touched (page-table slots, VM-table metadata, vCPU
+metadata), and an analysis registers an observer for the duration of a
+run.
+
+With no observer registered — the common case — an access event costs one
+list-truthiness check, so the instrumentation is effectively free for
+ordinary tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+#: Observers called as ``hook(location, write)`` for every shared access.
+#: ``location`` is a stable string key (e.g. ``"pgt:host_s2"``); ``write``
+#: is True for mutations. Register/unregister via the helpers below so
+#: detach always removes exactly what attach added.
+ACCESS_HOOKS: list[Callable[[str, bool], None]] = []
+
+
+def shared_access(location: str, write: bool = False) -> None:
+    """Report one access to a shared location to any registered observer."""
+    if ACCESS_HOOKS:
+        for hook in ACCESS_HOOKS:
+            hook(location, write)
+
+
+def register_access_hook(hook: Callable[[str, bool], None]) -> None:
+    ACCESS_HOOKS.append(hook)
+
+
+def unregister_access_hook(hook: Callable[[str, bool], None]) -> None:
+    if hook in ACCESS_HOOKS:
+        ACCESS_HOOKS.remove(hook)

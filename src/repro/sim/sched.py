@@ -22,7 +22,7 @@ import random
 import threading
 from typing import Any, Callable
 
-_REGISTRY: dict[int, "Scheduler"] = {}
+_REGISTRY: dict[int, "SimThread"] = {}
 _REGISTRY_LOCK = threading.Lock()
 
 
@@ -48,7 +48,7 @@ class SimThread:
     def _run(self) -> None:
         ident = threading.get_ident()
         with _REGISTRY_LOCK:
-            _REGISTRY[ident] = self.scheduler
+            _REGISTRY[ident] = self
         try:
             self.scheduler._wait_for_turn(self)
             self.result = self.fn()
@@ -215,6 +215,12 @@ class Scheduler:
 
 def current_scheduler() -> Scheduler | None:
     """The scheduler managing the calling thread, if any."""
+    thread = current_sim_thread()
+    return thread.scheduler if thread is not None else None
+
+
+def current_sim_thread() -> SimThread | None:
+    """The :class:`SimThread` the calling OS thread is simulating, if any."""
     with _REGISTRY_LOCK:
         return _REGISTRY.get(threading.get_ident())
 

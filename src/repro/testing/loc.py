@@ -60,6 +60,16 @@ CATEGORIES: dict[str, list[str]] = {
         "testing/trace.py",
         "pkvm/bugs.py",  # the bug-injection registry is test apparatus
     ],
+    "analysis (hygiene checkers)": [
+        "analysis/report.py",
+        "analysis/purity.py",
+        "analysis/lockset.py",
+        "analysis/lockorder.py",
+        "analysis/scenarios.py",
+        "analysis/cli.py",
+        "analysis/__main__.py",
+        "sim/instrument.py",
+    ],
 }
 
 

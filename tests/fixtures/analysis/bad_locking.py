@@ -1,0 +1,50 @@
+"""Deliberately broken locking — negative fixture for the lock-discipline
+checker. Parsed by AST only, never imported."""
+
+
+class BadHypercalls:
+    def early_return_skips_release(self, cpu, phys):
+        self.mp.host_lock_component(cpu.index)
+        if phys == 0:
+            return -22  # early-return-holding: host_mmu never released
+        ret = self.mp.do_thing(phys)
+        self.mp.host_unlock_component(cpu.index)
+        return ret
+
+    def raise_skips_release(self, cpu, vm):
+        vm.lock.acquire(cpu.index)
+        if vm.torn_down:
+            raise RuntimeError("dead vm")  # raise-holding: vm lock held
+        vm.lock.release(cpu.index)
+        return 0
+
+    def forgets_release_entirely(self, cpu):
+        self.mp.hyp_lock_component(cpu.index)
+        self.counter += 1
+        # fallthrough-holding: pkvm_pgd held at function exit
+
+    def inverted_order(self, cpu, vm):
+        self.mp.host_lock_component(cpu.index)
+        vm.lock.acquire(cpu.index)  # lock-order-inversion: vm after host_mmu
+        vm.lock.release(cpu.index)
+        self.mp.host_unlock_component(cpu.index)
+        return 0
+
+    def double_acquire(self, cpu):
+        self.mp.host_lock_component(cpu.index)
+        self.mp.host_lock_component(cpu.index)  # double-acquire
+        self.mp.host_unlock_component(cpu.index)
+        return 0
+
+    def release_without_acquire(self, cpu, vm):
+        vm.lock.release(cpu.index)  # unbalanced-release (and not a wrapper:
+        self.counter += 1  # the extra statement disqualifies the exemption)
+
+    def balanced_with_finally(self, cpu, phys):
+        self.mp.host_lock_component(cpu.index)
+        try:
+            if phys == 0:
+                return -22  # fine: the finally releases
+            return self.mp.do_thing(phys)
+        finally:
+            self.mp.host_unlock_component(cpu.index)

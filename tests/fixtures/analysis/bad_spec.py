@@ -1,0 +1,33 @@
+"""Deliberately impure spec module — negative fixture for the purity
+linter. Parsed by AST only, never imported (the imports don't even need
+to resolve)."""
+
+import time  # io-import
+
+from repro.pkvm.hyp import PKvm  # forbidden-import: runtime code
+from repro.pkvm.vm import MAX_VMS, VmTable  # VmTable not in the allowlist
+from repro.pkvm.defs import EPERM  # allowed: pure constants
+
+
+def compute_post__share_hyp(g_post, g_pre, call, cpu):
+    from repro.pkvm import host  # local-import
+
+    print("sharing", call.args)  # io-call
+    g_pre.host.annot[call.args[0]] = 1  # pre-state-mutation
+    g_pre = None  # pre-state-rebind
+    return g_post
+
+
+def compute_post__unshare_hyp(g_post, call, cpu):  # spec-signature
+    started = time.monotonic()  # io-call
+    mapping = call.data["mapping"]
+    mapping.clear()  # mutating-call through an alias of call data
+    return started
+
+
+def helper(g):
+    owned = g.host.owned
+    owned.remove(0)  # mutating-call on a pre-state alias
+    fresh = list(g.host.owned)
+    fresh.append(1)  # fine: list(...) built a fresh value
+    return fresh

@@ -1,0 +1,90 @@
+"""End-to-end tests for ``python -m repro.analysis``."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.cli import main
+
+FIXTURES = Path(__file__).parent.parent / "fixtures" / "analysis"
+
+
+class TestCleanRepo:
+    def test_static_passes_exit_zero_on_the_repo(self, capsys):
+        assert main(["purity", "lockorder"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_lockset_default_scenario_exits_zero(self, capsys):
+        assert main(["lockset", "--max-schedules", "8"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+
+class TestSeededViolations:
+    def test_bad_spec_fixture_fails_the_build(self, capsys):
+        rc = main(["purity", "--spec-module", str(FIXTURES / "bad_spec.py")])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "[spec-purity/forbidden-import]" in out
+
+    def test_bad_locking_fixture_fails_the_build(self, capsys):
+        rc = main(
+            ["lockorder", "--pkvm-root", str(FIXTURES / "bad_locking.py")]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "[lock-discipline/early-return-holding]" in out
+
+    def test_racy_scenario_fails_the_build(self, capsys):
+        rc = main(
+            [
+                "lockset",
+                "--lockset-scenario",
+                "unlocked-init-read",
+                "--max-schedules",
+                "4",
+            ]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "empty-lockset" in out and "pgt:hyp_s1" in out
+
+    def test_fail_on_finding_flag_accepted(self):
+        rc = main(
+            [
+                "--fail-on-finding",
+                "purity",
+                "--spec-module",
+                str(FIXTURES / "bad_spec.py"),
+            ]
+        )
+        assert rc == 1
+
+
+class TestJsonReport:
+    def test_json_is_machine_readable_and_counts_by_pass(self, capsys):
+        rc = main(
+            [
+                "purity",
+                "lockorder",
+                "--json",
+                "--spec-module",
+                str(FIXTURES / "bad_spec.py"),
+                "--pkvm-root",
+                str(FIXTURES / "bad_locking.py"),
+            ]
+        )
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passes"] == ["purity", "lockorder"]
+        assert payload["counts"]["spec-purity"] >= 8
+        assert payload["counts"]["lock-discipline"] == 6
+        assert payload["total"] == len(payload["findings"])
+        sample = payload["findings"][0]
+        assert {"analysis", "rule", "message", "file", "line"} <= set(sample)
+
+    def test_unknown_pass_is_a_usage_error(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit) as exc:
+            main(["flowcheck"])
+        assert exc.value.code == 2

@@ -1,0 +1,67 @@
+"""Race detection through the systematic explorer (explore + lockset)."""
+
+from repro.analysis.scenarios import (
+    build_share_unshare,
+    build_unlocked_init_read,
+    run_lockset_scenario,
+)
+from repro.pkvm import spinlock
+from repro.sim import instrument
+from repro.sim.explore import explore
+
+
+def outcome_fingerprint(result):
+    """The comparable projection of an ExploreResult (exceptions compare
+    by identity, so use their type)."""
+    return [
+        (o.script, type(o.error).__name__ if o.error else None, o.decisions, o.races)
+        for o in result.outcomes
+    ]
+
+
+class TestDetection:
+    def test_clean_scenario_reports_no_races(self):
+        result = explore(build_share_unshare, max_schedules=8, detect_races=True)
+        assert not result.failures()
+        assert result.races() == ()
+
+    def test_unlocked_read_scenario_reports_the_race(self):
+        result = explore(
+            build_unlocked_init_read, max_schedules=8, detect_races=True
+        )
+        assert not result.failures()  # the race is silent, not a crash
+        races = result.races()
+        assert races, "lockset detector missed the unlocked pgt read"
+        assert any("pgt:hyp_s1" in r for r in races)
+
+    def test_detect_races_off_leaves_outcomes_race_free(self):
+        result = explore(build_unlocked_init_read, max_schedules=4)
+        assert all(o.races == () for o in result.outcomes)
+
+    def test_run_lockset_scenario_wraps_races_as_findings(self):
+        findings = run_lockset_scenario("unlocked-init-read", max_schedules=4)
+        assert findings
+        assert all(f.analysis == "lockset" for f in findings)
+        assert all(f.file == "scenario:unlocked-init-read" for f in findings)
+
+
+class TestDeterminism:
+    def test_same_exploration_twice_is_identical(self):
+        """Race-detecting exploration is a regression oracle only if it is
+        deterministic: same scenario, same budget -> same outcomes, same
+        race reports, in the same order."""
+        first = explore(
+            build_unlocked_init_read, max_schedules=12, detect_races=True
+        )
+        second = explore(
+            build_unlocked_init_read, max_schedules=12, detect_races=True
+        )
+        assert outcome_fingerprint(first) == outcome_fingerprint(second)
+        assert first.races() == second.races()
+        assert first.races() != ()
+
+    def test_no_hooks_leak_across_explorations(self):
+        explore(build_share_unshare, max_schedules=2, detect_races=True)
+        assert instrument.ACCESS_HOOKS == []
+        assert spinlock.GLOBAL_ACQUIRE_HOOKS == []
+        assert spinlock.GLOBAL_RELEASE_HOOKS == []

@@ -1,0 +1,141 @@
+"""Tests for the Eraser-style lockset tracker (repro.analysis.lockset)."""
+
+from repro.analysis.lockset import LocationState, LocksetTracker
+from repro.pkvm import spinlock
+from repro.pkvm.spinlock import HypSpinLock
+from repro.sim import instrument
+from repro.sim.instrument import shared_access
+from repro.sim.sched import Scheduler, yield_point
+
+
+def access(tracker, loc, thread, held=(), write=False):
+    tracker.record_access(
+        loc, thread=thread, held=frozenset(held), write=write
+    )
+
+
+class TestStateMachine:
+    def test_single_thread_never_reports(self):
+        """Initialisation without locks is the normal, benign case."""
+        t = LocksetTracker()
+        for _ in range(3):
+            access(t, "v", "a", write=True)
+        assert t.locations["v"].state is LocationState.EXCLUSIVE
+        assert t.races == []
+
+    def test_consistently_locked_sharing_is_clean(self):
+        t = LocksetTracker()
+        access(t, "v", "a", held={"L"}, write=True)
+        access(t, "v", "b", held={"L", "M"}, write=True)
+        access(t, "v", "a", held={"L"}, write=True)
+        assert t.locations["v"].candidates == {"L"}
+        assert t.races == []
+
+    def test_read_only_sharing_not_reported(self):
+        """Shared (never written after sharing) tolerates an empty C(v)."""
+        t = LocksetTracker()
+        access(t, "v", "a")
+        access(t, "v", "b")
+        assert t.locations["v"].state is LocationState.SHARED
+        assert t.races == []
+
+    def test_unlocked_write_sharing_reported(self):
+        t = LocksetTracker()
+        access(t, "v", "a", held={"L"}, write=True)
+        access(t, "v", "b", write=True)
+        assert [r.location for r in t.races] == ["v"]
+        assert t.races[0].thread == "b"
+        assert t.races[0].write
+
+    def test_inconsistent_locks_reported(self):
+        """Each access is locked, but by different locks: still a race.
+
+        Per Eraser, refinement only starts at the sharing transition (the
+        first thread's lockset is deliberately forgotten, or lock-free
+        initialisation would flood the report), so the race surfaces on
+        the third access, when the candidate set {M} meets {L}.
+        """
+        t = LocksetTracker()
+        access(t, "v", "a", held={"L"}, write=True)
+        access(t, "v", "b", held={"M"}, write=True)
+        assert t.races == []  # C(v) = {M}: not yet provably unprotected
+        access(t, "v", "a", held={"L"}, write=True)
+        assert len(t.races) == 1
+
+    def test_unlocked_read_after_shared_modified_reported(self):
+        t = LocksetTracker()
+        access(t, "v", "a", held={"L"}, write=True)
+        access(t, "v", "b", held={"L"}, write=True)
+        access(t, "v", "b", held=set())
+        assert len(t.races) == 1
+        assert not t.races[0].write
+
+    def test_reported_once_per_location(self):
+        t = LocksetTracker()
+        access(t, "v", "a", held={"L"}, write=True)
+        for _ in range(5):
+            access(t, "v", "b", write=True)
+        assert len(t.races) == 1
+
+    def test_race_strings_sorted_and_deduped(self):
+        t = LocksetTracker()
+        for loc in ("z", "y"):
+            access(t, loc, "a", held={"L"}, write=True)
+            access(t, loc, "b", write=True)
+        assert t.race_strings() == tuple(sorted(t.race_strings()))
+        assert len(t.race_strings()) == 2
+
+
+class TestHookWiring:
+    def test_attach_detach_leave_no_hooks_behind(self):
+        t = LocksetTracker().attach()
+        assert instrument.ACCESS_HOOKS and spinlock.GLOBAL_ACQUIRE_HOOKS
+        t.detach()
+        assert t._on_access not in instrument.ACCESS_HOOKS
+        assert t._on_acquire not in spinlock.GLOBAL_ACQUIRE_HOOKS
+        assert t._on_release not in spinlock.GLOBAL_RELEASE_HOOKS
+
+    def test_non_sim_threads_ignored(self):
+        """Accesses outside the scheduler (boot, plain tests) don't count."""
+        with LocksetTracker() as t:
+            lock = HypSpinLock("l")
+            lock.acquire(0)
+            shared_access("v", write=True)
+            lock.release(0)
+        assert t.locations == {}
+        assert t.held == {}
+
+    def test_sim_threads_tracked_through_real_locks(self):
+        lock = HypSpinLock("l")
+
+        def locked_writer():
+            for _ in range(3):
+                lock.acquire(0)
+                shared_access("v", write=True)
+                lock.release(0)
+
+        def unlocked_writer():
+            # Repeated accesses with yield points in between: whatever the
+            # interleaving, at least one unlocked write lands after the
+            # location is already shared between the threads.
+            for _ in range(3):
+                shared_access("v", write=True)
+                yield_point("unlocked")
+
+        with LocksetTracker() as t:
+            sched = Scheduler(policy="rr")
+            sched.spawn(locked_writer, "a")
+            sched.spawn(unlocked_writer, "b")
+            sched.run()
+        assert len(t.races) == 1
+        report = t.races[0].describe()
+        assert "v" in report and "empty candidate lockset" in report
+
+    def test_findings_carry_scenario_name(self):
+        t = LocksetTracker()
+        access(t, "v", "a", held={"L"}, write=True)
+        access(t, "v", "b", write=True)
+        (finding,) = t.findings("scenario:demo")
+        assert finding.analysis == "lockset"
+        assert finding.rule == "empty-lockset"
+        assert finding.file == "scenario:demo"

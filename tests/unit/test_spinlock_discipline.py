@@ -1,0 +1,83 @@
+"""Locking-discipline failure modes of HypSpinLock itself (satellite of
+the analysis work: the dynamic checkers lean on these guarantees)."""
+
+import pytest
+
+from repro.pkvm.spinlock import HypSpinLock, LockError
+from repro.sim.sched import Scheduler
+
+
+class TestDisciplineErrors:
+    def test_double_acquire_rejected(self):
+        lock = HypSpinLock("dbl")
+        lock.acquire(0)
+        with pytest.raises(LockError, match="re-acquiring"):
+            lock.acquire(0)
+
+    def test_foreign_release_rejected_and_names_both_cpus(self):
+        lock = HypSpinLock("foreign")
+        lock.acquire(0)
+        with pytest.raises(LockError, match=r"cpu1 releasing foreign held by cpu0"):
+            lock.release(1)
+        assert lock.held_by(0)  # the foreign release must not free it
+
+    def test_release_of_never_acquired_lock_names_lock_and_cpu(self):
+        lock = HypSpinLock("never")
+        with pytest.raises(LockError, match=r"cpu3 releasing never.*not held"):
+            lock.release(3)
+
+    def test_contended_acquire_outside_scheduler_is_an_error(self):
+        """Without the scheduler there is nobody to hand the turn to:
+        spinning would hang the process, so it raises instead."""
+        lock = HypSpinLock("contended")
+        lock.acquire(0)
+        with pytest.raises(LockError, match="would deadlock"):
+            lock.acquire(1)
+
+    def test_contended_acquire_under_scheduler_spins_until_free(self):
+        lock = HypSpinLock("spin")
+        order = []
+
+        def holder():
+            lock.acquire(0)
+            order.append("held")
+            lock.release(0)
+
+        def contender():
+            lock.acquire(1)
+            order.append("contended")
+            lock.release(1)
+
+        sched = Scheduler(policy="rr")
+        sched.spawn(holder, "holder")
+        sched.spawn(contender, "contender")
+        sched.run()
+        assert sorted(order) == ["contended", "held"]
+        assert not lock.held
+
+
+class TestReleaseHookFailure:
+    def test_hook_exception_does_not_leave_lock_held(self):
+        lock = HypSpinLock("hooked")
+
+        def bad_hook(l, cpu):
+            raise RuntimeError("recorder exploded")
+
+        lock.on_release.append(bad_hook)
+        lock.acquire(0)
+        with pytest.raises(RuntimeError, match="recorder exploded"):
+            lock.release(0)
+        assert not lock.held
+        # The lock is reusable after the failed release.
+        lock.on_release.clear()
+        lock.acquire(1)
+        lock.release(1)
+        assert not lock.held
+
+    def test_hooks_still_observe_lock_as_held(self):
+        lock = HypSpinLock("observe")
+        seen = []
+        lock.on_release.append(lambda l, cpu: seen.append(l.held))
+        lock.acquire(0)
+        lock.release(0)
+        assert seen == [True]
