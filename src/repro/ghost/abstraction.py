@@ -186,6 +186,9 @@ def record_abstraction_vms(vm_table) -> GhostVms:
         elif entry[0] == "hostshare":
             _, vm, ipa = entry
             reclaimable[phys] = ("hostshare", ipa, vm.handle)
+        elif entry[0] == "pgt":
+            _, vm, _phys = entry
+            reclaimable[phys] = ("pgt", vm.handle)
         else:
             reclaimable[phys] = ("hyp",)
     return GhostVms(

@@ -479,14 +479,20 @@ def compute_post__pkvm_teardown_vm(
                 g_post.vms.reclaimable[phys] = ("hostshare", ipa, handle)
             else:
                 g_post.vms.reclaimable[phys] = ("guest", owner, ipa, handle)
-    root = vm.donated_pages[0]
+    # The stage 2 pagetable's own pages (the donated root plus tables in
+    # the footprint) are released last: their entries carry the handle so
+    # reclaim can refuse them while guest pages are still pending.
+    pgt_pages = set(pgt.footprint) | {vm.donated_pages[0]}
     for phys in vm.donated_pages:
-        g_post.vms.reclaimable[phys] = ("hyp",)
+        if phys in pgt_pages:
+            g_post.vms.reclaimable[phys] = ("pgt", handle)
+        else:
+            g_post.vms.reclaimable[phys] = ("hyp",)
     for ref in vm.vcpus:
         for phys in ref.memcache_pages or ():
             g_post.vms.reclaimable[phys] = ("hyp",)
-    for phys in pgt.footprint - {root}:
-        g_post.vms.reclaimable[phys] = ("hyp",)
+    for phys in pgt_pages - set(vm.donated_pages):
+        g_post.vms.reclaimable[phys] = ("pgt", handle)
     return _result(g_post, g_pre, cpu, call, 0, {"vms"})
 
 
@@ -545,6 +551,30 @@ def compute_post__pkvm_host_reclaim_page(
         return _result(
             g_post, g_pre, cpu, call, 0, {"host", "vms", vm_pgt_key(handle)}
         )
+
+    if entry[0] == "pgt":
+        # A page of the dead VM's stage 2 pagetable: refused while any of
+        # that VM's guest pages is still pending (their reclaim walks the
+        # pagetable these pages make up).
+        _kind, handle = entry
+        if any(
+            e[0] in ("guest", "hostshare") and e[-1] == handle
+            for e in g_pre.vms.reclaimable.values()
+        ):
+            return _result(g_post, g_pre, cpu, call, -EBUSY, set())
+        _require(g_pre.pkvm.present, "pkvm")
+        annot = g_pre.host.annot.lookup(phys)
+        if annot is None or annot.owner_id != int(OwnerId.HYP):
+            return _result(g_post, g_pre, cpu, call, -EPERM, set())
+        g_post.copy_abstraction_host(g_pre)
+        g_post.copy_abstraction_pkvm(g_pre)
+        g_post.copy_abstraction_vms(g_pre)
+        g_post.host.annot.remove(phys, 1)
+        g_post.pkvm.pgt.mapping.remove_if_present(
+            g_pre.globals_.hyp_va(phys), 1
+        )
+        del g_post.vms.reclaimable[phys]
+        return _result(g_post, g_pre, cpu, call, 0, {"host", "pkvm", "vms"})
 
     # A pKVM-owned (metadata/table/memcache) page of a dead VM.
     _require(g_pre.pkvm.present, "pkvm")

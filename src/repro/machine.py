@@ -58,6 +58,28 @@ class Machine:
         """Boot a machine with the default configuration."""
         return cls(**kwargs)
 
+    def config(self) -> dict:
+        """The plain-data configuration that reproduces this machine —
+        what a campaign worker ships alongside its traces."""
+        return {
+            "nr_cpus": len(self.cpus),
+            "dram_size": self.mem.dram_regions()[-1].size,
+            "bug_names": tuple(self.bugs.enabled()),
+            "ghost": self.ghost_enabled,
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "Machine":
+        """Boot a machine from a :meth:`config` dict."""
+        bug_names = config.get("bug_names", ())
+        bugs = Bugs(**{name: True for name in bug_names}) if bug_names else None
+        return cls(
+            nr_cpus=config.get("nr_cpus", 4),
+            dram_size=config.get("dram_size", 256 * 1024 * 1024),
+            bugs=bugs,
+            ghost=config.get("ghost", True),
+        )
+
     @property
     def ghost_enabled(self) -> bool:
         return self.checker is not None

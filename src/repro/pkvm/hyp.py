@@ -424,18 +424,27 @@ class PKvm:
                             )
                         else:
                             self.vm_table.reclaimable[phys] = ("guest", vm, ipa)
+                    # Pages of the guest's stage 2 pagetable itself (the
+                    # donated pgd root plus tables grown from memcaches)
+                    # must outlive every reclaim that still walks the
+                    # pagetable, so they are classified separately and
+                    # their release is gated in host_reclaim_page.
+                    pgt_pages = set(vm.pgt.table_pages)
                     leak_one = self.bugs.synth_teardown_page_leak
                     for phys in vm.donated_pages:
                         if leak_one:
                             leak_one = False
                             continue
-                        self.vm_table.reclaimable[phys] = ("hyp", phys)
+                        if phys in pgt_pages:
+                            self.vm_table.reclaimable[phys] = ("pgt", vm, phys)
+                        else:
+                            self.vm_table.reclaimable[phys] = ("hyp", phys)
                     for vcpu in vm.vcpus:
                         if vcpu.memcache is not None:
                             for phys in vcpu.memcache.pages:
                                 self.vm_table.reclaimable[phys] = ("hyp", phys)
-                    for phys in vm.pgt.table_pages - {vm.pgt.root}:
-                        self.vm_table.reclaimable[phys] = ("hyp", phys)
+                    for phys in pgt_pages - set(vm.donated_pages):
+                        self.vm_table.reclaimable[phys] = ("pgt", vm, phys)
                     vm.torn_down = True
                 finally:
                     vm.lock.release(cpu.index)
@@ -469,6 +478,24 @@ class PKvm:
                 ret = self.mp.do_unshare_guest(phys, vm.pgt, ipa)
                 self.mp.host_unlock_component(cpu.index)
                 vm.lock.release(cpu.index)
+            elif entry[0] == "pgt":
+                # A page of the dead VM's stage 2 pagetable. Releasing
+                # (and zeroing) it while guest pages are still pending
+                # would corrupt the very pagetable their reclaim walks —
+                # the hypervisor must refuse, whatever order a (possibly
+                # malicious) host asks for.
+                _, vm, _phys = entry
+                if any(
+                    e[0] in ("guest", "hostshare") and e[1] is vm
+                    for e in self.vm_table.reclaimable.values()
+                ):
+                    ret = -EBUSY
+                else:
+                    self.mp.host_lock_component(cpu.index)
+                    self.mp.hyp_lock_component(cpu.index)
+                    ret = self.mp.do_reclaim_from_hyp(phys)
+                    self.mp.hyp_unlock_component(cpu.index)
+                    self.mp.host_unlock_component(cpu.index)
             else:
                 self.mp.host_lock_component(cpu.index)
                 self.mp.hyp_lock_component(cpu.index)

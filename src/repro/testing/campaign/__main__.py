@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.testing.campaign``."""
+
+import sys
+
+from repro.testing.campaign.cli import main
+
+sys.exit(main())

@@ -1,0 +1,155 @@
+"""Command-line front end: ``python -m repro.testing.campaign``.
+
+Examples::
+
+    # a 4-worker campaign of 100k steps against the fixed hypervisor
+    python -m repro.testing.campaign --workers 4 --budget 100000 \\
+        --out campaign.json
+
+    # hunt one injected bug, stop at the first deduplicated finding
+    python -m repro.testing.campaign --bugs synth_share_skip_check \\
+        --budget 5000 --max-findings 1
+
+    # resume an interrupted campaign from its checkpoint
+    python -m repro.testing.campaign --resume campaign.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.pkvm.bugs import Bugs
+from repro.testing.campaign.engine import (
+    CampaignConfig,
+    CampaignEngine,
+    CampaignReport,
+)
+
+
+def _parse_bugs(spec: str) -> tuple[str, ...]:
+    if not spec:
+        return ()
+    if spec == "all-synthetic":
+        return tuple(Bugs.synthetic_bug_names())
+    names = tuple(part.strip() for part in spec.split(",") if part.strip())
+    known = set(Bugs.paper_bug_names()) | set(Bugs.synthetic_bug_names())
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        raise SystemExit(f"unknown bug flags: {', '.join(unknown)}")
+    return names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing.campaign",
+        description="Parallel model-guided random-testing campaign",
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--budget", type=int, default=2000, help="total steps, all workers"
+    )
+    parser.add_argument(
+        "--batch-steps", type=int, default=250, help="base steps per batch"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--bugs",
+        default="",
+        help="comma-separated bug flags to inject, or 'all-synthetic'",
+    )
+    parser.add_argument("--out", default=None, help="checkpoint/report path")
+    parser.add_argument(
+        "--resume", default=None, help="resume from a checkpoint file"
+    )
+    parser.add_argument(
+        "--inline",
+        action="store_true",
+        help="run batches sequentially in-process (deterministic)",
+    )
+    parser.add_argument(
+        "--no-shrink", dest="shrink", action="store_false", default=True
+    )
+    parser.add_argument(
+        "--coverage",
+        choices=["functions", "lines", "off"],
+        default="functions",
+        help="coverage grain: cheap call-grain (default), full line "
+        "bitmaps (~20x slower), or none",
+    )
+    parser.add_argument(
+        "--no-coverage",
+        dest="coverage",
+        action="store_const",
+        const="off",
+    )
+    parser.add_argument("--max-findings", type=int, default=None)
+    parser.add_argument("--max-batches", type=int, default=None)
+    parser.add_argument(
+        "--time-limit", type=float, default=None, help="wall-clock seconds"
+    )
+    return parser
+
+
+def format_report(report: CampaignReport) -> str:
+    lines = [
+        f"batches:          {report.batches}"
+        + ("  (resumed)" if report.resumed else ""),
+        f"steps run:        {report.total_steps}",
+        f"hypercalls:       {report.total_hypercalls}"
+        f"  ({report.hypercalls_per_hour:,.0f}/hour)",
+        f"model-rejected:   {report.total_rejected}",
+        f"coverage:         {report.coverage_lines} lines, "
+        f"{report.coverage_functions} functions",
+        f"distinct findings: {len(report.findings)}",
+    ]
+    for finding in report.findings:
+        label = finding.klass + (f"/{finding.kind}" if finding.kind else "")
+        shrunk = (
+            f", shrunk {finding.orig_len}->{finding.shrunk_len} steps"
+            if finding.shrunk_len
+            else ""
+        )
+        lines.append(
+            f"  - {label} at {finding.call_name} "
+            f"(worker {finding.worker_id}, batch {finding.batch_index}, "
+            f"+{finding.duplicates} dup{shrunk})"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.resume is None and args.workers < 1:
+        raise SystemExit("--workers must be at least 1")
+    if args.resume is None and args.budget < 1:
+        raise SystemExit("--budget must be at least 1")
+    if args.resume is not None:
+        try:
+            engine = CampaignEngine.from_checkpoint(args.resume)
+        except FileNotFoundError:
+            raise SystemExit(f"no checkpoint at {args.resume}")
+        except ValueError as exc:
+            raise SystemExit(f"cannot resume {args.resume}: {exc}")
+    else:
+        config = CampaignConfig(
+            workers=args.workers,
+            budget=args.budget,
+            batch_steps=args.batch_steps,
+            seed=args.seed,
+            bug_names=_parse_bugs(args.bugs),
+            inline=args.inline,
+            shrink=args.shrink,
+            coverage=args.coverage,
+            max_findings=args.max_findings,
+            max_batches=args.max_batches,
+            time_limit=args.time_limit,
+        )
+        engine = CampaignEngine(config, out=args.out)
+    report = engine.run()
+    print(format_report(report))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

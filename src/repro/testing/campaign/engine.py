@@ -1,0 +1,347 @@
+"""The campaign engine: fan the random tester across worker processes.
+
+The paper runs its model-guided tester for hours against QEMU; the
+reproduction's analogue of that scale is a *campaign*: the step budget is
+cut into batches, batches are distributed over N workers (each a fresh
+machine + tester, deterministically seeded), and the engine merges the
+streams back together — coverage into one map, findings through the
+deduplicator, and every merged batch into an on-disk checkpoint so an
+interrupted campaign resumes without repeating work.
+
+Two execution modes share all of that logic:
+
+- **inline** — batches run sequentially in-process in a deterministic
+  order (the worker with the fewest issued batches goes next), so two
+  campaigns with the same config produce byte-identical reports; this is
+  the mode the determinism and checkpoint tests pin down.
+- **process pool** — batches run in ``multiprocessing`` workers. Batch
+  *seeds* are still deterministic (they derive from the campaign seed and
+  the batch's lane, not from which OS process ran it); only the
+  coverage-feedback ordering can vary with completion order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+
+from repro.testing.campaign import checkpoint as ckpt
+from repro.testing.campaign.findings import DedupIndex, RawFinding
+from repro.testing.campaign.scheduler import BudgetScheduler
+from repro.testing.campaign.shrink import shrink_trace
+from repro.testing.campaign.worker import (
+    BatchResult,
+    BatchTask,
+    batch_seed,
+    run_batch,
+    worker_main,
+)
+from repro.testing.coverage import CoverageMap
+
+
+@dataclass
+class CampaignConfig:
+    """Everything that determines a campaign, and nothing that doesn't."""
+
+    workers: int = 2
+    #: Total step budget across all workers.
+    budget: int = 2000
+    #: Base steps per batch (the scheduler scales this per worker).
+    batch_steps: int = 250
+    seed: int = 0
+    bug_names: tuple[str, ...] = ()
+    nr_cpus: int = 4
+    dram_size: int = 256 * 1024 * 1024
+    inline: bool = False
+    shrink: bool = True
+    #: "functions" (cheap call-grain, default), "lines", or "off".
+    coverage: str = "functions"
+    #: Stop issuing batches once this many distinct findings exist.
+    max_findings: int | None = None
+    #: Stop after this many batches (the checkpoint tests' interrupt hook).
+    max_batches: int | None = None
+    #: Wall-clock cap in seconds.
+    time_limit: float | None = None
+    max_factor: int = 4
+
+    def machine_config(self) -> dict:
+        return {
+            "nr_cpus": self.nr_cpus,
+            "dram_size": self.dram_size,
+            "bug_names": tuple(self.bug_names),
+            "ghost": True,
+        }
+
+    def to_jsonable(self) -> dict:
+        return {
+            "workers": self.workers,
+            "budget": self.budget,
+            "batch_steps": self.batch_steps,
+            "seed": self.seed,
+            "bug_names": list(self.bug_names),
+            "nr_cpus": self.nr_cpus,
+            "dram_size": self.dram_size,
+            "inline": self.inline,
+            "shrink": self.shrink,
+            "coverage": self.coverage,
+            "max_findings": self.max_findings,
+            "max_batches": self.max_batches,
+            "time_limit": self.time_limit,
+            "max_factor": self.max_factor,
+        }
+
+    @staticmethod
+    def from_jsonable(data: dict) -> "CampaignConfig":
+        data = dict(data)
+        data["bug_names"] = tuple(data.get("bug_names", ()))
+        return CampaignConfig(**data)
+
+
+@dataclass
+class CampaignReport:
+    config: CampaignConfig
+    batches: int
+    total_steps: int
+    total_hypercalls: int
+    total_rejected: int
+    findings: list[RawFinding]
+    coverage_lines: int
+    coverage_functions: int
+    seconds: float
+    resumed: bool = False
+
+    @property
+    def hypercalls_per_hour(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return self.total_hypercalls * 3600.0 / self.seconds
+
+    def comparable(self) -> dict:
+        """The timing-free view two equivalent campaigns must agree on."""
+        return {
+            "batches": self.batches,
+            "total_steps": self.total_steps,
+            "total_hypercalls": self.total_hypercalls,
+            "total_rejected": self.total_rejected,
+            "coverage_lines": self.coverage_lines,
+            "coverage_functions": self.coverage_functions,
+            "findings": [f.to_jsonable() for f in self.findings],
+        }
+
+    def to_jsonable(self) -> dict:
+        return {
+            **self.comparable(),
+            "seconds": self.seconds,
+            "hypercalls_per_hour": self.hypercalls_per_hour,
+        }
+
+
+class CampaignEngine:
+    """Drives one campaign; construct fresh or via :meth:`from_checkpoint`."""
+
+    def __init__(self, config: CampaignConfig, *, out: str | None = None):
+        self.config = config
+        self.out = out
+        self.scheduler = BudgetScheduler(
+            base_steps=config.batch_steps, max_factor=config.max_factor
+        )
+        self.coverage = CoverageMap()
+        self.dedup = DedupIndex()
+        self.batch_records: list[dict] = []
+        self.next_batch_index: dict[int, int] = {}
+        self.issued_steps = 0
+        self.total_steps = 0
+        self.total_hypercalls = 0
+        self.total_rejected = 0
+        self.resumed = False
+        self._started = 0.0
+
+    # -- resume ----------------------------------------------------------
+
+    @classmethod
+    def from_checkpoint(cls, path: str) -> "CampaignEngine":
+        state = ckpt.load_checkpoint(path)
+        engine = cls(CampaignConfig.from_jsonable(state["config"]), out=path)
+        engine.scheduler = BudgetScheduler.from_jsonable(state["scheduler"])
+        engine.coverage = CoverageMap.from_jsonable(state["coverage"])
+        for data in state["findings"]:
+            finding = RawFinding.from_jsonable(data)
+            engine.dedup.by_signature[finding.signature] = finding
+        engine.batch_records = list(state["batches"])
+        for record in engine.batch_records:
+            worker = record["worker_id"]
+            engine.next_batch_index[worker] = max(
+                engine.next_batch_index.get(worker, 0),
+                record["batch_index"] + 1,
+            )
+            engine.issued_steps += record["steps_budgeted"]
+            engine.total_steps += record["steps_run"]
+            engine.total_hypercalls += record["hypercalls"]
+            engine.total_rejected += record["rejected"]
+        engine.resumed = True
+        return engine
+
+    # -- issue/absorb ------------------------------------------------------
+
+    def _should_issue(self) -> bool:
+        config = self.config
+        if self.issued_steps >= config.budget:
+            return False
+        if (
+            config.max_batches is not None
+            and len(self.batch_records) >= config.max_batches
+        ):
+            return False
+        if (
+            config.max_findings is not None
+            and len(self.dedup) >= config.max_findings
+        ):
+            return False
+        if (
+            config.time_limit is not None
+            and time.perf_counter() - self._started > config.time_limit
+        ):
+            return False
+        return True
+
+    def _next_task(self) -> BatchTask:
+        # The lane with the fewest issued batches goes next (lowest id on
+        # ties): deterministic, and stable across checkpoint/resume.
+        worker = min(
+            range(self.config.workers),
+            key=lambda w: (self.next_batch_index.get(w, 0), w),
+        )
+        index = self.next_batch_index.get(worker, 0)
+        self.next_batch_index[worker] = index + 1
+        steps = min(
+            self.scheduler.budget(worker),
+            max(1, self.config.budget - self.issued_steps),
+        )
+        self.issued_steps += steps
+        return BatchTask(
+            worker_id=worker,
+            batch_index=index,
+            seed=batch_seed(self.config.seed, worker, index),
+            steps=steps,
+        )
+
+    def _absorb(self, result: BatchResult) -> None:
+        new_lines = self.coverage.merge(result.coverage)
+        self.scheduler.feedback(result.worker_id, new_lines)
+        if result.finding is not None:
+            self.dedup.add(result.finding)
+        self.batch_records.append(result.to_jsonable())
+        self.total_steps += result.steps_run
+        self.total_hypercalls += result.hypercalls
+        self.total_rejected += result.rejected
+        if self.out is not None:
+            self._save(complete=False)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> CampaignReport:
+        self._started = time.perf_counter()
+        if self.config.inline or self.config.workers <= 1:
+            self._run_inline()
+        else:
+            self._run_pool()
+        return self._finalize()
+
+    def _run_inline(self) -> None:
+        while self._should_issue():
+            task = self._next_task()
+            self._absorb(
+                run_batch(
+                    self.config.machine_config(),
+                    task,
+                    coverage=self.config.coverage,
+                )
+            )
+
+    def _run_pool(self) -> None:
+        ctx = multiprocessing.get_context()
+        task_queue: multiprocessing.Queue = ctx.Queue()
+        result_queue: multiprocessing.Queue = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=worker_main,
+                args=(
+                    self.config.machine_config(),
+                    task_queue,
+                    result_queue,
+                    self.config.coverage,
+                ),
+                daemon=True,
+            )
+            for _ in range(self.config.workers)
+        ]
+        for proc in procs:
+            proc.start()
+        in_flight = 0
+        try:
+            while True:
+                while in_flight < self.config.workers and self._should_issue():
+                    task_queue.put(self._next_task())
+                    in_flight += 1
+                if in_flight == 0:
+                    break
+                self._absorb(result_queue.get())
+                in_flight -= 1
+        finally:
+            for _ in procs:
+                task_queue.put(None)
+            for proc in procs:
+                proc.join(timeout=30)
+                if proc.is_alive():
+                    proc.terminate()
+
+    # -- reporting ----------------------------------------------------------
+
+    def _finalize(self) -> CampaignReport:
+        findings = self.dedup.findings()
+        if self.config.shrink:
+            for finding in findings:
+                result = shrink_trace(
+                    finding.trace(), finding.klass, finding.kind
+                )
+                finding.shrunk_len = len(result.trace)
+                finding.trace_text = result.trace.dumps()
+        report = CampaignReport(
+            config=self.config,
+            batches=len(self.batch_records),
+            total_steps=self.total_steps,
+            total_hypercalls=self.total_hypercalls,
+            total_rejected=self.total_rejected,
+            findings=findings,
+            coverage_lines=self.coverage.line_count(),
+            coverage_functions=self.coverage.function_count(),
+            seconds=time.perf_counter() - self._started,
+            resumed=self.resumed,
+        )
+        if self.out is not None:
+            self._save(complete=True, report=report)
+        return report
+
+    def _save(
+        self, *, complete: bool, report: CampaignReport | None = None
+    ) -> None:
+        state = {
+            "version": ckpt.VERSION,
+            "complete": complete,
+            "config": self.config.to_jsonable(),
+            "scheduler": self.scheduler.to_jsonable(),
+            "batches": self.batch_records,
+            "coverage": self.coverage.to_jsonable(),
+            "findings": [f.to_jsonable() for f in self.dedup.findings()],
+        }
+        if report is not None:
+            state["summary"] = report.to_jsonable()
+        ckpt.save_checkpoint(self.out, state)
+
+
+def run_campaign(
+    config: CampaignConfig, *, out: str | None = None
+) -> CampaignReport:
+    """Convenience front door: run one campaign to completion."""
+    return CampaignEngine(config, out=out).run()

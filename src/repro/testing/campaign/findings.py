@@ -1,0 +1,216 @@
+"""Finding classification and deduplication for campaign runs.
+
+A long random campaign rediscovers the same disagreement hundreds of
+times; what the paper's workflow needs is one representative trace per
+*distinct* disagreement. A finding's identity is its signature:
+
+    (finding class, violation kind, faulting hypercall, ghost-diff shape)
+
+The ghost-diff shape keeps the *paths* a violation's state diff touches
+(``host.share``, ``regs``, ``vm_pgt``, ...) and discards the concrete
+addresses and handles, so the same bug hit at different pages on
+different seeds collapses into one finding.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.arch.exceptions import HostCrash, HypervisorPanic
+from repro.ghost.checker import SpecViolation
+from repro.pkvm.defs import HypercallId
+from repro.testing.trace import Trace
+
+#: The three exception classes a campaign treats as findings (§5: spec
+#: disagreements, hypervisor panics, and host crashes the model failed
+#: to predict).
+FINDING_CLASSES = ("SpecViolation", "HypervisorPanic", "HostCrash")
+
+_HEX = re.compile(r"0x[0-9a-fA-F]+")
+_BRACKET_INDEX = re.compile(r"\[[^\]]*\]")
+_LOCK_INDEX = re.compile(r":\d+")
+
+
+def finding_class(exc: BaseException) -> str | None:
+    """Which finding class an exception belongs to, or None."""
+    if isinstance(exc, SpecViolation):
+        return "SpecViolation"
+    if isinstance(exc, HypervisorPanic):
+        return "HypervisorPanic"
+    if isinstance(exc, HostCrash):
+        return "HostCrash"
+    return None
+
+
+def faulting_call_name(trace: Trace) -> str:
+    """The API interaction the trace was executing when it ended.
+
+    The tester records each interaction *before* executing it, so the
+    last recorded step is the faulting one."""
+    for step in reversed(trace.steps):
+        kind = step[0]
+        if kind == "hvc":
+            call_id = step[2]
+            try:
+                return HypercallId(call_id).name
+            except ValueError:
+                return "GARBAGE_HVC"
+        if kind in ("write", "read"):
+            return "host-touch"
+        if kind == "script":
+            continue  # scripts only matter via the VCPU_RUN that follows
+    return "boot"
+
+
+def _normalize_path(token: str) -> str:
+    """Strip concrete handles/addresses from a diff-path token:
+    ``vms[0x7]`` -> ``vms[]``, ``vm_pgt:3`` -> ``vm_pgt``."""
+    token = _BRACKET_INDEX.sub("[]", token)
+    token = _LOCK_INDEX.sub("", token)
+    return token
+
+
+def diff_signature(detail: str) -> tuple[str, ...]:
+    """The shape of a violation's state diff: the sorted set of
+    (normalized path, direction) pairs its diff lines mention."""
+    shapes: set[str] = set()
+    lines = detail.splitlines()
+    if lines and ":" in lines[0]:
+        # "host: recorded post differs..." / "state protected by vm_pgt:3..."
+        head = lines[0].split(":", 1)[0].strip()
+        match = re.search(r"protected by (\S+)", lines[0])
+        if match:
+            head = match.group(1)
+        shapes.add(_normalize_path(head))
+    for line in lines[1:]:
+        parts = line.strip().split(None, 1)
+        if not parts:
+            continue
+        path = _normalize_path(parts[0])
+        rest = parts[1] if len(parts) > 1 else ""
+        sign = rest[:1] if rest[:1] in "+-" else ""
+        shapes.add(path + sign)
+    return tuple(sorted(shapes))
+
+
+def _normalized_message(exc: BaseException) -> str:
+    return _HEX.sub("ADDR", str(exc))
+
+
+@dataclass
+class RawFinding:
+    """One finding as a worker ships it back: classification plus a
+    self-contained replayable trace."""
+
+    klass: str  # "SpecViolation" | "HypervisorPanic" | "HostCrash"
+    kind: str  # violation kind ("post-mismatch", ...) or "" for crashes
+    detail: str
+    call_name: str
+    signature: tuple
+    trace_text: str
+    worker_id: int = 0
+    batch_index: int = 0
+    seed: int = 0
+    step_index: int = 0
+    #: Filled in by the engine's shrink pass.
+    orig_len: int = 0
+    shrunk_len: int = 0
+    duplicates: int = 0
+
+    def trace(self) -> Trace:
+        return Trace.loads(self.trace_text)
+
+    def to_jsonable(self) -> dict:
+        return {
+            "class": self.klass,
+            "kind": self.kind,
+            "detail": self.detail,
+            "call_name": self.call_name,
+            "signature": list(self.signature),
+            "trace": self.trace_text,
+            "worker_id": self.worker_id,
+            "batch_index": self.batch_index,
+            "seed": self.seed,
+            "step_index": self.step_index,
+            "orig_len": self.orig_len,
+            "shrunk_len": self.shrunk_len,
+            "duplicates": self.duplicates,
+        }
+
+    @staticmethod
+    def from_jsonable(data: dict) -> "RawFinding":
+        return RawFinding(
+            klass=data["class"],
+            kind=data["kind"],
+            detail=data["detail"],
+            call_name=data["call_name"],
+            signature=tuple(data["signature"]),
+            trace_text=data["trace"],
+            worker_id=data["worker_id"],
+            batch_index=data["batch_index"],
+            seed=data["seed"],
+            step_index=data["step_index"],
+            orig_len=data.get("orig_len", 0),
+            shrunk_len=data.get("shrunk_len", 0),
+            duplicates=data.get("duplicates", 0),
+        )
+
+
+def make_finding(
+    exc: BaseException,
+    trace: Trace,
+    *,
+    worker_id: int = 0,
+    batch_index: int = 0,
+    seed: int = 0,
+    step_index: int = 0,
+) -> RawFinding:
+    """Classify an exception caught during a batch into a RawFinding."""
+    klass = finding_class(exc)
+    if klass is None:
+        raise TypeError(f"not a finding class: {exc!r}")
+    call_name = faulting_call_name(trace)
+    if isinstance(exc, SpecViolation):
+        kind = exc.kind
+        detail = exc.detail
+        shape = diff_signature(detail)
+    else:
+        kind = ""
+        detail = str(exc)
+        shape = (_normalized_message(exc),)
+    return RawFinding(
+        klass=klass,
+        kind=kind,
+        detail=detail,
+        call_name=call_name,
+        signature=(klass, kind, call_name) + shape,
+        trace_text=trace.dumps(),
+        worker_id=worker_id,
+        batch_index=batch_index,
+        seed=seed,
+        step_index=step_index,
+        orig_len=len(trace),
+    )
+
+
+@dataclass
+class DedupIndex:
+    """First-finding-wins deduplication keyed on the signature."""
+
+    by_signature: dict[tuple, RawFinding] = field(default_factory=dict)
+
+    def add(self, finding: RawFinding) -> bool:
+        """Record a finding; True if its signature is new."""
+        kept = self.by_signature.get(finding.signature)
+        if kept is None:
+            self.by_signature[finding.signature] = finding
+            return True
+        kept.duplicates += 1
+        return False
+
+    def findings(self) -> list[RawFinding]:
+        return list(self.by_signature.values())
+
+    def __len__(self) -> int:
+        return len(self.by_signature)

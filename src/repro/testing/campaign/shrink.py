@@ -1,0 +1,93 @@
+"""Delta-debugging trace minimization (ddmin).
+
+A campaign finding arrives as the whole batch trace — often hundreds of
+steps of which a handful matter. The shrinker removes ever-smaller chunks
+of steps, keeping a candidate whenever its strict replay still raises the
+*same finding class and kind*, until the trace is 1-minimal: no single
+step can be removed without losing the finding.
+
+Replays run in strict mode: a HostCrash during a replayed host touch
+propagates instead of being tolerated, because the crash may *be* the
+finding being minimised.
+
+ddmin is deterministic, so shrinking is idempotent — shrinking an
+already-minimal trace returns it unchanged (property-tested in
+``tests/property/test_shrink_properties.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.testing.campaign.findings import finding_class
+from repro.testing.trace import Trace
+
+
+@dataclass
+class ShrinkResult:
+    trace: Trace
+    #: How many candidate replays the search spent.
+    probes: int
+
+
+def _reproduces(trace: Trace, klass: str, kind: str) -> bool:
+    """Does a strict replay of ``trace`` end in the same finding?"""
+    try:
+        trace.replay(ghost=True, strict=True)
+    except BaseException as exc:  # noqa: BLE001 - classified below
+        if finding_class(exc) != klass:
+            return False
+        if klass == "SpecViolation" and getattr(exc, "kind", "") != kind:
+            return False
+        return True
+    return False
+
+
+def reproduces_finding(trace: Trace, klass: str, kind: str = "") -> bool:
+    """Public check: strict replay raises finding class ``klass`` (and,
+    for spec violations, violation kind ``kind``)."""
+    return _reproduces(trace, klass, kind)
+
+
+def shrink_trace(
+    trace: Trace,
+    klass: str,
+    kind: str = "",
+    *,
+    max_probes: int = 2000,
+) -> ShrinkResult:
+    """Minimize ``trace`` while a strict replay still raises the same
+    finding class/kind. Returns the input unchanged if it does not
+    reproduce at all (nothing to safely minimize against)."""
+    probes = 0
+
+    def test(steps: list[tuple]) -> bool:
+        nonlocal probes
+        probes += 1
+        return _reproduces(trace.with_steps(steps), klass, kind)
+
+    if not test(trace.steps):
+        return ShrinkResult(trace, probes)
+
+    steps = list(trace.steps)
+    granularity = 2
+    while len(steps) >= 2 and probes < max_probes:
+        chunk = max(1, (len(steps) + granularity - 1) // granularity)
+        reduced = False
+        for start in range(0, len(steps), chunk):
+            candidate = steps[:start] + steps[start + chunk :]
+            if not candidate:
+                continue
+            if test(candidate):
+                steps = candidate
+                # restart at coarse granularity relative to the new size
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+            if probes >= max_probes:
+                break
+        if not reduced:
+            if granularity >= len(steps):
+                break  # 1-minimal: no single step is removable
+            granularity = min(len(steps), granularity * 2)
+    return ShrinkResult(trace.with_steps(steps), probes)

@@ -1,0 +1,161 @@
+"""The campaign worker: run one batch of model-guided random testing.
+
+A batch is self-contained: a fresh machine booted from the campaign's
+machine config, a tester seeded from ``(campaign seed, worker id, batch
+index)``, and a trace recording every interaction from boot. The batch
+ends at its step budget — or early, at the first finding, so the
+recorded trace replays from a clean boot straight into the finding.
+
+The same ``run_batch`` runs inline (deterministic single-process mode)
+and inside worker processes (``worker_main`` loops on a task queue).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.arch.exceptions import HostCrash, HypervisorPanic
+from repro.ghost.checker import SpecViolation
+from repro.machine import Machine
+from repro.testing.campaign.findings import RawFinding, make_finding
+from repro.testing.coverage import (
+    CoverageMap,
+    CoverageTracker,
+    FunctionCoverageTracker,
+)
+from repro.testing.random_tester import RandomTester
+from repro.testing.trace import Trace
+
+#: Multiplier chain deriving per-batch seeds; a large prime keeps worker
+#: and batch streams from colliding for any realistic campaign size.
+SEED_STRIDE = 1_000_003
+
+
+def batch_seed(campaign_seed: int, worker_id: int, batch_index: int) -> int:
+    return (campaign_seed * SEED_STRIDE + worker_id) * SEED_STRIDE + batch_index
+
+
+@dataclass
+class BatchTask:
+    worker_id: int
+    batch_index: int
+    seed: int
+    steps: int
+
+
+@dataclass
+class BatchResult:
+    """What a worker ships back after one batch."""
+
+    worker_id: int
+    batch_index: int
+    seed: int
+    steps_run: int
+    steps_budgeted: int
+    hypercalls: int
+    rejected: int
+    finding: RawFinding | None
+    coverage: CoverageMap = field(default_factory=CoverageMap)
+    seconds: float = 0.0
+
+    def to_jsonable(self) -> dict:
+        return {
+            "worker_id": self.worker_id,
+            "batch_index": self.batch_index,
+            "seed": self.seed,
+            "steps_run": self.steps_run,
+            "steps_budgeted": self.steps_budgeted,
+            "hypercalls": self.hypercalls,
+            "rejected": self.rejected,
+            "finding_signature": (
+                list(self.finding.signature) if self.finding else None
+            ),
+        }
+
+
+def _make_tracker(coverage: str):
+    if coverage == "lines":
+        return CoverageTracker()
+    if coverage == "functions":
+        return FunctionCoverageTracker()
+    if coverage == "off":
+        return None
+    raise ValueError(f"unknown coverage mode {coverage!r}")
+
+
+def run_batch(
+    machine_config: dict,
+    task: BatchTask,
+    *,
+    coverage: str = "functions",
+) -> BatchResult:
+    """Run one batch; never raises on findings — they come back as data.
+
+    ``coverage``: "functions" (cheap, the campaign default), "lines"
+    (full line bitmap, ~20x slower), or "off".
+    """
+    started = time.perf_counter()
+    machine = Machine.from_config(machine_config)
+    trace = Trace(
+        nr_cpus=machine_config.get("nr_cpus", 4),
+        dram_size=machine_config.get("dram_size", 256 * 1024 * 1024),
+        bug_names=tuple(machine_config.get("bug_names", ())),
+        meta={
+            "worker_id": task.worker_id,
+            "batch_index": task.batch_index,
+            "seed": task.seed,
+        },
+    )
+    tester = RandomTester(machine, seed=task.seed, trace=trace)
+    finding = None
+    steps_run = 0
+    tracker = _make_tracker(coverage)
+    try:
+        if tracker is not None:
+            tracker.__enter__()
+        for i in range(task.steps):
+            try:
+                tester.step()
+            except (SpecViolation, HypervisorPanic, HostCrash) as exc:
+                finding = make_finding(
+                    exc,
+                    trace,
+                    worker_id=task.worker_id,
+                    batch_index=task.batch_index,
+                    seed=task.seed,
+                    step_index=i,
+                )
+                steps_run = i + 1
+                break
+            steps_run = i + 1
+    finally:
+        if tracker is not None:
+            tracker.__exit__(None, None, None)
+    snapshot = tracker.snapshot() if tracker is not None else CoverageMap()
+    return BatchResult(
+        worker_id=task.worker_id,
+        batch_index=task.batch_index,
+        seed=task.seed,
+        steps_run=steps_run,
+        steps_budgeted=task.steps,
+        hypercalls=tester.stats.hypercalls,
+        rejected=tester.stats.rejected_crashy,
+        finding=finding,
+        coverage=snapshot,
+        seconds=time.perf_counter() - started,
+    )
+
+
+def worker_main(
+    machine_config: dict,
+    task_queue,
+    result_queue,
+    coverage: str = "functions",
+) -> None:
+    """Process entry point: drain tasks until the None sentinel."""
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        result_queue.put(run_batch(machine_config, task, coverage=coverage))

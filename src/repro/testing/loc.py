@@ -58,6 +58,14 @@ CATEGORIES: dict[str, list[str]] = {
         "testing/coverage.py",
         "testing/synthetic.py",
         "testing/trace.py",
+        "testing/campaign/findings.py",
+        "testing/campaign/shrink.py",
+        "testing/campaign/worker.py",
+        "testing/campaign/scheduler.py",
+        "testing/campaign/checkpoint.py",
+        "testing/campaign/engine.py",
+        "testing/campaign/cli.py",
+        "testing/campaign/__main__.py",
         "pkvm/bugs.py",  # the bug-injection registry is test apparatus
     ],
     "analysis (hygiene checkers)": [

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.arch.defs import PAGE_SIZE, phys_to_pfn
 from repro.machine import Machine
-from repro.pkvm.defs import HypercallId
+from repro.pkvm.defs import EBUSY, HypercallId
 
 
 @dataclass
@@ -214,6 +214,7 @@ class HypProxy:
             reclaimable = list(self.machine.pkvm.vm_table.reclaimable)
             if not reclaimable:
                 return count
+            progressed = False
             for phys in reclaimable:
                 ret = self.hvc(
                     HypercallId.HOST_RECLAIM_PAGE,
@@ -222,10 +223,17 @@ class HypProxy:
                 )
                 if ret == 0:
                     count += 1
+                    progressed = True
+                elif ret == -EBUSY:
+                    # Pagetable pages of a dead VM are refused while its
+                    # guest pages are pending; the next sweep gets them.
+                    continue
                 else:
                     raise RuntimeError(
                         f"reclaim of {phys:#x} failed: {ret}"
                     )
+            if not progressed:
+                raise RuntimeError("reclaim made no progress over a sweep")
 
     # -- composite flows -------------------------------------------------------
 

@@ -103,16 +103,31 @@ class RandomTester:
         ("garbage_hvc", 2),
     )
 
-    def __init__(self, machine: Machine, seed: int = 0, *, guided: bool = True):
+    def __init__(
+        self,
+        machine: Machine,
+        seed: int = 0,
+        *,
+        guided: bool = True,
+        rng: random.Random | None = None,
+        trace: "Trace | None" = None,
+    ):
         self.machine = machine
         self.proxy = HypProxy(machine)
-        self.rng = random.Random(seed)
+        #: All randomness flows through this injectable generator, so a
+        #: campaign shard is reproducible from its ``(campaign seed,
+        #: worker id, batch index)``-derived seed alone.
+        self.rng = rng if rng is not None else random.Random(seed)
         self.model = ModelState()
         self.stats = RandomRunStats()
         #: The ablation switch: without guidance, arguments are sampled
         #: uniformly rather than from the abstract model, and the crash
         #: predictor is disabled — the paper's "too arbitrary" regime.
         self.guided = guided
+        #: Optional recording sink: every machine interaction (hypercalls,
+        #: host touches, params-page writes, guest scripts) is recorded
+        #: before execution, so the trace replays the faulting step too.
+        self.trace = trace
         self._actions = [name for name, weight in self.ACTIONS for _ in range(weight)]
 
     # -- the abstract-model guidance ---------------------------------------
@@ -173,6 +188,8 @@ class RandomTester:
 
     def _hvc(self, call_id: int, *args: int) -> int:
         self.stats.hypercalls += 1
+        if self.trace is not None:
+            self.trace.record_hvc(0, int(call_id), *args)
         ret = self.proxy.hvc(call_id, *args)
         if ret >= 0:
             self.stats.ok_returns += 1
@@ -180,18 +197,41 @@ class RandomTester:
             self.stats.error_returns += 1
         return ret
 
+    def _write_words(self, phys: int, values: list[int]) -> None:
+        """Fill a host page (params/list pages) with recording, so the
+        trace alone can rebuild the inputs a later hypercall reads."""
+        if self.trace is not None:
+            for i, value in enumerate(values):
+                self.trace.record_write(phys + 8 * i, value)
+        self.proxy.write_words(phys, values)
+
     # -- actions ---------------------------------------------------------------
 
     def _do_share(self) -> None:
-        page = self._pick_host_page()
+        # Mostly well-behaved, but deliberately probe the share handler's
+        # state checks too: re-sharing an already-shared page and sharing
+        # a donated page are exactly the error paths a skipped ownership
+        # check lets through (hypercalls reject them; only host *touches*
+        # of donated pages are fatal, so nothing here needs the predictor).
+        roll = self.rng.random()
+        if self.guided and roll < 0.15 and self.model.shared_pages:
+            page = self.rng.choice(self.model.shared_pages)
+        elif self.guided and roll < 0.25 and self.model.donated_pages:
+            page = self.rng.choice(sorted(self.model.donated_pages))
+        else:
+            page = self._pick_host_page()
         ret = self._hvc(HypercallId.HOST_SHARE_HYP, phys_to_pfn(page))
         if ret == 0 and page in self.model.host_pages:
             self.model.host_pages.remove(page)
             self.model.shared_pages.append(page)
 
     def _do_unshare(self) -> None:
-        if self.model.shared_pages and self.rng.random() > 0.2:
+        roll = self.rng.random()
+        if self.model.shared_pages and roll > 0.2:
             page = self.rng.choice(self.model.shared_pages)
+        elif self.guided and roll < 0.1 and self.model.donated_pages:
+            # unsharing a donated page: the ownership-check error path
+            page = self.rng.choice(sorted(self.model.donated_pages))
         else:
             page = self._pick_host_page()
         ret = self._hvc(HypercallId.HOST_UNSHARE_HYP, phys_to_pfn(page))
@@ -215,8 +255,13 @@ class RandomTester:
             self.stats.rejected_crashy += 1
             return
         if self.rng.random() < 0.5:
-            self.machine.host.write64(addr, self.rng.getrandbits(64))
+            value = self.rng.getrandbits(64)
+            if self.trace is not None:
+                self.trace.record_write(addr, value)
+            self.machine.host.write64(addr, value)
         else:
+            if self.trace is not None:
+                self.trace.record_read(addr)
             self.machine.host.read64(addr)
 
     def _do_touch_bogus(self) -> None:
@@ -233,16 +278,18 @@ class RandomTester:
         pgd = self._fresh_page()
         nr_vcpus = self.rng.randint(1, 3)
         protected = self.rng.random() < 0.6
-        self.proxy.write_words(
+        self._write_words(
             params, [nr_vcpus, int(protected), phys_to_pfn(pgd)]
         )
         if self._hvc(HypercallId.HOST_SHARE_HYP, phys_to_pfn(params)):
             return
         handle = self._hvc(HypercallId.INIT_VM, phys_to_pfn(params))
         self._hvc(HypercallId.HOST_UNSHARE_HYP, phys_to_pfn(params))
+        # The pgd was donated in init_vm's phase 1; even when a later
+        # phase fails the donation sticks, so the page is gone either way.
+        self.model.host_pages.remove(pgd)
+        self.model.donated_pages.add(pgd)
         if handle >= 0:
-            self.model.host_pages.remove(pgd)
-            self.model.donated_pages.add(pgd)
             self.model.vms[handle] = ModelVm(handle, nr_vcpus, protected)
 
     def _pick_vm(self) -> ModelVm | None:
@@ -250,19 +297,26 @@ class RandomTester:
             return None
         return self.rng.choice(list(self.model.vms.values()))
 
+    def _donated(self, page: int) -> None:
+        """Mark a page the model handed to pKVM as off limits. Donations
+        happen *before* argument validation, so they stick even when the
+        hypercall then fails — the model must not touch the page again."""
+        if page in self.model.host_pages:
+            self.model.host_pages.remove(page)
+        self.model.donated_pages.add(page)
+
     def _do_init_vcpu(self) -> None:
         vm = self._pick_vm()
         if vm is None:
-            self._hvc(
-                HypercallId.INIT_VCPU, 0xBAD, phys_to_pfn(self._fresh_page())
-            )
+            page = self._fresh_page()
+            self._hvc(HypercallId.INIT_VCPU, 0xBAD, phys_to_pfn(page))
+            self._donated(page)
             return
         page = self._fresh_page()
         ret = self._hvc(HypercallId.INIT_VCPU, vm.handle, phys_to_pfn(page))
+        self._donated(page)
         if ret >= 0:
             vm.vcpus += 1
-            self.model.host_pages.remove(page)
-            self.model.donated_pages.add(page)
 
     def _do_vcpu_load(self) -> None:
         vm = self._pick_vm()
@@ -303,6 +357,9 @@ class RandomTester:
                 self.proxy.set_guest_script(vm.handle, vm.loaded_vcpu, ops)
             except (ValueError, IndexError):
                 pass
+            else:
+                if self.trace is not None:
+                    self.trace.record_script(vm.handle, vm.loaded_vcpu, ops)
         self._hvc(HypercallId.VCPU_RUN)
 
     def _do_map_guest(self) -> None:
@@ -310,10 +367,12 @@ class RandomTester:
         page = self._fresh_page()
         gfn = self.rng.randrange(0x40, 0x80)
         ret = self._hvc(HypercallId.HOST_MAP_GUEST, phys_to_pfn(page), gfn)
-        if ret == 0 and vm is not None:
-            vm.mapped_gfns.add(gfn)
-            self.model.host_pages.remove(page)
-            self.model.donated_pages.add(page)
+        if ret == 0:
+            # Donated for real even if the model lost track of which VM
+            # is loaded — the page is off limits regardless.
+            self._donated(page)
+            if vm is not None:
+                vm.mapped_gfns.add(gfn)
 
     def _do_share_guest(self) -> None:
         vm = self._loaded_vm()
@@ -341,16 +400,18 @@ class RandomTester:
         nr = self.rng.randint(1, 6)
         list_page = self._fresh_page()
         pages = [self._fresh_page() for _ in range(nr)]
-        self.proxy.write_words(list_page, pages)
+        self._write_words(list_page, pages)
         if self._hvc(HypercallId.HOST_SHARE_HYP, phys_to_pfn(list_page)):
             return
         ret = self._hvc(HypercallId.MEMCACHE_TOPUP, phys_to_pfn(list_page), nr)
         self._hvc(HypercallId.HOST_UNSHARE_HYP, phys_to_pfn(list_page))
+        # A failed topup still donates the list prefix it got through;
+        # the model cannot see how far it got, so it conservatively
+        # writes off every listed page.
+        for page in pages:
+            self._donated(page)
         if ret == 0 and vm is not None:
             vm.memcache += nr
-            for page in pages:
-                self.model.host_pages.remove(page)
-                self.model.donated_pages.add(page)
 
     def _do_teardown(self) -> None:
         vm = self._pick_vm()

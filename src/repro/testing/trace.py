@@ -23,11 +23,23 @@ from repro.pkvm.bugs import Bugs
 
 @dataclass
 class Trace:
-    """A replayable interaction sequence against one machine."""
+    """A replayable interaction sequence against one machine.
+
+    A trace is *self-contained*: it carries the machine configuration,
+    the bug-injection flags the run was made with, and free-form metadata
+    (campaign seed, worker id, finding signature, ...), so a recording
+    shipped across a process boundary — or saved in a ``campaign.json`` —
+    reproduces the run with no other context.
+    """
 
     #: Machine configuration needed to reproduce the run.
     nr_cpus: int = 4
     dram_size: int = 256 * 1024 * 1024
+    #: Bug-injection flags enabled during the recording; ``replay`` uses
+    #: them unless explicitly overridden.
+    bug_names: tuple[str, ...] = ()
+    #: Free-form provenance (campaign seed, worker id, signature, ...).
+    meta: dict = field(default_factory=dict)
     #: steps: ("hvc", cpu, call_id, args) | ("write", addr, value)
     #:      | ("read", addr) | ("script", handle, vcpu_idx, ops)
     steps: list[tuple] = field(default_factory=list)
@@ -49,11 +61,24 @@ class Trace:
 
     # -- serialisation -----------------------------------------------------
 
+    def with_steps(self, steps: list[tuple]) -> "Trace":
+        """A copy of this trace's configuration carrying ``steps`` —
+        the shrinker's candidate constructor."""
+        return Trace(
+            nr_cpus=self.nr_cpus,
+            dram_size=self.dram_size,
+            bug_names=self.bug_names,
+            meta=dict(self.meta),
+            steps=list(steps),
+        )
+
     def dumps(self) -> str:
         return repr(
             {
                 "nr_cpus": self.nr_cpus,
                 "dram_size": self.dram_size,
+                "bug_names": tuple(self.bug_names),
+                "meta": self.meta,
                 "steps": self.steps,
             }
         )
@@ -61,18 +86,33 @@ class Trace:
     @staticmethod
     def loads(text: str) -> "Trace":
         data = ast.literal_eval(text)
-        trace = Trace(nr_cpus=data["nr_cpus"], dram_size=data["dram_size"])
+        trace = Trace(
+            nr_cpus=data["nr_cpus"],
+            dram_size=data["dram_size"],
+            bug_names=tuple(data.get("bug_names", ())),
+            meta=dict(data.get("meta", {})),
+        )
         trace.steps = [tuple(step) for step in data["steps"]]
         return trace
 
     # -- replay -------------------------------------------------------------
 
     def replay(
-        self, *, ghost: bool = True, bugs: Bugs | None = None
+        self,
+        *,
+        ghost: bool = True,
+        bugs: Bugs | None = None,
+        strict: bool = False,
     ) -> Machine:
         """Replay on a fresh machine; exceptions (violations, panics)
         propagate exactly as they did originally. Host crashes during
-        replayed reads/writes are tolerated (they were part of the run)."""
+        replayed reads/writes are tolerated (they were part of the run)
+        unless ``strict`` — the shrinker needs them to propagate, since a
+        HostCrash may *be* the finding it is minimising.
+
+        ``bugs`` defaults to the trace's recorded ``bug_names``."""
+        if bugs is None and self.bug_names:
+            bugs = Bugs(**{name: True for name in self.bug_names})
         machine = Machine(
             nr_cpus=self.nr_cpus,
             dram_size=self.dram_size,
@@ -80,11 +120,11 @@ class Trace:
             bugs=bugs,
         )
         for step in self.steps:
-            self._apply(machine, step)
+            self._apply(machine, step, strict=strict)
         return machine
 
     @staticmethod
-    def _apply(machine: Machine, step: tuple) -> None:
+    def _apply(machine: Machine, step: tuple, *, strict: bool = False) -> None:
         kind = step[0]
         if kind == "hvc":
             _k, cpu_index, call_id, args = step
@@ -94,12 +134,14 @@ class Trace:
             try:
                 machine.host.write64(addr, value)
             except HostCrash:
-                pass
+                if strict:
+                    raise
         elif kind == "read":
             try:
                 machine.host.read64(step[1])
             except HostCrash:
-                pass
+                if strict:
+                    raise
         elif kind == "script":
             _k, handle, vcpu_idx, ops = step
             vm = machine.pkvm.vm_table.get(handle)

@@ -1,0 +1,149 @@
+"""Integration tests of the campaign engine: determinism, checkpoint
+round-trips, and the CLI front end.
+
+All campaigns here run inline (sequential, deterministic batch order) so
+reports can be compared for equality; the multiprocess pool path is
+exercised separately by the benchmark and the CI smoke job.
+"""
+
+import json
+
+from repro.testing.campaign.cli import main
+from repro.testing.campaign.engine import (
+    CampaignConfig,
+    CampaignEngine,
+    run_campaign,
+)
+
+
+def _config(**overrides) -> CampaignConfig:
+    base = dict(
+        workers=2,
+        budget=400,
+        batch_steps=80,
+        seed=5,
+        inline=True,
+        shrink=False,
+        coverage="functions",
+    )
+    base.update(overrides)
+    return CampaignConfig(**base)
+
+
+class TestDeterminism:
+    def test_same_config_identical_report(self):
+        a = run_campaign(_config())
+        b = run_campaign(_config())
+        assert a.comparable() == b.comparable()
+
+    def test_different_seed_different_stream(self):
+        a = run_campaign(_config(seed=5, coverage="off"))
+        b = run_campaign(_config(seed=6, coverage="off"))
+        assert a.comparable() != b.comparable()
+
+    def test_budget_respected(self):
+        report = run_campaign(_config(coverage="off"))
+        assert report.total_steps == 400
+        assert report.batches == 5  # 80-step batches, no novelty growth
+
+
+class TestCheckpointResume:
+    def test_interrupted_resume_matches_uninterrupted(self, tmp_path):
+        straight = run_campaign(_config(), out=str(tmp_path / "full.json"))
+
+        partial_path = str(tmp_path / "partial.json")
+        CampaignEngine(_config(max_batches=2), out=partial_path).run()
+        state = json.load(open(partial_path))
+        assert len(state["batches"]) == 2
+
+        # lift the interrupt before resuming, as a real resume would
+        state["config"]["max_batches"] = None
+        json.dump(state, open(partial_path, "w"))
+        resumed = CampaignEngine.from_checkpoint(partial_path).run()
+
+        assert resumed.resumed
+        assert resumed.comparable() == straight.comparable()
+
+    def test_checkpoint_written_after_every_batch(self, tmp_path):
+        path = str(tmp_path / "campaign.json")
+        CampaignEngine(_config(max_batches=1, coverage="off"), out=path).run()
+        state = json.load(open(path))
+        assert state["complete"]  # final write marks completion
+        assert len(state["batches"]) == 1
+        assert state["batches"][0]["steps_budgeted"] == 80
+
+    def test_resume_does_not_repeat_batches(self, tmp_path):
+        path = str(tmp_path / "campaign.json")
+        CampaignEngine(_config(max_batches=3, coverage="off"), out=path).run()
+        state = json.load(open(path))
+        state["config"]["max_batches"] = None
+        json.dump(state, open(path, "w"))
+        resumed = CampaignEngine.from_checkpoint(path).run()
+        seeds = [b["seed"] for b in json.load(open(path))["batches"]]
+        assert len(seeds) == len(set(seeds)) == resumed.batches
+
+
+class TestNoBugCampaign:
+    def test_fixed_hypervisor_campaign_reports_zero_findings(self):
+        report = run_campaign(
+            _config(budget=600, batch_steps=200, coverage="off")
+        )
+        assert report.findings == []
+        assert report.total_hypercalls > 300
+
+
+class TestCli:
+    def test_cli_runs_and_writes_report(self, tmp_path, capsys):
+        out = str(tmp_path / "campaign.json")
+        code = main(
+            [
+                "--inline",
+                "--workers",
+                "2",
+                "--budget",
+                "200",
+                "--batch-steps",
+                "100",
+                "--coverage",
+                "off",
+                "--out",
+                out,
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "distinct findings: 0" in printed
+        state = json.load(open(out))
+        assert state["complete"]
+        assert state["summary"]["total_steps"] == 200
+
+    def test_cli_rejects_unknown_bug(self):
+        import pytest
+
+        with pytest.raises(SystemExit, match="unknown bug"):
+            main(["--bugs", "no_such_bug"])
+
+    def test_cli_resume(self, tmp_path, capsys):
+        out = str(tmp_path / "campaign.json")
+        main(
+            [
+                "--inline",
+                "--budget",
+                "300",
+                "--batch-steps",
+                "100",
+                "--coverage",
+                "off",
+                "--max-batches",
+                "1",
+                "--out",
+                out,
+            ]
+        )
+        state = json.load(open(out))
+        state["config"]["max_batches"] = None
+        json.dump(state, open(out, "w"))
+        code = main(["--resume", out])
+        assert code == 0
+        assert "(resumed)" in capsys.readouterr().out
+        assert json.load(open(out))["summary"]["total_steps"] == 300

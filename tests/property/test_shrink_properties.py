@@ -1,0 +1,88 @@
+"""Property-based tests of the ddmin trace shrinker.
+
+The input distribution is the real one: random-tester batches against a
+bug-injected hypervisor, each producing a failing trace from boot. For
+any such trace the shrinker must (1) produce a trace that still raises
+the same finding class, (2) never grow the trace, and (3) be idempotent
+— a second shrink is a fixed point, because ddmin's output is 1-minimal.
+"""
+
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.arch.exceptions import HostCrash, HypervisorPanic
+from repro.ghost.checker import SpecViolation
+from repro.machine import Machine
+from repro.pkvm.bugs import Bugs
+from repro.testing.campaign.findings import finding_class
+from repro.testing.campaign.shrink import reproduces_finding, shrink_trace
+from repro.testing.random_tester import RandomTester
+from repro.testing.trace import Trace
+
+#: Bugs whose findings surface within a few dozen random steps, keeping
+#: each hypothesis example affordable.
+FAST_BUGS = [
+    "synth_share_wrong_state",
+    "synth_unshare_leak",
+    "synth_missing_ret_write",
+    "synth_donate_wrong_owner",
+]
+
+SETTINGS = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _failing_trace(bug: str, seed: int, max_steps: int = 120):
+    """Run the tester until the injected bug fires; None if it did not."""
+    trace = Trace(bug_names=(bug,))
+    machine = Machine(bugs=Bugs.single(bug))
+    tester = RandomTester(machine, seed=seed, trace=trace)
+    try:
+        for _ in range(max_steps):
+            tester.step()
+    except (SpecViolation, HypervisorPanic, HostCrash) as exc:
+        return trace, finding_class(exc), getattr(exc, "kind", "")
+    return None
+
+
+@given(bug=st.sampled_from(FAST_BUGS), seed=st.integers(0, 10_000))
+@SETTINGS
+def test_shrunk_trace_reproduces_finding_class(bug, seed):
+    found = _failing_trace(bug, seed)
+    assume(found is not None)
+    trace, klass, kind = found
+    shrunk = shrink_trace(trace, klass, kind).trace
+    assert reproduces_finding(shrunk, klass, kind)
+
+
+@given(bug=st.sampled_from(FAST_BUGS), seed=st.integers(0, 10_000))
+@SETTINGS
+def test_shrunk_trace_never_longer(bug, seed):
+    found = _failing_trace(bug, seed)
+    assume(found is not None)
+    trace, klass, kind = found
+    shrunk = shrink_trace(trace, klass, kind).trace
+    assert len(shrunk) <= len(trace)
+    assert len(shrunk) >= 1
+
+
+@given(bug=st.sampled_from(FAST_BUGS), seed=st.integers(0, 10_000))
+@SETTINGS
+def test_shrinking_is_idempotent(bug, seed):
+    found = _failing_trace(bug, seed)
+    assume(found is not None)
+    trace, klass, kind = found
+    once = shrink_trace(trace, klass, kind).trace
+    twice = shrink_trace(once, klass, kind).trace
+    assert twice.steps == once.steps
+
+
+def test_non_reproducing_trace_returned_unchanged():
+    trace = Trace()
+    trace.record_hvc(0, 0xDEAD_BEEF)
+    result = shrink_trace(trace, "SpecViolation", "post-mismatch")
+    assert result.trace.steps == trace.steps
+    assert result.probes == 1

@@ -1,0 +1,74 @@
+"""Unit tests for the mergeable coverage bitmap behind the campaign engine.
+
+Merging must behave like set union per module — associative, commutative,
+idempotent — so the order worker results arrive in can never change the
+campaign-wide map.
+"""
+
+from repro.testing.coverage import CoverageMap, FunctionCoverageTracker
+
+
+def _map(**modules) -> CoverageMap:
+    cm = CoverageMap()
+    for name, lines in modules.items():
+        cm.lines[f"{name}.py"] = set(lines)
+        cm.functions[f"{name}.py"] = {f"f{line}" for line in lines}
+    return cm
+
+
+class TestMergeAlgebra:
+    def test_associative(self):
+        a = _map(pkvm=[1, 2], ghost=[10])
+        b = _map(pkvm=[2, 3])
+        c = _map(ghost=[11], arch=[5])
+        assert ((a | b) | c) == (a | (b | c))
+
+    def test_commutative(self):
+        a = _map(pkvm=[1, 2])
+        b = _map(pkvm=[3], ghost=[7])
+        assert (a | b) == (b | a)
+
+    def test_idempotent(self):
+        a = _map(pkvm=[1, 2], ghost=[10])
+        assert (a | a) == a
+        copy = a.copy()
+        assert copy.merge(a) == 0  # nothing new
+        assert copy == a
+
+    def test_merge_reports_novelty(self):
+        a = _map(pkvm=[1, 2])
+        b = _map(pkvm=[2, 3], ghost=[10])
+        assert a.merge(b) == 2  # line 3 and line 10
+        assert a.line_count() == 4
+
+    def test_or_does_not_mutate_operands(self):
+        a = _map(pkvm=[1])
+        b = _map(pkvm=[2])
+        _ = a | b
+        assert a.lines["pkvm.py"] == {1}
+        assert b.lines["pkvm.py"] == {2}
+
+
+class TestSerialisation:
+    def test_jsonable_round_trip(self):
+        a = _map(pkvm=[3, 1, 2], ghost=[10])
+        back = CoverageMap.from_jsonable(a.to_jsonable())
+        assert back == a
+
+    def test_jsonable_is_sorted_and_plain(self):
+        data = _map(pkvm=[3, 1]).to_jsonable()
+        assert data["lines"]["pkvm.py"] == [1, 3]
+        assert all(isinstance(v, list) for v in data["functions"].values())
+
+
+class TestFunctionTracker:
+    def test_tracks_calls_into_scoped_modules(self):
+        from repro.machine import Machine
+
+        with FunctionCoverageTracker() as tracker:
+            Machine(nr_cpus=1)
+        snap = tracker.snapshot()
+        assert snap.function_count() > 10
+        assert all(not key.startswith("/") for key in snap.functions)
+        merged = snap | snap
+        assert merged == snap

@@ -107,3 +107,57 @@ class TestStats:
         tester.run(20)
         assert tester.stats.seconds > 0
         assert tester.stats.steps == 20
+
+
+class TestDeterminism:
+    """Same seed => same run, bit for bit. The campaign engine's
+    replayability rests on this: a batch is reproducible from its derived
+    seed alone."""
+
+    def _run(self, seed, steps=120, rng=None):
+        from repro.testing.trace import Trace
+
+        trace = Trace()
+        tester = RandomTester(Machine(), seed=seed, rng=rng, trace=trace)
+        stats = tester.run(steps)
+        return trace, stats
+
+    def test_same_seed_identical_interaction_sequence(self):
+        trace_a, stats_a = self._run(seed=7)
+        trace_b, stats_b = self._run(seed=7)
+        assert trace_a.steps == trace_b.steps
+        assert stats_a.hypercalls == stats_b.hypercalls
+        assert stats_a.by_action == stats_b.by_action
+        assert stats_a.rejected_crashy == stats_b.rejected_crashy
+
+    def test_different_seeds_diverge(self):
+        trace_a, _ = self._run(seed=7)
+        trace_b, _ = self._run(seed=8)
+        assert trace_a.steps != trace_b.steps
+
+    def test_injected_rng_overrides_seed(self):
+        import random
+
+        trace_a, _ = self._run(seed=1, rng=random.Random(99))
+        trace_b, _ = self._run(seed=2, rng=random.Random(99))
+        assert trace_a.steps == trace_b.steps
+
+    def test_same_seed_identical_findings(self):
+        from repro.arch.exceptions import HostCrash, HypervisorPanic
+        from repro.ghost.checker import SpecViolation
+        from repro.pkvm.bugs import Bugs
+
+        def finding(seed):
+            tester = RandomTester(
+                Machine(bugs=Bugs.single("synth_unshare_leak")), seed=seed
+            )
+            try:
+                for i in range(400):
+                    tester.step()
+            except (SpecViolation, HypervisorPanic, HostCrash) as exc:
+                return (i, type(exc).__name__, str(exc))
+            return None
+
+        first = finding(3)
+        assert first is not None
+        assert finding(3) == first

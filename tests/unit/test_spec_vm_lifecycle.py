@@ -223,9 +223,9 @@ class TestTeardownSpec:
         rec = g_post.vms.reclaimable
         assert rec[0x4104_0000][0] == "guest"     # guest-owned page
         assert rec[0x4105_0000][0] == "hostshare" # page the host lent in
-        assert rec[PGD] == ("hyp",)               # donated metadata
+        assert rec[PGD] == ("pgt", HANDLE)        # stage-2 root
         assert rec[0x4103_0000] == ("hyp",)       # memcache page
-        assert rec[0x4106_0000] == ("hyp",)       # table page (not root)
+        assert rec[0x4106_0000] == ("pgt", HANDLE)  # table page (not root)
 
     def test_loaded_vcpu_blocks(self):
         g_pre = self._pre_with_guest_state()
