@@ -1,0 +1,60 @@
+"""E12 — analysis-pass latency: all five passes on the real tree, under
+a CI budget.
+
+The paper's pragmatics depend on the checks being cheap enough to run on
+every change (§6 argues the oracle pays its way because it rides along
+with ordinary testing). The static passes and the bitfields proof are
+near-instant; the frame pass's dynamic half replays the whole
+handwritten suite plus a short random campaign, so it dominates. The
+assertion keeps the full ``python -m repro.analysis`` wall time inside a
+budget a pre-merge CI job can absorb.
+"""
+
+import time
+
+from benchmarks.conftest import report
+from repro.analysis.bitfields import check_pte_codec
+from repro.analysis.frame import run_frame_pass
+from repro.analysis.lockorder import check_lock_discipline
+from repro.analysis.purity import check_spec_purity
+from repro.analysis.scenarios import DEFAULT_SCENARIO, run_lockset_scenario
+
+#: Generous CI ceiling for all five passes together (seconds). The
+#: observed total is a few seconds; the margin absorbs slow runners.
+BUDGET_SECONDS = 60.0
+
+PASSES = (
+    ("purity", lambda: check_spec_purity(None)),
+    ("lockorder", lambda: check_lock_discipline(None)),
+    ("lockset", lambda: run_lockset_scenario(DEFAULT_SCENARIO, max_schedules=32)),
+    ("frame", lambda: run_frame_pass(None, dynamic=True, random_steps=200)),
+    ("bitfields", lambda: check_pte_codec(None)),
+)
+
+
+def bench_all_passes_within_ci_budget(benchmark):
+    timings = {}
+
+    def run_all():
+        findings = []
+        for name, pass_fn in PASSES:
+            start = time.perf_counter()
+            findings.extend(pass_fn())
+            timings[name] = time.perf_counter() - start
+        return findings
+
+    findings = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    assert findings == [], "the real tree must be clean"
+    total = sum(timings.values())
+    assert total < BUDGET_SECONDS, (
+        f"analysis passes took {total:.1f}s, over the {BUDGET_SECONDS:.0f}s "
+        "CI budget"
+    )
+    breakdown = ", ".join(f"{name} {dt:.2f}s" for name, dt in timings.items())
+    report(
+        "E12",
+        "checks cheap enough to ride along with ordinary pre-merge testing",
+        f"all five passes clean in {total:.1f}s ({breakdown}); "
+        f"budget {BUDGET_SECONDS:.0f}s",
+    )

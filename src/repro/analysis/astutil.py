@@ -1,0 +1,200 @@
+"""AST and source helpers shared by the static analysis passes.
+
+Two families live here so `purity` and `frame` cannot drift apart:
+
+- **alias/taint resolution** — the pragmatic chain-walking rules the
+  paper-style linters share: attribute/subscript chains and *method*
+  calls propagate into their receiver (``x.get(k)`` returns a view into
+  ``x``), while a call through a plain name (``list(x)``) constructs a
+  fresh value and breaks the chain. :func:`root_name` gives the base name
+  of such a chain; :func:`access_path` gives the full dotted path with
+  subscripts collapsed to ``*``.
+- **suppression pragmas** — the one inline escape hatch every pass
+  honours: ``# analysis: allow[rule] reason``. A pragma suppresses
+  findings for the named rule(s) on its own line, or (when the pragma is
+  a comment-only line) on the line below. A pragma with no reason text is
+  itself a finding: exclusions must be accountable.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.report import Finding
+
+#: Method names that mutate their receiver (shared by purity's read-only
+#: enforcement and frame's write-footprint inference).
+MUTATING_METHODS = frozenset(
+    {
+        "insert", "remove", "remove_if_present", "append", "extend",
+        "add", "discard", "update", "clear", "pop", "popitem",
+        "setdefault", "push", "sort", "reverse", "write", "writelines",
+    }
+)
+
+#: Method names that return a *view* into their receiver rather than a
+#: fresh value; a chain continues through them.
+VIEW_METHODS = frozenset(
+    {"get", "lookup", "copy", "items", "values", "keys", "runs_in"}
+)
+
+
+def root_name(node: ast.expr) -> str | None:
+    """The base Name of an attribute/subscript/method-call chain, or None.
+
+    Method calls propagate to their receiver (``x.get(k)`` aliases into
+    ``x``); calls through a plain name (``list(x)``) are treated as
+    constructing fresh values and break the chain.
+    """
+    while True:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, (ast.Attribute, ast.Starred)):
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            node = node.func.value
+        else:
+            return None
+
+
+def access_path(node: ast.expr) -> tuple[str, tuple[str, ...]] | None:
+    """Resolve ``node`` to ``(root name, path segments)``, or None.
+
+    Attributes append their name, subscripts append ``"*"``, and method
+    calls continue into their receiver without appending (the method's
+    result is treated as a view of the receiver, matching
+    :func:`root_name`). ``g.vm_pgts[h].mapping`` resolves to
+    ``("g", ("vm_pgts", "*", "mapping"))``.
+    """
+    segments: list[str] = []
+    while True:
+        if isinstance(node, ast.Name):
+            return node.id, tuple(reversed(segments))
+        if isinstance(node, ast.Attribute):
+            segments.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            segments.append("*")
+            node = node.value
+        elif isinstance(node, ast.Starred):
+            node = node.value
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            node = node.func.value
+        else:
+            return None
+
+
+def is_prefix(prefix: tuple[str, ...], path: tuple[str, ...]) -> bool:
+    """Whether ``prefix`` covers ``path`` (segment-wise prefix match)."""
+    return len(prefix) <= len(path) and path[: len(prefix)] == prefix
+
+
+# ---------------------------------------------------------------------------
+# Suppression pragmas
+# ---------------------------------------------------------------------------
+
+#: ``# analysis: allow[rule-a,rule-b] because reasons``
+_PRAGMA_RE = re.compile(
+    r"#\s*analysis:\s*allow\[(?P<rules>[^\]]*)\]\s*(?P<reason>.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed ``# analysis: allow[...]`` comment."""
+
+    line: int
+    rules: frozenset[str]
+    reason: str
+    #: True when the pragma is the whole line, so it applies to the
+    #: following statement rather than its own (blank) one.
+    standalone: bool
+
+
+def scan_pragmas(
+    source: str, filename: str
+) -> tuple[list[Pragma], list[Finding]]:
+    """Parse every suppression pragma in ``source``.
+
+    Returns the well-formed pragmas plus a finding for each malformed one
+    (missing reason, empty rule list): an unexplained exclusion is a
+    violation in its own right, not a silent no-op.
+    """
+    pragmas: list[Pragma] = []
+    findings: list[Finding] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return [], []
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA_RE.search(tok.string)
+        if match is None:
+            continue
+        line = tok.start[0]
+        rules = frozenset(
+            r.strip() for r in match.group("rules").split(",") if r.strip()
+        )
+        reason = match.group("reason").strip()
+        problem = ""
+        if not rules:
+            problem = "no rule named in allow[...]"
+        elif not reason:
+            problem = "no reason text after allow[...]"
+        if problem:
+            findings.append(
+                Finding(
+                    analysis="suppression",
+                    rule="bad-pragma",
+                    message=f"malformed suppression pragma: {problem} "
+                    f"(expected '# analysis: allow[rule] reason')",
+                    file=filename,
+                    line=line,
+                )
+            )
+            continue
+        standalone = tok.line[: tok.start[1]].strip() == ""
+        pragmas.append(
+            Pragma(line=line, rules=rules, reason=reason, standalone=standalone)
+        )
+    return pragmas, findings
+
+
+def apply_pragmas(
+    findings: list[Finding],
+    path: str | Path,
+    source: str | None = None,
+) -> list[Finding]:
+    """Filter ``findings`` through the suppression pragmas of one file.
+
+    Only findings located in ``path`` are eligible; a pragma suppresses a
+    finding when the finding's rule is named and its line is the pragma's
+    own line (trailing comment) or the line below (standalone comment).
+    Malformed pragmas are appended as ``suppression/bad-pragma`` findings.
+    """
+    path = str(path)
+    if source is None:
+        try:
+            source = Path(path).read_text()
+        except OSError:
+            return findings
+    pragmas, bad = scan_pragmas(source, path)
+    allowed: dict[int, frozenset[str]] = {}
+    for pragma in pragmas:
+        target = pragma.line + 1 if pragma.standalone else pragma.line
+        allowed[target] = allowed.get(target, frozenset()) | pragma.rules
+    kept = [
+        f
+        for f in findings
+        if not (f.file == path and f.rule in allowed.get(f.line, frozenset()))
+    ]
+    kept.extend(bad)
+    return kept

@@ -1,17 +1,22 @@
-"""``python -m repro.analysis`` — run the hygiene passes, exit nonzero on
-any finding.
+"""``python -m repro.analysis`` — run the analysis passes, exit nonzero
+on any finding.
 
 Examples::
 
-    python -m repro.analysis                    # all three passes
-    python -m repro.analysis purity lockorder   # static passes only
+    python -m repro.analysis                    # all five passes
+    python -m repro.analysis purity lockorder   # static hygiene only
+    python -m repro.analysis frame bitfields    # the deep passes
     python -m repro.analysis --json             # machine-readable report
+    python -m repro.analysis --sarif out.sarif  # GitHub-annotatable log
     python -m repro.analysis lockset --lockset-scenario unlocked-init-read
 
-The static passes default to the installed ``repro.ghost.spec`` module
-and ``repro.pkvm`` package; ``--spec-module``/``--pkvm-root`` point them
-at other files (used by the tests to lint the deliberately-bad fixtures,
-and usable to vet a spec before it lands).
+The static passes default to the installed ``repro.ghost.spec`` module,
+``repro.pkvm`` package, and ``repro.arch.pte`` codec;
+``--spec-module``/``--pkvm-root``/``--pte-module`` point them at other
+files (used by the tests to lint the deliberately-bad fixtures, and
+usable to vet a spec before it lands). Pointing the frame pass at
+another file skips its dynamic cross-validation — an unmerged spec has
+no machine to replay.
 """
 
 from __future__ import annotations
@@ -19,7 +24,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
+from repro.analysis.bitfields import check_pte_codec
+from repro.analysis.frame import run_frame_pass
 from repro.analysis.lockorder import check_lock_discipline
 from repro.analysis.purity import check_spec_purity
 from repro.analysis.report import Report
@@ -29,13 +37,14 @@ from repro.analysis.scenarios import (
     run_lockset_scenario,
 )
 
-PASSES = ("purity", "lockorder", "lockset")
+PASSES = ("purity", "lockorder", "lockset", "frame", "bitfields")
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="spec-hygiene and lock-discipline analyses",
+        description="spec-hygiene, lock-discipline, ghost-frame, and "
+        "descriptor-codec analyses",
     )
     parser.add_argument(
         "passes",
@@ -49,6 +58,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the findings as JSON instead of text",
     )
     parser.add_argument(
+        "--sarif",
+        metavar="PATH",
+        default=None,
+        help="also write the findings as a SARIF 2.1.0 log (written even "
+        "when clean, so CI can always upload it)",
+    )
+    parser.add_argument(
         "--fail-on-finding",
         action="store_true",
         help="exit 1 if any pass reports a finding (the default; this "
@@ -58,7 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--spec-module",
         metavar="PATH",
         default=None,
-        help="spec source file for the purity pass "
+        help="spec source file for the purity and frame passes "
         "(default: the installed repro.ghost.spec)",
     )
     parser.add_argument(
@@ -67,6 +83,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory or file for the lock-discipline pass "
         "(default: the installed repro.pkvm package)",
+    )
+    parser.add_argument(
+        "--pte-module",
+        metavar="PATH",
+        default=None,
+        help="descriptor codec module for the bitfields pass "
+        "(default: the installed repro.arch.pte)",
     )
     parser.add_argument(
         "--lockset-scenario",
@@ -80,6 +103,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=32,
         metavar="N",
         help="interleaving budget for the lockset pass (default: 32)",
+    )
+    parser.add_argument(
+        "--frame-dynamic",
+        choices=("off", "suite", "full"),
+        default="full",
+        help="dynamic cross-validation for the frame pass: replay the "
+        "handwritten suite plus a random campaign (full, the default), "
+        "the suite only, or neither (off). Forced off by --spec-module.",
+    )
+    parser.add_argument(
+        "--frame-random-steps",
+        type=int,
+        default=200,
+        metavar="N",
+        help="length of the frame pass's random campaign (default: 200)",
+    )
+    parser.add_argument(
+        "--frame-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="seed for the frame pass's random campaign (default: 0)",
     )
     return parser
 
@@ -110,6 +155,28 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
         ran.append("lockset")
+    if "frame" in selected:
+        report.extend(
+            run_frame_pass(
+                args.spec_module,
+                dynamic=args.frame_dynamic != "off",
+                random_steps=(
+                    args.frame_random_steps
+                    if args.frame_dynamic == "full"
+                    else 0
+                ),
+                seed=args.frame_seed,
+            )
+        )
+        ran.append("frame")
+    if "bitfields" in selected:
+        report.extend(check_pte_codec(args.pte_module))
+        ran.append("bitfields")
+
+    if args.sarif:
+        Path(args.sarif).write_text(
+            json.dumps(report.to_sarif(), indent=2) + "\n"
+        )
 
     if args.json:
         payload = report.to_dict()

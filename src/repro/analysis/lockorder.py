@@ -41,6 +41,7 @@ import ast
 import importlib.util
 from pathlib import Path
 
+from repro.analysis.astutil import apply_pragmas
 from repro.analysis.report import Finding
 
 #: The global acquisition order (outermost first).
@@ -108,7 +109,8 @@ def check_lock_discipline(root: str | Path | None = None) -> list[Finding]:
 
 
 def check_file(path: Path) -> list[Finding]:
-    tree = ast.parse(path.read_text(), filename=str(path))
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
     findings: list[Finding] = []
     for fn, class_name in _functions(tree):
         if _is_lock_wrapper(fn, class_name):
@@ -118,7 +120,8 @@ def check_file(path: Path) -> list[Finding]:
         findings.extend(interp.findings)
     # Re-interpreting finally bodies at each exit can re-derive the same
     # violation; findings are value objects, so dedupe structurally.
-    return sorted(set(findings), key=Finding.sort_key)
+    deduped = sorted(set(findings), key=Finding.sort_key)
+    return apply_pragmas(deduped, path, source)
 
 
 def _functions(tree: ast.Module):

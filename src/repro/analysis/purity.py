@@ -39,6 +39,7 @@ import ast
 import importlib.util
 from pathlib import Path
 
+from repro.analysis.astutil import MUTATING_METHODS, apply_pragmas, root_name
 from repro.analysis.report import Finding
 
 #: Implementation modules the spec must never import from.
@@ -84,15 +85,6 @@ IMPURE_BUILTINS = frozenset(
      "breakpoint", "globals", "vars", "setattr", "delattr"}
 )
 
-#: Method names that mutate their receiver.
-MUTATING_METHODS = frozenset(
-    {
-        "insert", "remove", "remove_if_present", "append", "extend",
-        "add", "discard", "update", "clear", "pop", "popitem",
-        "setdefault", "push", "sort", "reverse", "write", "writelines",
-    }
-)
-
 #: Expected positional signature of every compute_post__* function.
 SPEC_SIGNATURE = ("g_post", "g_pre", "call", "cpu")
 
@@ -130,10 +122,11 @@ def check_spec_purity(
 ) -> list[Finding]:
     """Lint one spec module; return the (possibly empty) findings."""
     path = Path(source_path) if source_path else spec_module_path()
-    tree = ast.parse(path.read_text(), filename=str(path))
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
     linter = _PurityLinter(str(path), constant_allowlist)
     linter.run(tree)
-    return linter.findings
+    return apply_pragmas(linter.findings, path, source)
 
 
 class _PurityLinter:
@@ -220,7 +213,7 @@ class _PurityLinter:
                 "io-call", f"call to impure builtin {func.id}()", node
             )
         elif isinstance(func, ast.Attribute):
-            root = _root_name(func)
+            root = root_name(func)
             if root is not None and root in self._impure_names:
                 self._report(
                     "io-call",
@@ -255,26 +248,6 @@ class _PurityLinter:
             _MutationChecker(self, fn, readonly).run()
 
 
-def _root_name(node: ast.expr) -> str | None:
-    """The base Name of an attribute/subscript/method-call chain, or None.
-
-    Method calls propagate to their receiver (``x.get(k)`` aliases into
-    ``x``); calls through a plain name (``list(x)``) construct fresh
-    values and break the chain.
-    """
-    while True:
-        if isinstance(node, ast.Name):
-            return node.id
-        if isinstance(node, (ast.Attribute, ast.Starred)):
-            node = node.value
-        elif isinstance(node, ast.Subscript):
-            node = node.value
-        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
-            node = node.func.value
-        else:
-            return None
-
-
 class _MutationChecker:
     """Read-only enforcement for one function's pre-state/call params."""
 
@@ -291,7 +264,7 @@ class _MutationChecker:
         self.linter._report(rule, message, node, self.fn.name)
 
     def _is_tainted_expr(self, node: ast.expr) -> bool:
-        root = _root_name(node)
+        root = root_name(node)
         return root is not None and root in self.tainted
 
     def _walk(self, stmts: list[ast.stmt]) -> None:

@@ -3,6 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+#: Schema pinned to the version GitHub code scanning ingests.
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+SARIF_VERSION = "2.1.0"
 
 
 @dataclass(frozen=True)
@@ -74,4 +82,61 @@ class Report:
             "findings": [f.to_dict() for f in self.sorted()],
             "counts": by_pass,
             "total": len(self.findings),
+        }
+
+    def to_sarif(self, base: Path | None = None) -> dict:
+        """SARIF 2.1.0 log, one run, one result per finding.
+
+        Rule ids are ``<analysis>/<rule>`` (e.g.
+        ``spec-purity/forbidden-import``). Artifact URIs are emitted
+        relative to ``base`` (default: the working directory) when the
+        file lies under it — GitHub code scanning only annotates
+        relative paths. Dynamic findings (``<dynamic>``-style pseudo
+        files) carry no location.
+        """
+        base = (base or Path.cwd()).resolve()
+        rules: dict[str, dict] = {}
+        results = []
+        for f in self.sorted():
+            rule_id = f"{f.analysis}/{f.rule}"
+            rules.setdefault(
+                rule_id,
+                {"id": rule_id, "shortDescription": {"text": rule_id}},
+            )
+            result: dict = {
+                "ruleId": rule_id,
+                "level": "error",
+                "message": {"text": f.message},
+            }
+            if f.file and not f.file.startswith("<"):
+                path = Path(f.file).resolve()
+                try:
+                    uri = path.relative_to(base).as_posix()
+                except ValueError:
+                    uri = path.as_posix()
+                region = {"startLine": f.line} if f.line else {}
+                result["locations"] = [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": uri},
+                            **({"region": region} if region else {}),
+                        }
+                    }
+                ]
+            results.append(result)
+        return {
+            "$schema": SARIF_SCHEMA,
+            "version": SARIF_VERSION,
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro.analysis",
+                            "informationUri": "docs/ANALYSIS.md",
+                            "rules": list(rules.values()),
+                        }
+                    },
+                    "results": results,
+                }
+            ],
         }

@@ -39,7 +39,7 @@ from repro.ghost.abstraction import (
 from repro.ghost.arena import arena
 from repro.ghost.calldata import GhostCallData
 from repro.ghost.diff import diff_components
-from repro.ghost.spec import SpecAccessError, compute_post_trap
+from repro.ghost.spec import SpecAccessError, compute_post_trap, spec_name_for
 from repro.ghost.state import GhostState, local_key, vm_pgt_key
 from repro.pkvm.defs import s64
 
@@ -62,6 +62,22 @@ class Violation:
     def __str__(self) -> str:
         where = f" ({self.component})" if self.component else ""
         return f"[{self.kind}]{where} {self.detail}"
+
+
+@dataclass(frozen=True)
+class FrameObservation:
+    """One handler's observed ghost diff, exported via the checker's
+    ``frame_hook`` for cross-validation against the declared frame
+    manifests (``repro.analysis.frame``)."""
+
+    #: The dispatched specification function ("" when none applied).
+    spec_name: str
+    #: Component keys whose recorded post differs from the effective pre.
+    changed: frozenset
+    #: Component keys the spec's SpecResult claimed to constrain.
+    touched: frozenset
+    #: Components excluded from the ternary check (re-acquired locks).
+    multiphase: frozenset
 
 
 @dataclass
@@ -109,6 +125,11 @@ class GhostChecker:
         self.isolation_checks_run = 0
         #: UART-backed report printer (attached with the machine's UART).
         self.console = None
+        #: Optional export hook: called with a :class:`FrameObservation`
+        #: after every valid spec check, so external tooling (the frame
+        #: analysis' dynamic cross-validation) can audit the observed
+        #: ghost diffs without re-running the oracle.
+        self.frame_hook = None
 
     # -- attachment -------------------------------------------------------
 
@@ -326,6 +347,20 @@ class GhostChecker:
                 self.skip_reasons.get(result.note, 0) + 1
             )
             return
+        if self.frame_hook is not None:
+            changed = {
+                key
+                for key in record.post
+                if record.post[key] != record.pre.get(key, self.committed.get(key))
+            }
+            self.frame_hook(
+                FrameObservation(
+                    spec_name=spec_name_for(g_pre, record.call, record.cpu_index),
+                    changed=frozenset(changed),
+                    touched=frozenset(result.touched),
+                    multiphase=frozenset(record.multiphase),
+                )
+            )
 
         ok = True
         for key in sorted(result.touched | set(record.post)):

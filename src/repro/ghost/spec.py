@@ -89,6 +89,24 @@ class SpecAccessError(Exception):
     instrumentation gap, reported as its own violation category."""
 
 
+@dataclass(frozen=True)
+class Frame:
+    """The declared ghost-state footprint of one specification function.
+
+    ``reads`` and ``writes`` are access-path prefixes over the ghost
+    state, dotted and rooted at its components: ``"host"``,
+    ``"host.shared"``, ``"pkvm.pgt.mapping"``, ``"vms"``, ``"vm_pgts"``,
+    ``"local"``, ``"globals"``. A declared prefix covers every access
+    underneath it. The frame analysis (``python -m repro.analysis
+    frame``) proves the function body — through every helper it calls —
+    stays inside the declaration, and the runtime cross-validation proves
+    the recorded ghost diffs of the tier-1 suite do too.
+    """
+
+    reads: frozenset
+    writes: frozenset
+
+
 # ---------------------------------------------------------------------------
 # Shared helpers (ghost-state-only, mirroring the paper's auxiliaries)
 # ---------------------------------------------------------------------------
@@ -198,23 +216,8 @@ def _compute_post_hcall(
     g_post: GhostState, g_pre: GhostState, call: GhostCallData, cpu: int
 ) -> SpecResult:
     call_id = g_pre.read_gpr(cpu, 0)
-    specs = {
-        HypercallId.HOST_SHARE_HYP: compute_post__pkvm_host_share_hyp,
-        HypercallId.HOST_UNSHARE_HYP: compute_post__pkvm_host_unshare_hyp,
-        HypercallId.HOST_RECLAIM_PAGE: compute_post__pkvm_host_reclaim_page,
-        HypercallId.HOST_MAP_GUEST: compute_post__pkvm_host_map_guest,
-        HypercallId.INIT_VM: compute_post__pkvm_init_vm,
-        HypercallId.INIT_VCPU: compute_post__pkvm_init_vcpu,
-        HypercallId.TEARDOWN_VM: compute_post__pkvm_teardown_vm,
-        HypercallId.VCPU_LOAD: compute_post__pkvm_vcpu_load,
-        HypercallId.VCPU_PUT: compute_post__pkvm_vcpu_put,
-        HypercallId.VCPU_RUN: compute_post__pkvm_vcpu_run,
-        HypercallId.MEMCACHE_TOPUP: compute_post__pkvm_memcache_topup,
-        HypercallId.HOST_SHARE_GUEST: compute_post__pkvm_host_share_guest,
-        HypercallId.HOST_UNSHARE_GUEST: compute_post__pkvm_host_unshare_guest,
-    }
     try:
-        spec = specs.get(HypercallId(call_id))
+        spec = HYPERCALL_SPECS.get(HypercallId(call_id))
     except ValueError:
         spec = None
     if spec is None:
@@ -1004,3 +1007,107 @@ def compute_post__host_mem_abort(
         touched={local_key(cpu)},
         ret=0 if resolved else 1,
     )
+
+
+# ---------------------------------------------------------------------------
+# Dispatch table and frame manifests
+# ---------------------------------------------------------------------------
+
+#: Which specification function handles each hypercall (used by the
+#: dispatcher above and by the checker's frame-observation export).
+HYPERCALL_SPECS = {
+    HypercallId.HOST_SHARE_HYP: compute_post__pkvm_host_share_hyp,
+    HypercallId.HOST_UNSHARE_HYP: compute_post__pkvm_host_unshare_hyp,
+    HypercallId.HOST_RECLAIM_PAGE: compute_post__pkvm_host_reclaim_page,
+    HypercallId.HOST_MAP_GUEST: compute_post__pkvm_host_map_guest,
+    HypercallId.INIT_VM: compute_post__pkvm_init_vm,
+    HypercallId.INIT_VCPU: compute_post__pkvm_init_vcpu,
+    HypercallId.TEARDOWN_VM: compute_post__pkvm_teardown_vm,
+    HypercallId.VCPU_LOAD: compute_post__pkvm_vcpu_load,
+    HypercallId.VCPU_PUT: compute_post__pkvm_vcpu_put,
+    HypercallId.VCPU_RUN: compute_post__pkvm_vcpu_run,
+    HypercallId.MEMCACHE_TOPUP: compute_post__pkvm_memcache_topup,
+    HypercallId.HOST_SHARE_GUEST: compute_post__pkvm_host_share_guest,
+    HypercallId.HOST_UNSHARE_GUEST: compute_post__pkvm_host_unshare_guest,
+}
+
+
+def spec_name_for(g_pre: GhostState, call: GhostCallData, cpu: int) -> str:
+    """Name of the specification function :func:`compute_post_trap` will
+    dispatch to, or "" when no spec applies (unknown hypercall/EC)."""
+    if call.ec is EsrEc.HVC64:
+        try:
+            spec = HYPERCALL_SPECS.get(HypercallId(g_pre.read_gpr(cpu, 0)))
+        except (ValueError, KeyError, IndexError):
+            return ""
+        return spec.__name__ if spec is not None else ""
+    if call.ec in (EsrEc.DATA_ABORT_LOWER, EsrEc.INSTR_ABORT_LOWER):
+        return "compute_post__host_mem_abort"
+    return ""
+
+
+#: The declared footprint of every specification function, co-located
+#: with the specs so a new hypercall ships with its frame. Checked two
+#: ways: statically (interprocedural footprint inference over this
+#: module's AST) and dynamically (recorded ghost diffs must stay inside
+#: the declared write frame) — see docs/SPEC_GUIDE.md, "Declaring a
+#: frame". Keep values literal: the static pass parses them without
+#: importing this module.
+FRAME_MANIFESTS = {
+    "compute_post__pkvm_host_share_hyp": Frame(
+        reads={"globals", "host", "pkvm", "local"},
+        writes={"host", "pkvm", "local"},
+    ),
+    "compute_post__pkvm_host_unshare_hyp": Frame(
+        reads={"globals", "host", "pkvm", "local"},
+        writes={"host", "pkvm", "local"},
+    ),
+    "compute_post__pkvm_host_reclaim_page": Frame(
+        reads={"globals", "host", "pkvm", "vms", "vm_pgts", "local"},
+        writes={"host", "pkvm", "vms", "vm_pgts", "local"},
+    ),
+    "compute_post__pkvm_host_map_guest": Frame(
+        reads={"globals", "host", "vms", "vm_pgts", "local"},
+        writes={"host", "vm_pgts", "local"},
+    ),
+    "compute_post__pkvm_init_vm": Frame(
+        reads={"globals", "host", "pkvm", "vms", "local"},
+        writes={"host", "pkvm", "vms", "vm_pgts", "local"},
+    ),
+    "compute_post__pkvm_init_vcpu": Frame(
+        reads={"globals", "host", "pkvm", "vms", "local"},
+        writes={"host", "pkvm", "vms", "local"},
+    ),
+    "compute_post__pkvm_teardown_vm": Frame(
+        reads={"vms", "vm_pgts", "local"},
+        writes={"vms", "local"},
+    ),
+    "compute_post__pkvm_vcpu_load": Frame(
+        reads={"vms", "local"},
+        writes={"vms", "local"},
+    ),
+    "compute_post__pkvm_vcpu_put": Frame(
+        reads={"vms", "local"},
+        writes={"vms", "local"},
+    ),
+    "compute_post__pkvm_vcpu_run": Frame(
+        reads={"globals", "host", "vms", "vm_pgts", "local"},
+        writes={"host", "vm_pgts", "local"},
+    ),
+    "compute_post__pkvm_memcache_topup": Frame(
+        reads={"globals", "host", "pkvm", "local"},
+        writes={"host", "pkvm", "local"},
+    ),
+    "compute_post__pkvm_host_share_guest": Frame(
+        reads={"globals", "host", "vms", "vm_pgts", "local"},
+        writes={"host", "vm_pgts", "local"},
+    ),
+    "compute_post__pkvm_host_unshare_guest": Frame(
+        reads={"host", "vm_pgts", "local"},
+        writes={"host", "vm_pgts", "local"},
+    ),
+    "compute_post__host_mem_abort": Frame(
+        reads={"globals", "host", "local"},
+        writes={"local"},
+    ),
+}

@@ -70,9 +70,12 @@ CATEGORIES: dict[str, list[str]] = {
     ],
     "analysis (hygiene checkers)": [
         "analysis/report.py",
+        "analysis/astutil.py",
         "analysis/purity.py",
         "analysis/lockset.py",
         "analysis/lockorder.py",
+        "analysis/frame.py",
+        "analysis/bitfields.py",
         "analysis/scenarios.py",
         "analysis/cli.py",
         "analysis/__main__.py",

@@ -1,0 +1,54 @@
+"""Deliberately frame-violating spec module — negative fixture for the
+ghost-frame pass. Parsed by AST only, never imported (the imports don't
+even need to resolve)."""
+
+from repro.ghost.spec import Frame
+
+
+def _leak_into_vms(g_post, handle):
+    # A write smuggled through a helper: callers must be charged for it.
+    g_post.vms.vms[handle] = None
+
+
+def compute_post__extra_write(g_post, g_pre, call, cpu):
+    g_post.locals_[cpu].regs = dict(g_pre.locals_[cpu].regs)
+    g_post.host.annot[call.phys] = 1  # undeclared-write: frame is local-only
+    return g_post
+
+
+def compute_post__undeclared_read(g_post, g_pre, call, cpu):
+    entry = g_pre.pkvm.pgt.mapping.lookup(call.phys)  # undeclared-read
+    if entry is not None and g_pre.host.present:
+        g_post.host.shared[call.phys] = 1
+    return g_post
+
+
+def compute_post__helper_smuggle(g_post, g_pre, call, cpu):
+    g_post.locals_[cpu].regs = dict(g_pre.locals_[cpu].regs)
+    _leak_into_vms(g_post, call.handle)  # undeclared-write, one call deep
+    return g_post
+
+
+def compute_post__no_manifest(g_post, g_pre, call, cpu):
+    g_post.locals_[cpu].regs = dict(g_pre.locals_[cpu].regs)
+    return g_post
+
+
+FRAME_MANIFESTS = {
+    "compute_post__extra_write": Frame(
+        reads={"local"},
+        writes={"local"},
+    ),
+    "compute_post__undeclared_read": Frame(
+        reads={"host"},
+        writes={"host.shared"},
+    ),
+    "compute_post__helper_smuggle": Frame(
+        reads={"local"},
+        writes={"local", "globals"},  # unused-declaration: never writes globals
+    ),
+    "compute_post__renamed_long_ago": Frame(  # stale-manifest
+        reads={"local"},
+        writes={"local"},
+    ),
+}

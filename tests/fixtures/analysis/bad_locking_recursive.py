@@ -1,0 +1,27 @@
+"""Deliberately lock-sick module — negative fixture for the
+lock-discipline pass's re-entrancy rules. The locks here are plain
+non-recursive mutexes: taking one you already hold deadlocks against
+yourself."""
+
+
+def double_acquire_direct(self):
+    self.host_lock.acquire()
+    self.host_lock.acquire()  # double-acquire: already held
+    self.host_lock.release()
+    self.host_lock.release()
+
+
+def recursive_reacquire_under_nesting(self):
+    self.host_lock_component()
+    self.hyp_lock_component()
+    self.host_lock_component()  # double-acquire through the wrapper
+    self.hyp_unlock_component()
+    self.host_unlock_component()
+
+
+def reacquire_after_conditional_release(self, cond):
+    self.pkvm_lock.acquire()
+    if cond:
+        self.pkvm_lock.release()
+    self.pkvm_lock.acquire()  # double-acquire on the cond-False path
+    self.pkvm_lock.release()

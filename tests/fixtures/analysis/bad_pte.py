@@ -1,0 +1,121 @@
+"""Deliberately broken descriptor codec — negative fixture for the
+bitfields pass. Three seeded bugs:
+
+- ``SW_PAGE_STATE_SHIFT`` is 53, so the page-state field overlaps XN
+  (bit 54) and sits outside the architectural software bits 58:55
+  (``field-overlap`` + ``software-bit-escape``);
+- ``oa_mask_for_level`` ignores the level, so block levels get the page
+  mask and low OA bits bleed into the block's address field
+  (``oa-mask-mismatch``);
+- ``decode_descriptor`` swaps the S2AP read/write bits, so asymmetric
+  stage-2 permissions do not round-trip (``roundtrip-mismatch``).
+"""
+
+from repro.arch.defs import LEAF_LEVEL, MemType, Perms, Stage, U64_MASK
+from repro.arch.pte import DecodedPte, EntryKind, PageState
+
+PTE_VALID = 1 << 0
+PTE_TYPE = 1 << 1
+PTE_AF = 1 << 10
+PTE_XN = 1 << 54
+
+S1_ATTRIDX_NORMAL = 0b000
+S1_ATTRIDX_DEVICE = 0b001
+S1_ATTRIDX_SHIFT = 2
+S1_ATTRIDX_MASK = 0b111 << S1_ATTRIDX_SHIFT
+S1_AP_RDONLY = 1 << 7
+
+S2_MEMATTR_NORMAL = 0b1111
+S2_MEMATTR_DEVICE = 0b0001
+S2_MEMATTR_SHIFT = 2
+S2_MEMATTR_MASK = 0b1111 << S2_MEMATTR_SHIFT
+S2AP_R = 1 << 6
+S2AP_W = 1 << 7
+
+OA_MASK = ((1 << 48) - 1) & ~((1 << 12) - 1)
+
+SW_PAGE_STATE_SHIFT = 53  # bug: overlaps XN, escapes bits 58:55
+SW_PAGE_STATE_MASK = 0b11 << SW_PAGE_STATE_SHIFT
+
+INVALID_OWNER_SHIFT = 2
+INVALID_OWNER_MASK = 0xFF << INVALID_OWNER_SHIFT
+
+
+def oa_mask_for_level(level):
+    return OA_MASK  # bug: a level-2 block's OA field starts at bit 21
+
+
+def entry_kind(pte, level):
+    if not pte & PTE_VALID:
+        if pte & INVALID_OWNER_MASK:
+            return EntryKind.INVALID_ANNOTATED
+        return EntryKind.INVALID
+    if pte & PTE_TYPE:
+        return EntryKind.PAGE if level == LEAF_LEVEL else EntryKind.TABLE
+    if level not in (1, 2):
+        return EntryKind.INVALID
+    return EntryKind.BLOCK
+
+
+def decode_descriptor(pte, level, stage):
+    kind = entry_kind(pte, level)
+    if kind is EntryKind.INVALID:
+        return DecodedPte(kind, pte, level)
+    if kind is EntryKind.INVALID_ANNOTATED:
+        owner = (pte & INVALID_OWNER_MASK) >> INVALID_OWNER_SHIFT
+        return DecodedPte(kind, pte, level, owner_id=owner)
+    if kind is EntryKind.TABLE:
+        return DecodedPte(kind, pte, level, oa=pte & OA_MASK)
+    xn = bool(pte & PTE_XN)
+    if stage is Stage.STAGE1:
+        writable = not pte & S1_AP_RDONLY
+        attridx = (pte & S1_ATTRIDX_MASK) >> S1_ATTRIDX_SHIFT
+        memtype = MemType.DEVICE if attridx == S1_ATTRIDX_DEVICE else MemType.NORMAL
+        perms = Perms(True, writable, not xn)
+    else:
+        readable = bool(pte & S2AP_W)  # bug: swapped with S2AP_R
+        writable = bool(pte & S2AP_R)
+        memattr = (pte & S2_MEMATTR_MASK) >> S2_MEMATTR_SHIFT
+        memtype = MemType.DEVICE if memattr == S2_MEMATTR_DEVICE else MemType.NORMAL
+        perms = Perms(readable, writable, not xn)
+    state = PageState((pte & SW_PAGE_STATE_MASK) >> SW_PAGE_STATE_SHIFT)
+    return DecodedPte(
+        kind,
+        pte,
+        level,
+        oa=pte & oa_mask_for_level(level),
+        perms=perms,
+        memtype=memtype,
+        page_state=state,
+        af=bool(pte & PTE_AF),
+    )
+
+
+def _encode_attrs(stage, perms, memtype, page_state):
+    bits = PTE_AF
+    if not perms.x:
+        bits |= PTE_XN
+    if stage is Stage.STAGE1:
+        if not perms.r:
+            raise ValueError("stage 1 mappings are always readable")
+        if not perms.w:
+            bits |= S1_AP_RDONLY
+        attridx = S1_ATTRIDX_DEVICE if memtype is MemType.DEVICE else S1_ATTRIDX_NORMAL
+        bits |= attridx << S1_ATTRIDX_SHIFT
+    else:
+        if perms.r:
+            bits |= S2AP_R
+        if perms.w:
+            bits |= S2AP_W
+        memattr = S2_MEMATTR_DEVICE if memtype is MemType.DEVICE else S2_MEMATTR_NORMAL
+        bits |= memattr << S2_MEMATTR_SHIFT
+    bits |= int(page_state) << SW_PAGE_STATE_SHIFT
+    return bits
+
+
+def make_page_descriptor(
+    oa, stage, perms, memtype=MemType.NORMAL, page_state=PageState.OWNED
+):
+    if oa & ~OA_MASK:
+        raise ValueError(f"output address not page aligned: {oa:#x}")
+    return (PTE_VALID | PTE_TYPE | oa | _encode_attrs(stage, perms, memtype, page_state)) & U64_MASK

@@ -18,6 +18,12 @@ class TestCleanRepo:
         assert main(["lockset", "--max-schedules", "8"]) == 0
         assert "clean" in capsys.readouterr().out
 
+    def test_frame_and_bitfields_exit_zero_on_the_repo(self, capsys):
+        # Full dynamic cross-validation: the handwritten suite plus a
+        # short random campaign must stay inside the declared frames.
+        assert main(["frame", "bitfields", "--frame-random-steps", "60"]) == 0
+        assert "clean" in capsys.readouterr().out
+
 
 class TestSeededViolations:
     def test_bad_spec_fixture_fails_the_build(self, capsys):
@@ -47,6 +53,35 @@ class TestSeededViolations:
         assert rc == 1
         out = capsys.readouterr().out
         assert "empty-lockset" in out and "pgt:hyp_s1" in out
+
+    def test_bad_frames_fixture_fails_the_build(self, capsys):
+        rc = main(
+            ["frame", "--spec-module", str(FIXTURES / "bad_frames_spec.py")]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "[frame/undeclared-write]" in out
+        assert "[frame/missing-manifest]" in out
+
+    def test_bad_pte_fixture_fails_the_build(self, capsys):
+        rc = main(
+            ["bitfields", "--pte-module", str(FIXTURES / "bad_pte.py")]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "[bitfields/field-overlap]" in out
+        assert "[bitfields/roundtrip-mismatch]" in out
+
+    def test_recursive_locking_fixture_fails_the_build(self, capsys):
+        rc = main(
+            [
+                "lockorder",
+                "--pkvm-root",
+                str(FIXTURES / "bad_locking_recursive.py"),
+            ]
+        )
+        assert rc == 1
+        assert "[lock-discipline/double-acquire]" in capsys.readouterr().out
 
     def test_fail_on_finding_flag_accepted(self):
         rc = main(
@@ -88,3 +123,41 @@ class TestJsonReport:
         with pytest.raises(SystemExit) as exc:
             main(["flowcheck"])
         assert exc.value.code == 2
+
+
+class TestSarifOutput:
+    def test_sarif_log_carries_rule_ids_and_locations(self, tmp_path, capsys):
+        out = tmp_path / "analysis.sarif"
+        rc = main(
+            [
+                "frame",
+                "bitfields",
+                "--spec-module",
+                str(FIXTURES / "bad_frames_spec.py"),
+                "--pte-module",
+                str(FIXTURES / "bad_pte.py"),
+                "--sarif",
+                str(out),
+            ]
+        )
+        assert rc == 1
+        log = json.loads(out.read_text())
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == "repro.analysis"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "frame/undeclared-write" in rule_ids
+        assert "bitfields/field-overlap" in rule_ids
+        located = [r for r in run["results"] if "locations" in r]
+        assert located
+        uri = located[0]["locations"][0]["physicalLocation"][
+            "artifactLocation"
+        ]["uri"]
+        assert "\\" not in uri and uri.endswith(".py")
+
+    def test_sarif_written_even_when_clean(self, tmp_path, capsys):
+        out = tmp_path / "clean.sarif"
+        rc = main(["purity", "--sarif", str(out)])
+        assert rc == 0
+        log = json.loads(out.read_text())
+        assert log["runs"][0]["results"] == []

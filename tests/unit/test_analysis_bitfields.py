@@ -1,0 +1,76 @@
+"""The symbolic bitfields pass over the PTE codec."""
+
+from pathlib import Path
+
+from repro.analysis.bitfields import (
+    SymbolicLayout,
+    bits_of,
+    check_pte_codec,
+)
+
+FIXTURE = (
+    Path(__file__).parent.parent / "fixtures" / "analysis" / "bad_pte.py"
+)
+
+
+class TestSymbolicLayout:
+    def test_disjoint_fields_do_not_collide(self):
+        layout = SymbolicLayout("demo")
+        assert layout.claim("a", 0b0011) == []
+        assert layout.claim("b", 0b1100) == []
+
+    def test_overlap_names_both_fields_and_the_bit(self):
+        layout = SymbolicLayout("demo")
+        layout.claim("a", 1 << 54)
+        collisions = layout.claim("b", 0b11 << 53)
+        assert collisions == [(54, "a", "b")]
+
+    def test_bits_of(self):
+        assert bits_of(0) == ()
+        assert bits_of((1 << 54) | 1) == (0, 54)
+
+
+class TestRealCodec:
+    def test_the_real_codec_verifies_clean(self):
+        assert check_pte_codec() == []
+
+
+class TestSeededFixture:
+    def setup_method(self):
+        self.findings = check_pte_codec(FIXTURE)
+        self.rules = {f.rule for f in self.findings}
+
+    def test_every_seeded_bug_class_fires(self):
+        assert {
+            "field-overlap",
+            "software-bit-escape",
+            "oa-mask-mismatch",
+            "roundtrip-mismatch",
+        } <= self.rules
+
+    def test_overlap_names_xn_and_the_software_bits(self):
+        overlaps = [f for f in self.findings if f.rule == "field-overlap"]
+        assert any(
+            "PTE_XN" in f.message and "SW_PAGE_STATE_MASK" in f.message
+            for f in overlaps
+        )
+
+    def test_oa_mask_reported_per_level(self):
+        masks = [f for f in self.findings if f.rule == "oa-mask-mismatch"]
+        # The fixture returns the page mask for every level; levels 0-2
+        # are wrong, level 3 happens to be right.
+        assert len(masks) == 3
+
+    def test_swapped_s2ap_bits_fail_the_roundtrip(self):
+        trips = [f for f in self.findings if f.rule == "roundtrip-mismatch"]
+        assert any(
+            "STAGE2" in f.message and "perms" in f.message for f in trips
+        )
+
+    def test_findings_carry_definition_lines(self):
+        anchored = [
+            f
+            for f in self.findings
+            if f.rule in ("field-overlap", "software-bit-escape")
+        ]
+        assert anchored and all(f.line > 0 for f in anchored)

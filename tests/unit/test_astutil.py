@@ -1,0 +1,120 @@
+"""The shared AST helpers: alias chains and suppression pragmas."""
+
+import ast
+
+from repro.analysis.astutil import (
+    Pragma,
+    access_path,
+    apply_pragmas,
+    is_prefix,
+    root_name,
+    scan_pragmas,
+)
+from repro.analysis.report import Finding
+
+
+def expr(source: str) -> ast.expr:
+    return ast.parse(source, mode="eval").body
+
+
+class TestAccessPath:
+    def test_attribute_chain(self):
+        assert access_path(expr("g.host.shared")) == ("g", ("host", "shared"))
+
+    def test_subscript_collapses_to_star(self):
+        assert access_path(expr("g.vm_pgts[h].mapping")) == (
+            "g",
+            ("vm_pgts", "*", "mapping"),
+        )
+
+    def test_method_call_continues_into_receiver(self):
+        assert access_path(expr("g.vms.vms.get(h).vcpus")) == (
+            "g",
+            ("vms", "vms", "vcpus"),
+        )
+
+    def test_plain_name_call_breaks_the_chain(self):
+        assert access_path(expr("list(g.host.owned)")) is None
+
+    def test_root_name_matches(self):
+        assert root_name(expr("g.pgt.mapping.lookup(ipa)")) == "g"
+        assert root_name(expr("sorted(g.host.owned)")) is None
+
+
+class TestIsPrefix:
+    def test_prefix_covers_deeper_path(self):
+        assert is_prefix(("host",), ("host", "shared"))
+        assert is_prefix(("host", "shared"), ("host", "shared"))
+
+    def test_non_prefix(self):
+        assert not is_prefix(("host", "annot"), ("host", "shared"))
+        assert not is_prefix(("host", "shared", "*"), ("host", "shared"))
+
+
+class TestScanPragmas:
+    def test_trailing_pragma(self):
+        pragmas, bad = scan_pragmas(
+            "x = 1  # analysis: allow[some-rule] because reasons\n", "f.py"
+        )
+        assert bad == []
+        assert pragmas == [
+            Pragma(
+                line=1,
+                rules=frozenset({"some-rule"}),
+                reason="because reasons",
+                standalone=False,
+            )
+        ]
+
+    def test_standalone_pragma_targets_next_line(self):
+        pragmas, _ = scan_pragmas(
+            "# analysis: allow[a,b] shared helper\nx = 1\n", "f.py"
+        )
+        assert pragmas[0].standalone
+        assert pragmas[0].rules == frozenset({"a", "b"})
+
+    def test_missing_reason_is_a_finding(self):
+        pragmas, bad = scan_pragmas("x = 1  # analysis: allow[rule]\n", "f.py")
+        assert pragmas == []
+        assert [f.rule for f in bad] == ["bad-pragma"]
+        assert "no reason" in bad[0].message
+
+    def test_empty_rule_list_is_a_finding(self):
+        pragmas, bad = scan_pragmas(
+            "x = 1  # analysis: allow[] oops\n", "f.py"
+        )
+        assert pragmas == []
+        assert [f.rule for f in bad] == ["bad-pragma"]
+
+
+class TestApplyPragmas:
+    def _finding(self, rule: str, line: int) -> Finding:
+        return Finding(
+            analysis="demo", rule=rule, message="m", file="f.py", line=line
+        )
+
+    def test_suppresses_named_rule_on_its_line(self):
+        source = "x = 1  # analysis: allow[noisy] known-good pattern\n"
+        kept = apply_pragmas(
+            [self._finding("noisy", 1), self._finding("other", 1)],
+            "f.py",
+            source,
+        )
+        assert [f.rule for f in kept] == ["other"]
+
+    def test_standalone_suppresses_the_line_below(self):
+        source = "# analysis: allow[noisy] justified\nx = 1\n"
+        kept = apply_pragmas([self._finding("noisy", 2)], "f.py", source)
+        assert kept == []
+
+    def test_bad_pragma_is_appended_not_silently_dropped(self):
+        source = "x = 1  # analysis: allow[noisy]\n"
+        kept = apply_pragmas([self._finding("noisy", 1)], "f.py", source)
+        assert {f.rule for f in kept} == {"noisy", "bad-pragma"}
+
+    def test_other_files_untouched(self):
+        source = "x = 1  # analysis: allow[noisy] reason\n"
+        other = Finding(
+            analysis="demo", rule="noisy", message="m", file="g.py", line=1
+        )
+        assert apply_pragmas([other], "f.py", source) == [other]
