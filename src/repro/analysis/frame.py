@@ -34,7 +34,10 @@ handwritten tier-1 suite and a short seeded random campaign, every
 observed diff (and every ``SpecResult.touched`` claim) must stay inside
 the declared write frame: an over-reaching implementation *or* an
 under-declared manifest both fail the build (``dynamic-frame-escape``,
-``touched-outside-manifest``).
+``touched-outside-manifest``). The same replay is then repeated with the
+incremental abstraction cache disabled and the two observation streams
+must match exactly (``cache-divergent-observation``) — a stale cached
+abstraction must never be able to mask a frame violation.
 
 The inference is pragmatic in the same sense as the purity linter:
 attribute/subscript chains and view methods (``get``/``lookup``/…)
@@ -682,6 +685,52 @@ def _component_root(key: str) -> str:
     return {"vm_pgt": "vm_pgts"}.get(root, root)
 
 
+def _collect_observations(
+    *,
+    suite: bool,
+    random_steps: int,
+    seed: int,
+    oracle_cache: bool = True,
+) -> list[tuple[str, object]]:
+    """Replay the handwritten suite and/or a seeded random campaign with
+    the checker's frame hook attached, collecting every
+    :class:`~repro.ghost.checker.FrameObservation` in replay order."""
+    observations: list[tuple[str, object]] = []
+
+    if suite:
+        from repro.testing.handwritten import ALL_TESTS
+        from repro.testing.harness import make_machine
+        from repro.testing.proxy import HypProxy
+
+        for test in ALL_TESTS:
+            machine = make_machine(
+                ghost=True, oracle_cache=oracle_cache, **test.machine_kwargs
+            )
+            sink: list = []
+            machine.checker.frame_hook = sink.append
+            try:
+                test.body(HypProxy(machine))
+            except Exception:  # noqa: BLE001 — outcomes are the harness's beat
+                pass
+            observations.extend((test.name, obs) for obs in sink)
+    if random_steps > 0:
+        from repro.testing.harness import make_machine
+        from repro.testing.random_tester import RandomTester
+
+        machine = make_machine(ghost=True, oracle_cache=oracle_cache)
+        sink = []
+        machine.checker.frame_hook = sink.append
+        tester = RandomTester(machine, seed=seed)
+        try:
+            tester.run(random_steps)
+        except Exception:  # noqa: BLE001
+            pass
+        observations.extend(
+            (f"random[seed={seed}]", obs) for obs in sink
+        )
+    return observations
+
+
 def cross_validate_frames(
     *,
     suite: bool = True,
@@ -694,37 +743,9 @@ def cross_validate_frames(
     write frame of the spec that ran."""
     from repro.ghost.spec import FRAME_MANIFESTS
 
-    observations: list[tuple[str, object]] = []
-
-    if suite:
-        from repro.testing.handwritten import ALL_TESTS
-        from repro.testing.harness import make_machine
-        from repro.testing.proxy import HypProxy
-
-        for test in ALL_TESTS:
-            machine = make_machine(ghost=True, **test.machine_kwargs)
-            sink: list = []
-            machine.checker.frame_hook = sink.append
-            try:
-                test.body(HypProxy(machine))
-            except Exception:  # noqa: BLE001 — outcomes are the harness's beat
-                pass
-            observations.extend((test.name, obs) for obs in sink)
-    if random_steps > 0:
-        from repro.testing.harness import make_machine
-        from repro.testing.random_tester import RandomTester
-
-        machine = make_machine(ghost=True)
-        sink = []
-        machine.checker.frame_hook = sink.append
-        tester = RandomTester(machine, seed=seed)
-        try:
-            tester.run(random_steps)
-        except Exception:  # noqa: BLE001
-            pass
-        observations.extend(
-            (f"random[seed={seed}]", obs) for obs in sink
-        )
+    observations = _collect_observations(
+        suite=suite, random_steps=random_steps, seed=seed
+    )
 
     findings: list[Finding] = []
     seen: set[tuple] = set()
@@ -777,6 +798,65 @@ def cross_validate_frames(
     return findings
 
 
+def check_cache_equivalence(
+    *,
+    suite: bool = True,
+    random_steps: int = 200,
+    seed: int = 0,
+) -> list[Finding]:
+    """The replay must be oracle-cache-invariant.
+
+    The incremental abstraction cache (:mod:`repro.ghost.cache`) is pure
+    plumbing: it must never change *what* the oracle observes, only how
+    fast. A cache bug that served a stale abstraction could mask a frame
+    violation (the stale pre would swallow the diff), so this rule runs
+    the same deterministic replay twice — cache enabled and disabled —
+    and demands the two :class:`~repro.ghost.checker.FrameObservation`
+    streams be identical, observation for observation.
+    """
+    with_cache = _collect_observations(
+        suite=suite, random_steps=random_steps, seed=seed, oracle_cache=True
+    )
+    without_cache = _collect_observations(
+        suite=suite, random_steps=random_steps, seed=seed, oracle_cache=False
+    )
+    findings: list[Finding] = []
+
+    def report(message: str, function: str = "") -> None:
+        findings.append(
+            Finding(
+                analysis="frame",
+                rule="cache-divergent-observation",
+                message=message,
+                file="<dynamic>",
+                function=function,
+            )
+        )
+
+    if len(with_cache) != len(without_cache):
+        report(
+            f"oracle cache changes the number of frame observations: "
+            f"{len(with_cache)} with the cache vs "
+            f"{len(without_cache)} without"
+        )
+    reported = 0
+    for (origin_on, obs_on), (origin_off, obs_off) in zip(
+        with_cache, without_cache
+    ):
+        if origin_on == origin_off and obs_on == obs_off:
+            continue
+        report(
+            f"frame observation diverges with the oracle cache enabled: "
+            f"cached ({origin_on}) {obs_on!r} != "
+            f"uncached ({origin_off}) {obs_off!r}",
+            getattr(obs_on, "spec_name", ""),
+        )
+        reported += 1
+        if reported >= 5:  # the first few divergences tell the story
+            break
+    return findings
+
+
 def run_frame_pass(
     source_path: str | Path | None = None,
     *,
@@ -785,11 +865,15 @@ def run_frame_pass(
     seed: int = 0,
 ) -> list[Finding]:
     """The full pass: static inference + (on the real tree) the dynamic
-    cross-validation. ``--spec-module`` targets skip the dynamic half —
-    an unmerged spec file has no machine to replay."""
+    cross-validation and the cache-equivalence replay. ``--spec-module``
+    targets skip the dynamic half — an unmerged spec file has no machine
+    to replay."""
     findings = check_frames(source_path)
     if dynamic and source_path is None:
         findings.extend(
             cross_validate_frames(random_steps=random_steps, seed=seed)
+        )
+        findings.extend(
+            check_cache_equivalence(random_steps=random_steps, seed=seed)
         )
     return findings

@@ -14,6 +14,7 @@ overlapping.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 
 from repro.arch.defs import (
@@ -66,13 +67,23 @@ class PhysicalMemory:
         for a, b in zip(self._regions, self._regions[1:]):
             if a.overlaps(b):
                 raise ValueError(f"memory map regions overlap: {a} / {b}")
+        self._bases = [r.base for r in self._regions]
         self._pages: dict[int, list[int]] = {}
         #: Number of reads/writes of device memory, for fault diagnosis.
         self.device_accesses = 0
-        #: Monotonic write counter: any store bumps it. Consumers (the
-        #: ghost abstraction cache) use it to know whether *anything* in
-        #: memory may have changed since a snapshot.
-        self.version = 0
+        #: Monotonic write epoch: every *effective* store (one that changes
+        #: a word) bumps it. Consumers (the ghost abstraction cache) take a
+        #: snapshot of ``epoch`` and later ask :meth:`writes_since` which
+        #: pages were touched in between.
+        self.epoch = 0
+        # Page-granular write journal: parallel sorted-by-epoch lists of
+        # (epoch, pfn), tail-coalesced so a run of stores to one page costs
+        # one entry. ``_page_epochs`` keeps the last write epoch per page as
+        # the fallback once the journal has been trimmed.
+        self._journal_epochs: list[int] = []
+        self._journal_pfns: list[int] = []
+        self._journal_floor = 0
+        self._page_epochs: dict[int, int] = {}
 
     # -- memory map ------------------------------------------------------
 
@@ -81,7 +92,9 @@ class PhysicalMemory:
         return list(self._regions)
 
     def region_of(self, phys: int) -> MemoryRegion | None:
-        for region in self._regions:
+        i = bisect_right(self._bases, phys) - 1
+        if i >= 0:
+            region = self._regions[i]
             if region.contains(phys):
                 return region
         return None
@@ -93,6 +106,56 @@ class PhysicalMemory:
 
     def dram_regions(self) -> list[MemoryRegion]:
         return [r for r in self._regions if r.kind is MemType.NORMAL]
+
+    # -- write journal ---------------------------------------------------
+
+    def _record_write(self, pfn: int) -> None:
+        self.epoch += 1
+        self._page_epochs[pfn] = self.epoch
+        if self._journal_pfns and self._journal_pfns[-1] == pfn:
+            # Consecutive stores to the same page coalesce in place; the
+            # list stays sorted because only the newest epoch grows.
+            self._journal_epochs[-1] = self.epoch
+        else:
+            self._journal_epochs.append(self.epoch)
+            self._journal_pfns.append(pfn)
+
+    def writes_since(self, since: int) -> frozenset[int]:
+        """PFNs of pages written after epoch ``since``.
+
+        Cheap for recent epochs (bisect into the journal). If the journal
+        has been trimmed past ``since``, falls back to scanning the
+        per-page last-write epochs — still exact, just O(pages written
+        ever) instead of O(writes since).
+        """
+        if since >= self.epoch:
+            return frozenset()
+        if since < self._journal_floor:
+            return frozenset(
+                pfn for pfn, e in self._page_epochs.items() if e > since
+            )
+        i = bisect_right(self._journal_epochs, since)
+        return frozenset(self._journal_pfns[i:])
+
+    def trim_journal(self, min_epoch: int) -> None:
+        """Forget journal entries at or before ``min_epoch``.
+
+        Callers promise never to ask ``writes_since(e)`` for ``e <
+        min_epoch`` again — or to accept the slower per-page fallback if
+        they do. The abstraction cache trims to the oldest epoch it still
+        holds, bounding journal growth over long campaigns.
+        """
+        if min_epoch <= self._journal_floor:
+            return
+        i = bisect_right(self._journal_epochs, min_epoch)
+        del self._journal_epochs[:i]
+        del self._journal_pfns[:i]
+        self._journal_floor = min_epoch
+
+    @property
+    def journal_length(self) -> int:
+        """Current journal entry count (observability / trim heuristics)."""
+        return len(self._journal_epochs)
 
     # -- word access -----------------------------------------------------
 
@@ -119,18 +182,41 @@ class PhysicalMemory:
         return page[(phys & (PAGE_SIZE - 1)) >> 3]
 
     def write64(self, phys: int, value: int) -> None:
-        """Write the naturally aligned 64-bit word at ``phys``."""
+        """Write the naturally aligned 64-bit word at ``phys``.
+
+        Idempotent stores (the word already holds ``value``, or a zero
+        store to a never-materialised page) neither materialise a page nor
+        touch the journal — they are architecturally invisible, so they
+        must not invalidate cached abstractions.
+        """
         if phys % 8:
             raise BadAddress(f"unaligned 64-bit write at {phys:#x}")
-        page = self._page_for(phys, materialise=True)
-        assert page is not None
-        page[(phys & (PAGE_SIZE - 1)) >> 3] = value & U64_MASK
-        self.version += 1
+        region = self.region_of(phys)
+        if region is None:
+            raise BadAddress(f"physical access outside memory map: {phys:#x}")
+        if region.kind is MemType.DEVICE:
+            self.device_accesses += 1
+        value &= U64_MASK
+        pfn = phys_to_pfn(phys)
+        idx = (phys & (PAGE_SIZE - 1)) >> 3
+        page = self._pages.get(pfn)
+        if page is None:
+            if value == 0:
+                return
+            page = [0] * PTRS_PER_TABLE
+            self._pages[pfn] = page
+        elif page[idx] == value:
+            return
+        page[idx] = value
+        self._record_write(pfn)
 
     def zero_page(self, pfn: int) -> None:
         """Zero a whole page, as pKVM does when reclaiming/donating pages."""
+        page = self._pages.get(pfn)
+        if page is None or not any(page):
+            return
         self._pages[pfn] = [0] * PTRS_PER_TABLE
-        self.version += 1
+        self._record_write(pfn)
 
     def zero_range(self, phys: int, size: int) -> None:
         """Zero ``size`` bytes starting at ``phys`` (word granular).

@@ -45,14 +45,66 @@ class AbstractionError(Exception):
     (e.g. a double mapping, or a malformed table)."""
 
 
+class _MemoEntry:
+    """Per-subtree memoisation record for the incremental traversal.
+
+    Besides the subtree's result (``maplets``/``phys``), it keeps the raw
+    *word snapshot* of the table page and the index->child map, so a
+    revisit after a write can diff the 512 words against the snapshot and
+    re-decode only the entries that actually changed — the page-table
+    analogue of an incremental parser reusing its old parse tree.
+
+    Entries are self-validating: ``epoch`` is the last memory epoch at
+    which the whole subtree was known clean, and a revisit consults the
+    write journal for anything newer. A stale entry is never *wrong*,
+    only out of date — its snapshot records real past contents, so the
+    word diff brings it forward regardless of how long it sat unused.
+    """
+
+    __slots__ = ("maplets", "phys", "pfns", "words", "children", "epoch")
+
+    def __init__(self, maplets, phys, pfns, words, children, epoch):
+        self.maplets: tuple = maplets
+        self.phys: frozenset[int] = phys
+        self.pfns: frozenset[int] = pfns
+        self.words: list[int] = words
+        self.children: dict[int, int] = children
+        self.epoch: int = epoch
+
+
 def interpret_pgtable(
-    mem: PhysicalMemory, root: int, stage: Stage
+    mem: PhysicalMemory, root: int, stage: Stage, *, memo: dict | None = None
 ) -> AbstractPgtable:
-    """Interpret the table rooted at ``root`` as (mapping, footprint)."""
-    mapping = Mapping()
-    footprint: set[int] = set()
-    _interpret_table(mem, root, START_LEVEL, 0, stage, mapping, footprint)
-    return AbstractPgtable(mapping, frozenset(footprint))
+    """Interpret the table rooted at ``root`` as (mapping, footprint).
+
+    ``memo`` is the incremental-oracle hook: a dict (owned by the
+    :class:`repro.ghost.cache.AbstractionCache`) of :class:`_MemoEntry`
+    records keyed by ``(table_pa, level, va_partial)``. A re-traversal
+    skips subtrees the write journal proves clean, and *word-diffs* dirty
+    table pages against their stored snapshots so only changed entries
+    are re-decoded. With ``memo=None`` this is the paper's plain Fig. 2
+    full traversal.
+    """
+    maplets, phys = _interpret_table(
+        mem, root, START_LEVEL, 0, stage, memo, set(), {}
+    )
+    return AbstractPgtable(Mapping(list(maplets)), phys)
+
+
+def _subtree_clean(mem, entry, dirty_cache: dict) -> bool:
+    """Whether no journaled write touched ``entry``'s subtree since it was
+    last validated. Clean entries are freshened to the current epoch, so
+    the next check bisects a shorter journal suffix."""
+    if entry.epoch >= mem.epoch:
+        return True
+    dirty = dirty_cache.get(entry.epoch)
+    if dirty is None:
+        dirty = mem.writes_since(entry.epoch)
+        dirty_cache[entry.epoch] = dirty
+    if dirty & entry.pfns:
+        return False
+    entry.epoch = mem.epoch
+    return True
 
 
 def _interpret_table(
@@ -61,33 +113,74 @@ def _interpret_table(
     level: int,
     va_partial: int,
     stage: Stage,
-    mapping: Mapping,
-    footprint: set[int],
-) -> None:
-    """The Fig. 2 traversal: iterate the 512 entries, case-split on kind."""
-    if table_pa in footprint:
+    memo: dict | None,
+    path: set[int],
+    dirty_cache: dict,
+) -> tuple[tuple, frozenset[int]]:
+    """The Fig. 2 traversal: iterate the 512 entries, case-split on kind.
+
+    Returns this subtree's (maplet segment, physical footprint). The
+    segment is built independently of any surrounding context, so a
+    memoized segment can be spliced into any later traversal; runs that
+    span a subtree boundary re-coalesce at splice time.
+    """
+    if table_pa in path:
         raise AbstractionError(f"table page {table_pa:#x} reached twice")
-    footprint.add(table_pa)
+    entry = None
+    if memo is not None:
+        entry = memo.get((table_pa, level, va_partial))
+        if entry is not None and _subtree_clean(mem, entry, dirty_cache):
+            return entry.maplets, entry.phys
+    if not mem.is_memory(table_pa):
+        what = "root" if level == START_LEVEL else "table page"
+        raise AbstractionError(
+            f"{what} {table_pa:#x} (level {level}) is outside DRAM: the "
+            "walker would read device memory or a bus hole"
+        )
+    if entry is not None:
+        return _rescan_table(
+            mem, table_pa, level, va_partial, stage, memo, path,
+            dirty_cache, entry,
+        )
+    path.add(table_pa)
+    segment = Mapping()
+    phys = {table_pa}
     entry_size = level_block_size(level)
     nr_pages = entry_size // PAGE_SIZE
     words = mem.page_words_view(table_pa >> PAGE_SHIFT)
+    children: dict[int, int] = {}
     for idx in range(512):
         raw = words[idx]
         if raw == 0:
             continue
         va = va_partial | (idx * entry_size)
-        pte = decode_descriptor(raw, level, stage)
+        try:
+            pte = decode_descriptor(raw, level, stage)
+        except ValueError as exc:
+            raise AbstractionError(
+                f"malformed descriptor {raw:#x} at {table_pa:#x}[{idx}] "
+                f"(level {level}, {stage.name}): {exc}"
+            ) from exc
         if pte.kind is EntryKind.TABLE:
-            _interpret_table(
-                mem, pte.oa, level + 1, va, stage, mapping, footprint
+            children[idx] = pte.oa
+            child_maplets, child_phys = _interpret_table(
+                mem, pte.oa, level + 1, va, stage, memo, path, dirty_cache
             )
+            dup = phys & child_phys
+            if dup:
+                raise AbstractionError(
+                    f"table page {sorted(dup)[0]:#x} reached twice"
+                )
+            phys |= child_phys
+            for m in child_maplets:
+                segment.extend_coalesce(m.va, m.nr_pages, m.target)
         elif pte.kind is EntryKind.INVALID_ANNOTATED:
             # the traversal is in ascending VA order: O(1) extension
-            mapping.extend_coalesce(
+            segment.extend_coalesce(
                 va, nr_pages, MapletTarget.annotated(pte.owner_id)
             )
         elif pte.kind.is_leaf:
-            mapping.extend_coalesce(
+            segment.extend_coalesce(
                 va,
                 nr_pages,
                 MapletTarget.mapped(
@@ -95,6 +188,137 @@ def _interpret_table(
                 ),
             )
         # plain invalid entries contribute nothing
+    path.discard(table_pa)
+    result = (tuple(segment), frozenset(phys))
+    if memo is not None:
+        memo[(table_pa, level, va_partial)] = _MemoEntry(
+            result[0],
+            result[1],
+            frozenset(pa >> PAGE_SHIFT for pa in result[1]),
+            list(words),
+            children,
+            mem.epoch,
+        )
+    return result
+
+
+def _rescan_table(
+    mem: PhysicalMemory,
+    table_pa: int,
+    level: int,
+    va_partial: int,
+    stage: Stage,
+    memo: dict,
+    path: set[int],
+    dirty_cache: dict,
+    entry: _MemoEntry,
+) -> tuple[tuple, frozenset[int]]:
+    """Bring a stale memo entry forward by diffing word snapshots.
+
+    Entries whose raw word is unchanged keep their old contribution to
+    the segment (recursing only into child subtrees the journal marks
+    dirty); changed entries have their old input-address span retired and
+    the new descriptor spliced in. Cost is O(changed entries), not
+    O(512), in the common case where the page itself is untouched and
+    only a descendant moved.
+    """
+    path.add(table_pa)
+    entry_size = level_block_size(level)
+    nr_pages = entry_size // PAGE_SIZE
+    words = mem.page_words_view(table_pa >> PAGE_SHIFT)
+    old_words = entry.words
+    seg = Mapping(list(entry.maplets))
+    children = dict(entry.children)
+    phys = {table_pa}
+
+    def splice_child(child_pa: int, va: int) -> None:
+        child_maplets, child_phys = _interpret_table(
+            mem, child_pa, level + 1, va, stage, memo, path, dirty_cache
+        )
+        dup = phys & child_phys
+        if dup:
+            raise AbstractionError(
+                f"table page {sorted(dup)[0]:#x} reached twice"
+            )
+        phys.update(child_phys)
+        seg.remove_if_present(va, nr_pages)
+        for m in child_maplets:
+            seg.insert(m.va, m.nr_pages, m.target)
+
+    if words == old_words:
+        # The page itself is untouched: only descendants can have moved.
+        for idx, child_pa in entry.children.items():
+            va = va_partial | (idx * entry_size)
+            child_entry = memo.get((child_pa, level + 1, va))
+            if child_entry is not None and _subtree_clean(
+                mem, child_entry, dirty_cache
+            ):
+                dup = phys & child_entry.phys
+                if dup:
+                    raise AbstractionError(
+                        f"table page {sorted(dup)[0]:#x} reached twice"
+                    )
+                phys.update(child_entry.phys)
+                continue
+            splice_child(child_pa, va)
+    else:
+        for idx in range(512):
+            raw = words[idx]
+            va = va_partial | (idx * entry_size)
+            if raw == old_words[idx]:
+                child_pa = children.get(idx)
+                if child_pa is None:
+                    continue  # unchanged leaf/invalid: contribution kept
+                child_entry = memo.get((child_pa, level + 1, va))
+                if child_entry is not None and _subtree_clean(
+                    mem, child_entry, dirty_cache
+                ):
+                    dup = phys & child_entry.phys
+                    if dup:
+                        raise AbstractionError(
+                            f"table page {sorted(dup)[0]:#x} reached twice"
+                        )
+                    phys.update(child_entry.phys)
+                    continue
+                splice_child(child_pa, va)
+                continue
+            # The word changed: retire the old contribution of this
+            # entry's whole input-address span, then decode anew.
+            seg.remove_if_present(va, nr_pages)
+            children.pop(idx, None)
+            if raw == 0:
+                continue
+            try:
+                pte = decode_descriptor(raw, level, stage)
+            except ValueError as exc:
+                raise AbstractionError(
+                    f"malformed descriptor {raw:#x} at {table_pa:#x}[{idx}] "
+                    f"(level {level}, {stage.name}): {exc}"
+                ) from exc
+            if pte.kind is EntryKind.TABLE:
+                children[idx] = pte.oa
+                splice_child(pte.oa, va)
+            elif pte.kind is EntryKind.INVALID_ANNOTATED:
+                seg.insert(va, nr_pages, MapletTarget.annotated(pte.owner_id))
+            elif pte.kind.is_leaf:
+                seg.insert(
+                    va,
+                    nr_pages,
+                    MapletTarget.mapped(
+                        pte.oa, pte.perms, pte.memtype, pte.page_state
+                    ),
+                )
+    path.discard(table_pa)
+    # Update the entry in place only once the whole subtree succeeded: an
+    # AbstractionError above leaves the old (still self-consistent)
+    # snapshot behind, and the cache clears the memo on any failure.
+    entry.maplets = tuple(seg)
+    entry.phys = frozenset(phys)
+    entry.pfns = frozenset(pa >> PAGE_SHIFT for pa in entry.phys)
+    entry.words = list(words)
+    entry.children = children
+    entry.epoch = mem.epoch
+    return entry.maplets, entry.phys
 
 
 # ---------------------------------------------------------------------------
@@ -102,14 +326,16 @@ def _interpret_table(
 # ---------------------------------------------------------------------------
 
 
-def record_abstraction_pkvm(mem: PhysicalMemory, mp) -> GhostPkvm:
+def record_abstraction_pkvm(
+    mem: PhysicalMemory, mp, *, memo: dict | None = None
+) -> GhostPkvm:
     """Abstraction of the state the pkvm_pgd lock protects."""
-    pgt = interpret_pgtable(mem, mp.pkvm_pgd.root, Stage.STAGE1)
+    pgt = interpret_pgtable(mem, mp.pkvm_pgd.root, Stage.STAGE1, memo=memo)
     return GhostPkvm(present=True, pgt=pgt)
 
 
 def record_abstraction_host(
-    mem: PhysicalMemory, mp, *, loose: bool = True
+    mem: PhysicalMemory, mp, *, loose: bool = True, memo: dict | None = None
 ) -> GhostHost:
     """Abstraction of the state the host_mmu lock protects.
 
@@ -124,7 +350,7 @@ def record_abstraction_host(
     becomes a visible state change the specification cannot predict —
     demonstrating why the paper's host abstraction must be loose.
     """
-    full = interpret_pgtable(mem, mp.host_mmu.root, Stage.STAGE2)
+    full = interpret_pgtable(mem, mp.host_mmu.root, Stage.STAGE2, memo=memo)
     annot = Mapping()
     shared = Mapping()
     for maplet in full.mapping:
@@ -140,9 +366,11 @@ def record_abstraction_host(
     )
 
 
-def record_abstraction_vm_pgt(mem: PhysicalMemory, vm) -> AbstractPgtable:
+def record_abstraction_vm_pgt(
+    mem: PhysicalMemory, vm, *, memo: dict | None = None
+) -> AbstractPgtable:
     """Abstraction of one guest's stage 2 (protected by that VM's lock)."""
-    return interpret_pgtable(mem, vm.pgt.root, Stage.STAGE2)
+    return interpret_pgtable(mem, vm.pgt.root, Stage.STAGE2, memo=memo)
 
 
 def record_abstraction_vms(vm_table) -> GhostVms:

@@ -1,0 +1,209 @@
+"""Incremental abstraction cache: re-traverse only what changed.
+
+The oracle's cost is dominated by re-running :func:`interpret_pgtable`
+over whole in-memory page-table trees at every lock acquire/release. But
+the abstraction of a tree is a pure function of (a) the root register and
+(b) the contents of the table pages the traversal reads — exactly the
+*footprint* the traversal already collects for the §4.4 separation
+checks. So a cached result stays valid until either the root changes or
+the memory write journal (:meth:`PhysicalMemory.writes_since`) shows a
+store intersecting that footprint: the footprint doubles as the
+invalidation set.
+
+Correctness bar: ``paranoid`` mode recomputes every hit from scratch and
+asserts the cached value is extensionally identical, failing loudly
+(:class:`ParanoidMismatchError`) if the invalidation logic ever under-
+approximates the read set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.arch.defs import PAGE_SHIFT
+from repro.arch.memory import PhysicalMemory
+from repro.ghost.abstraction import AbstractionError
+
+
+class ParanoidMismatchError(Exception):
+    """Paranoid recomputation disagreed with the cached abstraction.
+
+    This is an oracle-infrastructure bug (journal or invalidation logic
+    missed a write), never a hypervisor bug — it must abort the run, not
+    be reported as a specification violation.
+    """
+
+
+@dataclass
+class _Entry:
+    root: int
+    epoch: int
+    pfns: frozenset[int]
+    value: object
+    footprint: frozenset[int]
+    #: Per-subtree memoisation for :func:`interpret_pgtable`, keyed by
+    #: (table_pa, level, va_partial) -> ``_MemoEntry``. Entries are
+    #: self-validating (each carries its own epoch and word snapshot), so
+    #: the traversal word-diffs stale ones forward instead of rescanning.
+    memo: dict
+
+
+class AbstractionCache:
+    """Per-machine cache of per-root abstraction results.
+
+    ``record(key, root, compute)`` either returns the cached value for
+    ``key`` (when the root matches and no journaled write intersects the
+    recorded footprint) or calls
+    ``compute(memo) -> (value, footprint_phys)``, freezes the value, and
+    caches it. ``memo`` carries the per-subtree traversal memoisation
+    between recomputes of the same tree: entries are self-validating
+    against the write journal and word-diffed forward, so an invalidated
+    tree re-decodes only the table entries that actually changed. Cached
+    values are shared objects: they are frozen so the sharing is safe,
+    and the committed reference copies the checker keeps become
+    pointer-identical on hits, making non-interference checks O(1).
+    """
+
+    #: Journal length beyond which we trim to the oldest cached epoch.
+    TRIM_THRESHOLD = 4096
+    #: Memo entries per tree beyond which we start over (each entry keeps
+    #: a 512-word snapshot; a tree this big means pathological churn).
+    MEMO_CAP = 4096
+
+    def __init__(
+        self,
+        mem: PhysicalMemory,
+        *,
+        enabled: bool = True,
+        paranoid: bool = False,
+    ):
+        self.mem = mem
+        self.enabled = enabled
+        self.paranoid = paranoid
+        self._entries: dict[str, _Entry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.root_changes = 0
+        self.paranoid_recomputes = 0
+        self.journal_trims = 0
+
+    def record(
+        self,
+        key: str,
+        root: int,
+        compute: Callable[[dict | None], tuple[object, frozenset[int]]],
+    ):
+        """The cached-abstraction entry point used by checker recorders."""
+        if not self.enabled:
+            value, _footprint = compute(None)
+            return value
+        epoch = self.mem.epoch
+        memo: dict = {}
+        entry = self._entries.get(key)
+        if entry is not None:
+            if entry.root != root:
+                # A new tree: the memo is keyed by physical placement, so
+                # a reused table page would alias. Start over.
+                self.root_changes += 1
+                del self._entries[key]
+            else:
+                dirty = self.mem.writes_since(entry.epoch)
+                if not (dirty & entry.pfns):
+                    # Hit. The writes since entry.epoch missed the
+                    # footprint, so they can be skipped forever: freshen
+                    # the epoch (memo entries carry their own epochs and
+                    # re-validate themselves when next traversed).
+                    entry.epoch = epoch
+                    self.hits += 1
+                    if self.paranoid:
+                        self._paranoid_check(key, entry, compute)
+                    return entry.value
+                self.invalidations += 1
+                memo = entry.memo
+                del self._entries[key]
+        self.misses += 1
+        if len(memo) > self.MEMO_CAP:
+            memo.clear()
+        # A failed compute must leave no entry behind (the cache is never
+        # poisoned by AbstractionError — the stale entry was already
+        # dropped above) and no half-updated memo either: an abort can
+        # strike between a child snapshot's update and its parent's, and
+        # a later traversal would splice the mismatched pair.
+        try:
+            value, footprint = compute(memo)
+        except BaseException:
+            memo.clear()
+            raise
+        frozen = value.freeze() if hasattr(value, "freeze") else value
+        entry = _Entry(
+            root=root,
+            epoch=epoch,
+            pfns=frozenset(pa >> PAGE_SHIFT for pa in footprint),
+            value=frozen,
+            footprint=footprint,
+            memo=memo,
+        )
+        if self.paranoid:
+            self._paranoid_check(key, entry, compute)
+        self._entries[key] = entry
+        self._maybe_trim()
+        return frozen
+
+    def footprint_of(self, key: str) -> frozenset[int] | None:
+        """The cached footprint (physical table-page addresses) for a key."""
+        entry = self._entries.get(key)
+        return entry.footprint if entry is not None else None
+
+    def drop(self, key: str) -> None:
+        """Forget one entry (e.g. a torn-down VM's stage 2)."""
+        self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def _paranoid_check(self, key, entry, compute) -> None:
+        # Recompute with no memo at all: a full from-scratch traversal,
+        # checking both the hit/invalidation logic and the memoised
+        # incremental re-interpretation.
+        self.paranoid_recomputes += 1
+        fresh_value, fresh_footprint = compute(None)
+        if fresh_value != entry.value:
+            raise ParanoidMismatchError(
+                f"cache entry {key!r} (root {entry.root:#x}) is stale: "
+                f"recomputed abstraction differs from the cached one.\n"
+                f"cached:     {entry.value!r}\n"
+                f"recomputed: {fresh_value!r}"
+            )
+        if fresh_footprint != entry.footprint:
+            raise ParanoidMismatchError(
+                f"cache entry {key!r} (root {entry.root:#x}): footprint "
+                f"changed without an intersecting journaled write: "
+                f"cached {sorted(entry.footprint)} != "
+                f"recomputed {sorted(fresh_footprint)}"
+            )
+
+    def _maybe_trim(self) -> None:
+        if self.mem.journal_length <= self.TRIM_THRESHOLD:
+            return
+        if self._entries:
+            floor = min(e.epoch for e in self._entries.values())
+        else:
+            floor = self.mem.epoch
+        self.mem.trim_journal(floor)
+        self.journal_trims += 1
+
+    def stats(self) -> dict[str, int | bool]:
+        """Observability counters, merged into ``GhostChecker.stats()``."""
+        return {
+            "oracle_cache_enabled": self.enabled,
+            "oracle_cache_paranoid": self.paranoid,
+            "oracle_cache_hits": self.hits,
+            "oracle_cache_misses": self.misses,
+            "oracle_cache_invalidations": self.invalidations,
+            "oracle_cache_root_changes": self.root_changes,
+            "oracle_cache_paranoid_recomputes": self.paranoid_recomputes,
+            "oracle_cache_journal_trims": self.journal_trims,
+            "oracle_cache_entries": len(self._entries),
+        }

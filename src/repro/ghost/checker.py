@@ -37,6 +37,7 @@ from repro.ghost.abstraction import (
     record_globals,
 )
 from repro.ghost.arena import arena
+from repro.ghost.cache import AbstractionCache
 from repro.ghost.calldata import GhostCallData
 from repro.ghost.diff import diff_components
 from repro.ghost.spec import SpecAccessError, compute_post_trap, spec_name_for
@@ -100,13 +101,26 @@ class GhostChecker:
     """Attachable oracle for one machine."""
 
     def __init__(
-        self, machine, *, fail_fast: bool = True, loose_host: bool = True
+        self,
+        machine,
+        *,
+        fail_fast: bool = True,
+        loose_host: bool = True,
+        oracle_cache: bool = True,
+        paranoid: bool = False,
     ):
         self.machine = machine
         self.fail_fast = fail_fast
         #: The paper's host-abstraction looseness. False is an ablation:
         #: an over-fitted host abstraction that sees demand mapping.
         self.loose_host = loose_host
+        #: Incremental abstraction cache (invalidation by footprint).
+        #: ``oracle_cache=False`` restores the pre-refactor full-recompute
+        #: path; ``paranoid=True`` recomputes every hit and asserts the
+        #: cached value matches (debug mode, loud on divergence).
+        self.cache = AbstractionCache(
+            machine.mem, enabled=oracle_cache, paranoid=paranoid
+        )
         self.globals_ = record_globals(machine)
         #: The single shared reference copy of the ghost state used for
         #: the non-interference check (§4.4), per component.
@@ -123,6 +137,12 @@ class GhostChecker:
         #: at quiescent handler exits.
         self.check_isolation = True
         self.isolation_checks_run = 0
+        self.isolation_sweeps_skipped = 0
+        # Identity-stamp over the committed dict: the §3.1 isolation sweep
+        # only depends on committed component objects, so if none of them
+        # changed (by identity) since the last clean sweep, the sweep
+        # would recompute the same verdict and can be skipped.
+        self._isolation_clean = False
         #: UART-backed report printer (attached with the machine's UART).
         self.console = None
         #: Optional export hook: called with a :class:`FrameObservation`
@@ -146,24 +166,54 @@ class GhostChecker:
         if uart is not None:
             self.console = GhostConsole(self.machine.mem, uart.base)
         mp = pkvm.mp
-        self._hook(mp.host_lock, "host", lambda: record_abstraction_host(
-            self.machine.mem, mp, loose=self.loose_host
-        ))
-        self._hook(mp.pkvm_lock, "pkvm", lambda: record_abstraction_pkvm(
-            self.machine.mem, mp
-        ))
+        self._hook(mp.host_lock, "host", self._record_host)
+        self._hook(mp.pkvm_lock, "pkvm", self._record_pkvm)
         self._hook(
             pkvm.vm_table.lock,
             "vms",
             lambda: record_abstraction_vms(pkvm.vm_table),
         )
         # Baseline for non-interference, as if each lock had been released.
-        self.committed["host"] = record_abstraction_host(
-            self.machine.mem, mp, loose=self.loose_host
-        )
-        self.committed["pkvm"] = record_abstraction_pkvm(self.machine.mem, mp)
+        self.committed["host"] = self._record_host()
+        self.committed["pkvm"] = self._record_pkvm()
         self.committed["vms"] = record_abstraction_vms(pkvm.vm_table)
         self._check_init_invariants()
+
+    # -- cached recorders -------------------------------------------------
+    #
+    # The page-table-backed components go through the abstraction cache:
+    # the traversal's footprint is exactly its read set, so a cached result
+    # is valid until the root changes or the memory journal shows a write
+    # to a footprint page. The vms and cpu-local components read live
+    # Python objects (not memory), so there is nothing to invalidate on —
+    # they are always recomputed (and are cheap).
+
+    def _record_host(self):
+        mp = self.machine.pkvm.mp
+
+        def compute(memo):
+            host = record_abstraction_host(
+                self.machine.mem, mp, loose=self.loose_host, memo=memo
+            )
+            return host, host.footprint
+
+        return self.cache.record("host", mp.host_mmu.root, compute)
+
+    def _record_pkvm(self):
+        mp = self.machine.pkvm.mp
+
+        def compute(memo):
+            pkvm = record_abstraction_pkvm(self.machine.mem, mp, memo=memo)
+            return pkvm, pkvm.pgt.footprint
+
+        return self.cache.record("pkvm", mp.pkvm_pgd.root, compute)
+
+    def _record_vm_pgt(self, vm):
+        def compute(memo):
+            pgt = record_abstraction_vm_pgt(self.machine.mem, vm, memo=memo)
+            return pgt, pgt.footprint
+
+        return self.cache.record(vm_pgt_key(vm.handle), vm.pgt.root, compute)
 
     def _hook(self, lock, key: str, recorder) -> None:
         lock.on_acquire.append(
@@ -177,10 +227,11 @@ class GhostChecker:
         """Called (under the vm_table lock) when a VM is inserted: hook its
         stage 2 lock and commit its (empty) baseline abstraction."""
         key = vm_pgt_key(vm.handle)
-        recorder = lambda: record_abstraction_vm_pgt(self.machine.mem, vm)  # noqa: E731
+        recorder = lambda: self._record_vm_pgt(vm)  # noqa: E731
         self._hook(vm.lock, key, recorder)
         snapshot = recorder()
         self.committed[key] = snapshot
+        self._isolation_clean = False
         record = self._record_for_current_handler()
         if record is not None:
             record.post[key] = snapshot
@@ -239,6 +290,7 @@ class GhostChecker:
             # Accept the new state as the baseline so one corruption does
             # not cascade into every later check.
             self.committed[key] = snapshot
+            self._isolation_clean = False
         record = self._records.get(cpu_index)
         if record is None:
             return
@@ -253,6 +305,8 @@ class GhostChecker:
         except AbstractionError as exc:
             self._report("abstraction", str(exc), component=key)
             return
+        if self.committed.get(key) is not snapshot:
+            self._isolation_clean = False
         self.committed[key] = snapshot
         record = self._records.get(cpu_index)
         if record is None:
@@ -397,8 +451,14 @@ class GhostChecker:
         self._check_separation(record)
         if self.check_isolation and not self._records:
             # Quiescent (no other handler in flight): the committed state
-            # must satisfy the global ownership partition.
-            self._check_isolation()
+            # must satisfy the global ownership partition. If no committed
+            # component object changed since the last clean sweep, the
+            # partition verdict is unchanged — skip.
+            if self._isolation_clean:
+                self.isolation_sweeps_skipped += 1
+            else:
+                self._check_isolation()
+                self._isolation_clean = True
         if ok:
             self.checks_passed += 1
 
@@ -574,11 +634,14 @@ class GhostChecker:
                 record.aborted = True
             raise SpecViolation(kind, detail)
 
-    def stats(self) -> dict[str, int]:
+    def stats(self) -> dict[str, int | bool]:
         return {
             "checks_run": self.checks_run,
             "checks_passed": self.checks_passed,
             "checks_skipped": self.checks_skipped,
             "violations": len(self.violations),
             "multiphase_component_skips": self.components_skipped_multiphase,
+            "isolation_checks_run": self.isolation_checks_run,
+            "isolation_sweeps_skipped": self.isolation_sweeps_skipped,
+            **self.cache.stats(),
         }

@@ -108,10 +108,13 @@ class Mapping:
     which the property-based tests pin down as the class invariant.
     """
 
-    __slots__ = ("_maplets", "__weakref__")
+    __slots__ = ("_maplets", "_hash", "_frozen", "_shared", "__weakref__")
 
     def __init__(self, maplets: list[Maplet] | None = None):
-        self._maplets: list[Maplet] = maplets or []
+        self._maplets: list[Maplet] = maplets if maplets is not None else []
+        self._hash: int | None = None
+        self._frozen = False
+        self._shared = False
         arena.account_mapping(self)
 
     # -- construction ------------------------------------------------------
@@ -127,7 +130,38 @@ class Mapping:
         return m
 
     def copy(self) -> "Mapping":
-        return Mapping(list(self._maplets))
+        """O(1) copy-on-write copy: the maplet list is shared until either
+        side mutates (structural sharing — the persistent-value half of the
+        incremental oracle; unchanged components stay pointer-comparable)."""
+        self._shared = True
+        new = Mapping.__new__(Mapping)
+        new._maplets = self._maplets
+        new._hash = self._hash
+        new._frozen = False
+        new._shared = True
+        arena.account_mapping(new)
+        return new
+
+    def freeze(self) -> "Mapping":
+        """Mark immutable: any later mutation raises :class:`MappingError`.
+
+        Cached abstraction snapshots are frozen so a buggy spec cannot
+        silently corrupt the committed reference copies they share
+        structure with."""
+        self._frozen = True
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def _ensure_private(self) -> None:
+        if self._frozen:
+            raise MappingError("mutation of frozen mapping")
+        if self._shared:
+            self._maplets = list(self._maplets)
+            self._shared = False
+        self._hash = None
 
     # -- basic queries ------------------------------------------------------
 
@@ -143,10 +177,21 @@ class Mapping:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Mapping):
             return NotImplemented
+        if self is other or self._maplets is other._maplets:
+            return True
+        if (
+            self._hash is not None
+            and other._hash is not None
+            and self._hash != other._hash
+        ):
+            return False
         return self._maplets == other._maplets
 
     def __hash__(self):
-        return hash(tuple(self._maplets))
+        h = self._hash
+        if h is None:
+            h = self._hash = hash(tuple(self._maplets))
+        return h
 
     def __repr__(self) -> str:
         inner = ", ".join(m.describe() for m in self._maplets)
@@ -226,6 +271,7 @@ class Mapping:
             raise MappingError(f"unaligned insert at {va:#x}")
         if nr_pages <= 0:
             raise MappingError(f"empty insert at {va:#x}")
+        self._ensure_private()
         end = va + nr_pages * PAGE_SIZE
         if overwrite:
             self.remove_if_present(va, nr_pages)
@@ -247,6 +293,7 @@ class Mapping:
         """
         if va % PAGE_SIZE:
             raise MappingError(f"unaligned extend at {va:#x}")
+        self._ensure_private()
         if self._maplets:
             last = self._maplets[-1]
             if va < last.end:
@@ -274,6 +321,7 @@ class Mapping:
         """Remove any pages of ``[va, va+nr_pages*4K)`` that are present."""
         if va % PAGE_SIZE:
             raise MappingError(f"unaligned remove at {va:#x}")
+        self._ensure_private()
         end = va + nr_pages * PAGE_SIZE
         out: list[Maplet] = []
         for m in self._maplets:
@@ -320,9 +368,8 @@ class Mapping:
     def domain_overlaps(self, other: "Mapping") -> bool:
         """Whether any page is in both domains."""
         for m in self._maplets:
-            for page in range(m.va, m.end, PAGE_SIZE):
-                if page in other:
-                    return True
+            if next(other.runs_in(m.va, m.nr_pages), None) is not None:
+                return True
         return False
 
     def diff(self, other: "Mapping") -> tuple[list[Maplet], list[Maplet]]:

@@ -54,6 +54,11 @@ class AbstractPgtable:
     def copy(self) -> "AbstractPgtable":
         return AbstractPgtable(self.mapping.copy(), self.footprint)
 
+    def freeze(self) -> "AbstractPgtable":
+        """Freeze the underlying mapping (cached-snapshot immutability)."""
+        self.mapping.freeze()
+        return self
+
     def __eq__(self, other: object) -> bool:
         # Behavioural equality is extensional: the mapping only. The
         # footprint is internal memory management — it feeds the §4.4
@@ -61,6 +66,8 @@ class AbstractPgtable:
         # abstraction deliberately does not constrain its evolution
         # (paper §3.1: allocation "should not be reflected in the
         # abstract state").
+        if self is other:
+            return True
         if not isinstance(other, AbstractPgtable):
             return NotImplemented
         return self.mapping == other.mapping
@@ -76,10 +83,16 @@ class GhostPkvm:
     def copy(self) -> "GhostPkvm":
         return GhostPkvm(self.present, self.pgt.copy())
 
+    def freeze(self) -> "GhostPkvm":
+        self.pgt.freeze()
+        return self
+
     def __eq__(self, other: object) -> bool:
         # The footprint is internal memory management (hyp-pool table
         # pages), which the abstraction deliberately does not constrain
         # (§3.1); it participates only in the §4.4 separation check.
+        if self is other:
+            return True
         if not isinstance(other, GhostPkvm):
             return NotImplemented
         return (
@@ -109,10 +122,17 @@ class GhostHost:
             self.present, self.annot.copy(), self.shared.copy(), self.footprint
         )
 
+    def freeze(self) -> "GhostHost":
+        self.annot.freeze()
+        self.shared.freeze()
+        return self
+
     def __eq__(self, other: object) -> bool:
         # As for GhostPkvm: the footprint (host stage 2 table pages from
         # the hyp pool) is internal memory management, excluded from the
         # behavioural comparison.
+        if self is other:
+            return True
         if not isinstance(other, GhostHost):
             return NotImplemented
         return (
@@ -233,6 +253,8 @@ class GhostCpuLocal:
         )
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, GhostCpuLocal):
             return NotImplemented
         return (

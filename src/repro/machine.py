@@ -35,6 +35,8 @@ class Machine:
         ghost: bool = True,
         carveout_pages: int = 1024,
         memory_map: list[MemoryRegion] | None = None,
+        oracle_cache: bool = True,
+        paranoid: bool = False,
     ):
         self.boot_seconds = 0.0
         started = time.perf_counter()
@@ -49,7 +51,9 @@ class Machine:
         if ghost:
             from repro.ghost.checker import GhostChecker
 
-            self.checker = GhostChecker(self)
+            self.checker = GhostChecker(
+                self, oracle_cache=oracle_cache, paranoid=paranoid
+            )
             self.checker.attach()
         self.boot_seconds = time.perf_counter() - started
 
@@ -61,12 +65,18 @@ class Machine:
     def config(self) -> dict:
         """The plain-data configuration that reproduces this machine —
         what a campaign worker ships alongside its traces."""
-        return {
+        config = {
             "nr_cpus": len(self.cpus),
             "dram_size": self.mem.dram_regions()[-1].size,
             "bug_names": tuple(self.bugs.enabled()),
             "ghost": self.ghost_enabled,
         }
+        if self.checker is not None:
+            # Cache *settings* round-trip; the cache contents themselves
+            # are per-machine and rebuilt from scratch on boot.
+            config["oracle_cache"] = self.checker.cache.enabled
+            config["paranoid"] = self.checker.cache.paranoid
+        return config
 
     @classmethod
     def from_config(cls, config: dict) -> "Machine":
@@ -78,6 +88,8 @@ class Machine:
             dram_size=config.get("dram_size", 256 * 1024 * 1024),
             bugs=bugs,
             ghost=config.get("ghost", True),
+            oracle_cache=config.get("oracle_cache", True),
+            paranoid=config.get("paranoid", False),
         )
 
     @property

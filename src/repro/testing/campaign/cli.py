@@ -88,6 +88,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--time-limit", type=float, default=None, help="wall-clock seconds"
     )
+    parser.add_argument(
+        "--paranoid",
+        action="store_true",
+        help="debug mode: recompute every cached abstraction from scratch "
+        "and assert it matches the incremental result",
+    )
+    parser.add_argument(
+        "--no-oracle-cache",
+        dest="oracle_cache",
+        action="store_false",
+        default=True,
+        help="disable the incremental abstraction cache (the pre-refactor "
+        "full-recompute oracle path)",
+    )
     return parser
 
 
@@ -144,6 +158,8 @@ def main(argv: list[str] | None = None) -> int:
             max_findings=args.max_findings,
             max_batches=args.max_batches,
             time_limit=args.time_limit,
+            oracle_cache=args.oracle_cache,
+            paranoid=args.paranoid,
         )
         engine = CampaignEngine(config, out=args.out)
     report = engine.run()

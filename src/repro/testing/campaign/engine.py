@@ -64,6 +64,10 @@ class CampaignConfig:
     #: Wall-clock cap in seconds.
     time_limit: float | None = None
     max_factor: int = 4
+    #: Oracle toggles: ``oracle_cache=False`` restores the full-recompute
+    #: path; ``paranoid=True`` recomputes every cache hit and asserts it.
+    oracle_cache: bool = True
+    paranoid: bool = False
 
     def machine_config(self) -> dict:
         return {
@@ -71,6 +75,8 @@ class CampaignConfig:
             "dram_size": self.dram_size,
             "bug_names": tuple(self.bug_names),
             "ghost": True,
+            "oracle_cache": self.oracle_cache,
+            "paranoid": self.paranoid,
         }
 
     def to_jsonable(self) -> dict:
@@ -89,6 +95,8 @@ class CampaignConfig:
             "max_batches": self.max_batches,
             "time_limit": self.time_limit,
             "max_factor": self.max_factor,
+            "oracle_cache": self.oracle_cache,
+            "paranoid": self.paranoid,
         }
 
     @staticmethod

@@ -67,12 +67,23 @@ def make_machine(
 
 
 def run_one(
-    test: TestCase, *, ghost: bool = True, bugs: Bugs | None = None
+    test: TestCase,
+    *,
+    ghost: bool = True,
+    bugs: Bugs | None = None,
+    oracle_cache: bool = True,
+    paranoid: bool = False,
 ) -> TestResult:
     """Run one test on a fresh machine and classify the outcome."""
     started = time.perf_counter()
     try:
-        machine = make_machine(ghost=ghost, bugs=bugs, **test.machine_kwargs)
+        machine = make_machine(
+            ghost=ghost,
+            bugs=bugs,
+            oracle_cache=oracle_cache,
+            paranoid=paranoid,
+            **test.machine_kwargs,
+        )
         proxy = HypProxy(machine)
         test.body(proxy)
     except SpecViolation as exc:
@@ -112,9 +123,20 @@ def run_tests(
     *,
     ghost: bool = True,
     bugs: Bugs | None = None,
+    oracle_cache: bool = True,
+    paranoid: bool = False,
 ) -> list[TestResult]:
     """Run a suite; one fresh machine per test."""
-    return [run_one(t, ghost=ghost, bugs=bugs) for t in tests]
+    return [
+        run_one(
+            t,
+            ghost=ghost,
+            bugs=bugs,
+            oracle_cache=oracle_cache,
+            paranoid=paranoid,
+        )
+        for t in tests
+    ]
 
 
 def summarise(results: list[TestResult]) -> dict[str, int]:

@@ -42,7 +42,11 @@ CATEGORIES: dict[str, list[str]] = {
         "sim/explore.py",
     ],
     "spec: hypercalls and traps": ["ghost/spec.py"],
-    "spec: abstraction recording": ["ghost/abstraction.py", "ghost/checker.py"],
+    "spec: abstraction recording": [
+        "ghost/abstraction.py",
+        "ghost/checker.py",
+        "ghost/cache.py",
+    ],
     "spec: abstract data types": ["ghost/maplets.py", "ghost/state.py"],
     "spec: boilerplate (diff/print/config)": [
         "ghost/diff.py",

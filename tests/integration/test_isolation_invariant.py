@@ -77,8 +77,11 @@ class TestIsolationTrips:
         proxy.share_page(page)
         from repro.ghost.maplets import MapletTarget
 
-        host = machine.checker.committed["host"]
+        # Committed snapshots are frozen, so in-place corruption is
+        # structurally impossible; swap in a corrupted (thawed) copy.
+        host = machine.checker.committed["host"].copy()
         host.annot.insert(page, 1, MapletTarget.annotated(1))
+        machine.checker.committed["host"] = host
         poke(machine)
         kinds = {v.kind for v in machine.checker.violations}
         assert kinds & {"isolation", "non-interference"}

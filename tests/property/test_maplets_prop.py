@@ -96,8 +96,14 @@ def test_copy_equal_and_independent(op_list):
     mapping, _ = apply_ops(op_list)
     clone = mapping.copy()
     assert clone == mapping
-    clone.insert(70 * PAGE_SIZE, 1, MapletTarget.annotated(1), overwrite=True)
-    assert 70 * PAGE_SIZE not in mapping
+    # Mutating the (copy-on-write) clone never leaks into the original...
+    before = mapping.lookup(70 * PAGE_SIZE)
+    clone.insert(70 * PAGE_SIZE, 1, MapletTarget.annotated(99), overwrite=True)
+    assert mapping.lookup(70 * PAGE_SIZE) == before
+    assert clone.lookup(70 * PAGE_SIZE) == MapletTarget.annotated(99)
+    # ... and mutating the original never leaks into the clone.
+    mapping.insert(71 * PAGE_SIZE, 1, MapletTarget.annotated(98), overwrite=True)
+    assert clone.lookup(71 * PAGE_SIZE) != MapletTarget.annotated(98)
 
 
 @given(ops)

@@ -1,0 +1,71 @@
+"""Property test: the bisect-based ``region_of`` against a linear scan.
+
+The memory-map lookup sits on the hot path of every load/store *and*
+every abstraction traversal (``is_memory`` per table page), so it was
+rewritten from a linear region scan to a bisect over sorted region
+bases. The two must agree on every address — interior, boundary, and
+hole alike — for arbitrary non-overlapping region layouts.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.defs import MemType
+from repro.arch.memory import MemoryRegion, PhysicalMemory
+
+PAGE = 4096
+
+
+@st.composite
+def region_layouts(draw):
+    """A random non-overlapping memory map plus probe addresses."""
+    nr = draw(st.integers(min_value=1, max_value=6))
+    cursor = 0
+    regions = []
+    for i in range(nr):
+        gap = draw(st.integers(min_value=0, max_value=8)) * PAGE
+        size = draw(st.integers(min_value=1, max_value=16)) * PAGE
+        kind = draw(st.sampled_from([MemType.NORMAL, MemType.DEVICE]))
+        base = cursor + gap
+        regions.append(MemoryRegion(base, size, kind, f"r{i}"))
+        cursor = base + size
+    probes = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=cursor + 4 * PAGE),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    # Always probe the boundaries: first/last byte of every region and
+    # the bytes just outside.
+    for r in regions:
+        probes.extend([r.base, r.end - 1, r.end, max(0, r.base - 1)])
+    return regions, probes
+
+
+def region_of_linear(regions, phys):
+    """The pre-refactor reference implementation."""
+    for region in regions:
+        if region.contains(phys):
+            return region
+    return None
+
+
+@given(region_layouts())
+@settings(max_examples=200)
+def test_bisect_region_of_matches_linear_scan(layout):
+    regions, probes = layout
+    mem = PhysicalMemory(list(regions))
+    for phys in probes:
+        assert mem.region_of(phys) == region_of_linear(regions, phys)
+
+
+@given(region_layouts())
+@settings(max_examples=100)
+def test_is_memory_matches_linear_scan(layout):
+    regions, probes = layout
+    mem = PhysicalMemory(list(regions))
+    for phys in probes:
+        ref = region_of_linear(regions, phys)
+        assert mem.is_memory(phys) == (
+            ref is not None and ref.kind is MemType.NORMAL
+        )

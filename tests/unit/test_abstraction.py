@@ -152,3 +152,63 @@ class TestMachineLevelRecording:
         assert g.carveout == (m.pkvm.carveout.base, m.pkvm.carveout.end)
         assert g.addr_is_allowed_memory(0x4000_0000)
         assert g.addr_is_device(0x0900_0000)
+
+
+class TestAbstractionErrors:
+    """The error paths must raise AbstractionError with messages that
+    localise the fault — these are oracle-infrastructure diagnostics the
+    operator debugs from, not spec violations."""
+
+    def test_cycle_message_names_the_page(self, pgt):
+        from repro.arch.pte import make_table_descriptor
+
+        pgt.mem.write64(pgt.root, make_table_descriptor(pgt.root))
+        with pytest.raises(AbstractionError, match="reached twice") as exc:
+            interpret_pgtable(pgt.mem, pgt.root, Stage.STAGE2)
+        assert f"{pgt.root:#x}" in str(exc.value)
+
+    def test_shared_subtree_detected(self, pgt):
+        """Two entries pointing at one table page: not a cycle, still a
+        malformed tree (its pages would alias in the footprint)."""
+        from repro.arch.pte import make_table_descriptor
+
+        map_range(pgt, 0x1000, PAGE_SIZE, 0x4000_0000, RWX)
+        l1 = pgt.mem.read64(pgt.root)
+        # second root entry pointing at the same L1 table
+        pgt.mem.write64(pgt.root + 8, l1)
+        with pytest.raises(AbstractionError, match="reached twice"):
+            interpret_pgtable(pgt.mem, pgt.root, Stage.STAGE2)
+
+    def test_malformed_descriptor_reports_location(self, pgt):
+        from repro.arch.pte import (
+            PTE_VALID,
+            PTE_TYPE,
+            SW_PAGE_STATE_SHIFT,
+        )
+
+        map_range(pgt, 0x1000, PAGE_SIZE, 0x4000_0000, RWX)
+        # Walk to the L3 table and corrupt the descriptor's software
+        # page-state bits to the unused 0b11 encoding.
+        pa = pgt.root
+        for _ in range(3):
+            pa = pgt.mem.read64(pa + 8 * 0) & ((1 << 48) - 1) & ~0xFFF
+        bad = PTE_VALID | PTE_TYPE | 0x4000_0000 | (3 << SW_PAGE_STATE_SHIFT)
+        pgt.mem.write64(pa + 8 * 1, bad)
+        with pytest.raises(AbstractionError, match="malformed descriptor") as exc:
+            interpret_pgtable(pgt.mem, pgt.root, Stage.STAGE2)
+        message = str(exc.value)
+        assert f"{pa:#x}[1]" in message  # table page + index
+        assert "level 3" in message
+
+    def test_root_outside_dram(self, pgt):
+        with pytest.raises(AbstractionError, match="outside DRAM") as exc:
+            interpret_pgtable(pgt.mem, 0x0900_0000, Stage.STAGE2)
+        assert "root" in str(exc.value)
+
+    def test_table_page_outside_dram(self, pgt):
+        from repro.arch.pte import make_table_descriptor
+
+        pgt.mem.write64(pgt.root, make_table_descriptor(0x0900_0000))
+        with pytest.raises(AbstractionError, match="outside DRAM") as exc:
+            interpret_pgtable(pgt.mem, pgt.root, Stage.STAGE2)
+        assert "table page" in str(exc.value)

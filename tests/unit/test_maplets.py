@@ -190,3 +190,48 @@ class TestEqualityAndDiff:
         m = Mapping.singleton(0x1000, 3, mapped(PA))
         assert m.contains_range(0x1000, 3)
         assert not m.contains_range(0x1000, 4)
+
+
+class TestCopyOnWriteAndFreeze:
+    def test_copy_shares_storage_until_mutation(self):
+        a = Mapping.singleton(0x1000, 4, mapped(PA))
+        b = a.copy()
+        assert b._maplets is a._maplets  # O(1) structural sharing
+        b.insert(0x9000, 1, mapped(PA + 0x8000))
+        assert b._maplets is not a._maplets
+        assert 0x9000 not in a and 0x9000 in b
+
+    def test_mutating_the_original_detaches_too(self):
+        a = Mapping.singleton(0x1000, 4, mapped(PA))
+        b = a.copy()
+        a.remove(0x1000, 1)
+        assert 0x1000 not in a
+        assert 0x1000 in b
+
+    def test_frozen_mapping_rejects_all_mutation(self):
+        m = Mapping.singleton(0x1000, 2, mapped(PA)).freeze()
+        assert m.frozen
+        with pytest.raises(MappingError, match="frozen"):
+            m.insert(0x9000, 1, mapped(PA))
+        with pytest.raises(MappingError, match="frozen"):
+            m.remove_if_present(0x1000, 1)
+        with pytest.raises(MappingError, match="frozen"):
+            m.extend_coalesce(0x3000, 1, mapped(PA + 0x2000))
+        assert m.lookup(0x1000) == mapped(PA)  # reads unaffected
+
+    def test_copy_of_frozen_is_mutable(self):
+        frozen = Mapping.singleton(0x1000, 2, mapped(PA)).freeze()
+        thawed = frozen.copy()
+        assert not thawed.frozen
+        thawed.remove(0x1000, 1)
+        assert 0x1000 in frozen  # the frozen original is untouched
+
+    def test_hash_is_cached_and_extensional(self):
+        a = Mapping.singleton(0x1000, 2, mapped(PA))
+        b = Mapping()
+        b.insert(0x1000, 1, mapped(PA))
+        b.insert(0x2000, 1, mapped(PA + PAGE_SIZE))  # coalesces with the first
+        assert a == b
+        assert hash(a) == hash(b)
+        c = a.copy()
+        assert hash(c) == hash(a)  # the cached hash travels with the copy

@@ -125,3 +125,66 @@ class TestPageOps:
         assert mem.materialised_pages() == base
         mem.write64(DRAM + 8 * 4096, 1)
         assert mem.materialised_pages() == base + 1
+
+
+class TestWriteJournal:
+    def test_epoch_bumps_on_effective_write(self, mem):
+        e0 = mem.epoch
+        mem.write64(DRAM, 1)
+        assert mem.epoch == e0 + 1
+
+    def test_idempotent_store_skips_journal(self, mem):
+        mem.write64(DRAM, 7)
+        e0 = mem.epoch
+        mem.write64(DRAM, 7)  # same value: architecturally invisible
+        assert mem.epoch == e0
+        assert mem.writes_since(e0) == frozenset()
+
+    def test_zero_store_to_fresh_page_skips_journal(self, mem):
+        e0 = mem.epoch
+        pages0 = mem.materialised_pages()
+        mem.write64(DRAM + 17 * 4096, 0)
+        assert mem.epoch == e0
+        assert mem.materialised_pages() == pages0
+
+    def test_zero_page_of_clean_page_skips_journal(self, mem):
+        mem.write64(DRAM, 5)
+        mem.write64(DRAM, 0)
+        e0 = mem.epoch
+        mem.zero_page(DRAM >> 12)  # page already all zeros
+        assert mem.epoch == e0
+
+    def test_writes_since_reports_dirty_pfns(self, mem):
+        e0 = mem.epoch
+        mem.write64(DRAM, 1)
+        mem.write64(DRAM + 3 * 4096, 2)
+        assert mem.writes_since(e0) == {DRAM >> 12, (DRAM >> 12) + 3}
+        assert mem.writes_since(mem.epoch) == frozenset()
+
+    def test_writes_since_intermediate_epoch(self, mem):
+        mem.write64(DRAM, 1)
+        mid = mem.epoch
+        mem.write64(DRAM + 5 * 4096, 2)
+        assert mem.writes_since(mid) == {(DRAM >> 12) + 5}
+
+    def test_journal_tail_coalesces_same_page(self, mem):
+        mem.write64(DRAM, 1)
+        n0 = mem.journal_length
+        for i in range(1, 20):
+            mem.write64(DRAM + 8 * i, i)
+        assert mem.journal_length == n0  # one entry, epoch moved forward
+        assert mem.epoch >= 20
+
+    def test_trim_journal_falls_back_to_page_epochs(self, mem):
+        e0 = mem.epoch
+        mem.write64(DRAM, 1)
+        mem.write64(DRAM + 4096, 2)
+        mid = mem.epoch
+        mem.write64(DRAM + 2 * 4096, 3)
+        mem.trim_journal(mid)
+        assert mem.journal_length == 1
+        # asking about a pre-trim epoch still gives the exact answer
+        assert mem.writes_since(e0) == {
+            DRAM >> 12, (DRAM >> 12) + 1, (DRAM >> 12) + 2,
+        }
+        assert mem.writes_since(mid) == {(DRAM >> 12) + 2}

@@ -1,0 +1,219 @@
+"""Unit tests for the incremental abstraction cache.
+
+The cache's contract: ``record()`` always returns the same abstraction a
+from-scratch ``interpret_pgtable`` would, while re-reading only what the
+write journal proves could have changed. Every test here compares the
+cached/incremental result against a fresh full traversal — the same
+oracle-vs-oracle discipline paranoid mode applies at runtime.
+"""
+
+import pytest
+
+from repro.arch.defs import PAGE_SIZE, Perms, Stage
+from repro.arch.memory import PhysicalMemory, default_memory_map
+from repro.ghost.abstraction import AbstractionError, interpret_pgtable
+from repro.ghost.cache import AbstractionCache, ParanoidMismatchError
+from repro.pkvm.allocator import HypPool
+from repro.pkvm.pgtable import (
+    KvmPgtable,
+    MapAttrs,
+    PoolMmOps,
+    map_range,
+    set_owner_range,
+    unmap_range,
+)
+
+RWX = MapAttrs(Perms.rwx())
+DRAM = 0x4000_0000
+
+
+@pytest.fixture
+def pgt():
+    mem = PhysicalMemory(default_memory_map())
+    pool = HypPool(mem, 0x4800_0000, 512)
+    return KvmPgtable(mem, Stage.STAGE2, PoolMmOps(pool), "t")
+
+
+def compute_for(pgt):
+    def compute(memo):
+        value = interpret_pgtable(pgt.mem, pgt.root, Stage.STAGE2, memo=memo)
+        return value, value.footprint
+
+    return compute
+
+
+def fresh(pgt):
+    return interpret_pgtable(pgt.mem, pgt.root, Stage.STAGE2)
+
+
+class TestHitAndInvalidation:
+    def test_second_record_is_a_pointer_identical_hit(self, pgt):
+        cache = AbstractionCache(pgt.mem)
+        map_range(pgt, 0x1000, PAGE_SIZE, DRAM, RWX)
+        first = cache.record("t", pgt.root, compute_for(pgt))
+        second = cache.record("t", pgt.root, compute_for(pgt))
+        assert second is first
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_write_inside_footprint_invalidates(self, pgt):
+        cache = AbstractionCache(pgt.mem)
+        map_range(pgt, 0x1000, PAGE_SIZE, DRAM, RWX)
+        cache.record("t", pgt.root, compute_for(pgt))
+        map_range(pgt, 0x2000, PAGE_SIZE, DRAM + PAGE_SIZE, RWX)
+        value = cache.record("t", pgt.root, compute_for(pgt))
+        assert cache.invalidations == 1
+        assert value == fresh(pgt)
+        assert value.mapping.lookup(0x2000) is not None
+
+    def test_write_outside_footprint_still_hits(self, pgt):
+        cache = AbstractionCache(pgt.mem)
+        map_range(pgt, 0x1000, PAGE_SIZE, DRAM, RWX)
+        first = cache.record("t", pgt.root, compute_for(pgt))
+        pgt.mem.write64(0x4700_0000, 0xDEAD)  # nowhere near the tables
+        second = cache.record("t", pgt.root, compute_for(pgt))
+        assert second is first
+        assert cache.hits == 1 and cache.invalidations == 0
+
+    def test_root_change_recomputes(self, pgt):
+        cache = AbstractionCache(pgt.mem)
+        cache.record("t", pgt.root, compute_for(pgt))
+        other = KvmPgtable(
+            pgt.mem, Stage.STAGE2, pgt.mm_ops, "other"
+        )
+        map_range(other, 0x1000, PAGE_SIZE, DRAM, RWX)
+        value = cache.record("t", other.root, compute_for(other))
+        assert cache.root_changes == 1
+        assert value == interpret_pgtable(pgt.mem, other.root, Stage.STAGE2)
+
+    def test_cached_value_is_frozen(self, pgt):
+        from repro.ghost.maplets import MapletTarget, MappingError
+
+        cache = AbstractionCache(pgt.mem)
+        value = cache.record("t", pgt.root, compute_for(pgt))
+        with pytest.raises(MappingError, match="frozen"):
+            value.mapping.insert(0, 1, MapletTarget.annotated(1))
+
+    def test_disabled_cache_always_recomputes(self, pgt):
+        cache = AbstractionCache(pgt.mem, enabled=False)
+        first = cache.record("t", pgt.root, compute_for(pgt))
+        second = cache.record("t", pgt.root, compute_for(pgt))
+        assert first is not second
+        assert first == second
+        assert cache.hits == 0
+
+
+class TestIncrementalEquivalence:
+    def test_mutation_sequence_tracks_fresh_interpretation(self, pgt):
+        """A workload of maps/unmaps/annotations with interleaved record()
+        calls: the incremental result must equal a full traversal at
+        every step (word-diff, subtree skip, and splice all exercised)."""
+        cache = AbstractionCache(pgt.mem)
+        compute = compute_for(pgt)
+        steps = [
+            lambda: map_range(pgt, 0x0, 8 * PAGE_SIZE, DRAM, RWX),
+            lambda: map_range(pgt, 0x20_0000, PAGE_SIZE, DRAM + 0x1000, RWX),
+            lambda: set_owner_range(pgt, 0x40_0000, 2 * PAGE_SIZE, 1),
+            lambda: unmap_range(pgt, 0x2000, 2 * PAGE_SIZE),
+            lambda: pgt.mem.write64(0x4700_0000, 1),  # off-tree write
+            lambda: map_range(
+                pgt, 0x4000_0000, 4 * PAGE_SIZE, DRAM + 0x10000, RWX
+            ),
+            lambda: unmap_range(pgt, 0x20_0000, PAGE_SIZE),
+            lambda: set_owner_range(pgt, 0x0, PAGE_SIZE, 2),
+        ]
+        for step in steps:
+            step()
+            value = cache.record("t", pgt.root, compute)
+            assert value == fresh(pgt)
+            assert value.footprint == fresh(pgt).footprint
+
+    def test_records_between_every_step_and_at_the_end(self, pgt):
+        """Same workload, but only one record at the end: a large dirty
+        set against an old snapshot must also converge."""
+        cache = AbstractionCache(pgt.mem)
+        compute = compute_for(pgt)
+        cache.record("t", pgt.root, compute)
+        map_range(pgt, 0x0, 64 * PAGE_SIZE, DRAM, RWX)
+        set_owner_range(pgt, 0x80_0000, 8 * PAGE_SIZE, 1)
+        unmap_range(pgt, 0x1000, 4 * PAGE_SIZE)
+        value = cache.record("t", pgt.root, compute)
+        assert value == fresh(pgt)
+
+
+class TestErrorPaths:
+    def test_abstraction_error_does_not_poison_the_cache(self, pgt):
+        from repro.arch.pte import PTE_TYPE, PTE_VALID, SW_PAGE_STATE_SHIFT
+
+        cache = AbstractionCache(pgt.mem)
+        map_range(pgt, 0x1000, PAGE_SIZE, DRAM, RWX)
+        cache.record("t", pgt.root, compute_for(pgt))
+        # Find the L3 table and corrupt the live descriptor.
+        pa = pgt.root
+        for _ in range(3):
+            pa = pgt.mem.read64(pa) & ((1 << 48) - 1) & ~0xFFF
+        good = pgt.mem.read64(pa + 8)
+        bad = PTE_VALID | PTE_TYPE | DRAM | (3 << SW_PAGE_STATE_SHIFT)
+        pgt.mem.write64(pa + 8, bad)
+        with pytest.raises(AbstractionError, match="malformed descriptor"):
+            cache.record("t", pgt.root, compute_for(pgt))
+        # Repair and re-record: the failed compute left nothing stale.
+        pgt.mem.write64(pa + 8, good)
+        value = cache.record("t", pgt.root, compute_for(pgt))
+        assert value == fresh(pgt)
+        assert value.mapping.lookup(0x1000) is not None
+
+    def test_paranoid_catches_untracked_writes(self, pgt):
+        """A store that bypasses write64 (no journal entry) is exactly
+        the bug class paranoid mode exists to catch."""
+        cache = AbstractionCache(pgt.mem, paranoid=True)
+        map_range(pgt, 0x1000, PAGE_SIZE, DRAM, RWX)
+        cache.record("t", pgt.root, compute_for(pgt))
+        pa = pgt.root
+        for _ in range(3):
+            pa = pgt.mem.read64(pa) & ((1 << 48) - 1) & ~0xFFF
+        # Mutate the L3 descriptor behind the journal's back.
+        pgt.mem._pages[pa >> 12][1] = 0
+        with pytest.raises(ParanoidMismatchError):
+            cache.record("t", pgt.root, compute_for(pgt))
+
+    def test_paranoid_passes_on_honest_traffic(self, pgt):
+        cache = AbstractionCache(pgt.mem, paranoid=True)
+        map_range(pgt, 0x1000, PAGE_SIZE, DRAM, RWX)
+        cache.record("t", pgt.root, compute_for(pgt))
+        map_range(pgt, 0x2000, PAGE_SIZE, DRAM + PAGE_SIZE, RWX)
+        cache.record("t", pgt.root, compute_for(pgt))
+        cache.record("t", pgt.root, compute_for(pgt))
+        assert cache.paranoid_recomputes == 3
+
+
+class TestObservability:
+    def test_stats_counters(self, pgt):
+        cache = AbstractionCache(pgt.mem)
+        cache.record("t", pgt.root, compute_for(pgt))
+        cache.record("t", pgt.root, compute_for(pgt))
+        stats = cache.stats()
+        assert stats["oracle_cache_enabled"] is True
+        assert stats["oracle_cache_hits"] == 1
+        assert stats["oracle_cache_misses"] == 1
+        assert stats["oracle_cache_entries"] == 1
+
+    def test_footprint_of_and_drop(self, pgt):
+        cache = AbstractionCache(pgt.mem)
+        map_range(pgt, 0x1000, PAGE_SIZE, DRAM, RWX)
+        cache.record("t", pgt.root, compute_for(pgt))
+        assert cache.footprint_of("t") == fresh(pgt).footprint
+        cache.drop("t")
+        assert cache.footprint_of("t") is None
+
+    def test_journal_trim_keeps_answers_exact(self, pgt):
+        cache = AbstractionCache(pgt.mem)
+        cache.TRIM_THRESHOLD = 8  # force trims during the workload
+        compute = compute_for(pgt)
+        for i in range(32):
+            map_range(pgt, i * 0x1000, PAGE_SIZE, DRAM + i * PAGE_SIZE, RWX)
+            # distinct off-tree pages defeat the journal's tail
+            # coalescing, so the journal actually grows past the cap
+            pgt.mem.write64(0x4700_0000 + i * PAGE_SIZE, 1)
+            value = cache.record("t", pgt.root, compute)
+            assert value == fresh(pgt)
+        assert cache.journal_trims > 0
