@@ -1,0 +1,153 @@
+"""E14 — observability overhead: free when off, cheap when on.
+
+PR 5 threads spans, metrics, and a flight recorder through the trap
+path, the oracle, the lock sites, and the memory journal. That is only
+acceptable if the instrumented hot paths cost nothing when disabled
+(the NullSink/zero-capacity defaults reduce every site to one attribute
+check) and stay under a small, bounded tax when fully enabled. The
+claims measured here:
+
+- **disabled**: the checked handwritten suite with a default
+  ``Observability`` bundle runs within noise (≤ 5%) of the same suite
+  before instrumentation — measured as NullSink vs NullSink spread,
+  since the pre-PR baseline no longer exists in-tree;
+- **enabled**: with tracing + flight recorder + full metrics on, the
+  suite stays within **10%** of the disabled run.
+
+Results land in ``BENCH_obs.json`` (repo root); CI uploads it as an
+artifact, and EXPERIMENTS.md row E14 quotes it.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.obs import Observability
+from repro.testing.handwritten import ALL_TESTS
+from repro.testing.harness import run_tests
+from benchmarks.conftest import report
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+#: Enabled-mode budget: the suite may cost at most 10% more than the
+#: NullSink run (the ISSUE's acceptance bar).
+ENABLED_OVERHEAD_BAR = 1.10
+
+#: Disabled-mode budget: two NullSink runs must agree within noise.
+DISABLED_NOISE_BAR = 1.05
+
+
+def _merge_results(update: dict) -> None:
+    data = {}
+    if RESULTS_PATH.exists():
+        try:
+            data = json.loads(RESULTS_PATH.read_text())
+        except ValueError:
+            data = {}
+    data.update(update)
+    RESULTS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _run_suite(obs_factory) -> float:
+    """One checked handwritten-suite pass; a fresh bundle per run so a
+    recording sink never accumulates across measurements."""
+    start = time.perf_counter()
+    results = run_tests(ALL_TESTS, obs=obs_factory())
+    elapsed = time.perf_counter() - start
+    assert all(r.ok for r in results)
+    return elapsed
+
+
+def _best_of(n, obs_factory) -> float:
+    """Best-of-n: the standard trick for wall-clock comparisons on a
+    noisy CI box — the minimum is the least-interfered-with run."""
+    return min(_run_suite(obs_factory) for _ in range(n))
+
+
+def bench_obs_overhead(benchmark, tmp_path):
+    """The headline: NullSink default vs everything-on."""
+
+    def null_obs():
+        return Observability()
+
+    def full_obs():
+        return Observability(
+            tracing=True,
+            flight_buffer=4096,
+            flight_dir=tmp_path,
+        )
+
+    def measure():
+        base_a = _best_of(2, null_obs)
+        enabled = _best_of(2, full_obs)
+        base_b = _best_of(2, null_obs)
+        return base_a, enabled, base_b
+
+    base_a, enabled, base_b = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    baseline = min(base_a, base_b)
+    enabled_ratio = enabled / baseline if baseline else float("inf")
+    disabled_spread = max(base_a, base_b) / baseline if baseline else 1.0
+
+    report(
+        "E14",
+        "observability must be free when off and a bounded tax when on "
+        f"(bars: disabled <= {DISABLED_NOISE_BAR:.2f}x noise, "
+        f"enabled <= {ENABLED_OVERHEAD_BAR:.2f}x)",
+        f"checked suite: {baseline:.2f}s NullSink baseline, "
+        f"{enabled:.2f}s with tracing+metrics+flight "
+        f"({(enabled_ratio - 1) * 100:+.1f}%), NullSink run-to-run "
+        f"spread {(disabled_spread - 1) * 100:+.1f}%",
+    )
+    _merge_results(
+        {
+            "suite_seconds_obs_off": round(baseline, 4),
+            "suite_seconds_obs_on": round(enabled, 4),
+            "enabled_overhead_ratio": round(enabled_ratio, 4),
+            "disabled_noise_ratio": round(disabled_spread, 4),
+            "suite_tests": len(ALL_TESTS),
+        }
+    )
+    assert enabled_ratio <= ENABLED_OVERHEAD_BAR, (
+        f"enabled observability costs {(enabled_ratio - 1) * 100:.1f}%, "
+        f"over the {(ENABLED_OVERHEAD_BAR - 1) * 100:.0f}% budget"
+    )
+    assert disabled_spread <= DISABLED_NOISE_BAR, (
+        f"NullSink runs disagree by {(disabled_spread - 1) * 100:.1f}% — "
+        "disabled instrumentation is not noise-free"
+    )
+
+
+def bench_obs_payload_sanity(benchmark, tmp_path):
+    """The enabled run must actually have measured something: spans from
+    every instrumented layer, populated latency histograms."""
+
+    def measure():
+        obs = Observability(
+            tracing=True, flight_buffer=1024, flight_dir=tmp_path
+        )
+        results = run_tests(ALL_TESTS[:10], obs=obs)
+        assert all(r.ok for r in results)
+        return obs
+
+    obs = benchmark.pedantic(measure, rounds=1, iterations=1)
+    names = {s.name for s in obs.tracer.spans}
+    assert any(n.startswith("trap:") for n in names)
+    assert any(n.startswith("oracle:record:") for n in names)
+    assert any(n.startswith("lock-acquire:") for n in names)
+    assert "interpret_pgtable" in names
+    latency = [
+        m
+        for m in obs.metrics
+        if m.name == "hypercall_latency_us" and m.count > 0
+    ]
+    assert latency, "no hypercall latencies observed"
+    checks = obs.metrics.get("oracle_check_latency_us")
+    assert checks is not None and checks.count > 0
+    _merge_results(
+        {
+            "enabled_span_count": len(obs.tracer.spans),
+            "enabled_metric_count": len(obs.metrics),
+        }
+    )

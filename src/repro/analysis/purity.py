@@ -42,7 +42,10 @@ from pathlib import Path
 from repro.analysis.astutil import MUTATING_METHODS, apply_pragmas, root_name
 from repro.analysis.report import Finding
 
-#: Implementation modules the spec must never import from.
+#: Implementation modules the spec must never import from. ``repro.obs``
+#: is here too: a spec that traces, counts, or flight-records is reading
+#: the clock and writing shared state — observability belongs in the
+#: checker and the machine, never in the pure post-state functions.
 FORBIDDEN_MODULES = (
     "repro.pkvm.hyp",
     "repro.pkvm.host",
@@ -59,6 +62,7 @@ FORBIDDEN_MODULES = (
     "repro.sim",
     "repro.testing",
     "repro.machine",
+    "repro.obs",
 )
 
 #: Pure constants importable from otherwise-forbidden modules.

@@ -24,6 +24,7 @@ from repro.arch.defs import (
     U64_MASK,
     phys_to_pfn,
 )
+from repro.obs.trace import active_tracer
 
 
 @dataclass(frozen=True)
@@ -148,6 +149,15 @@ class PhysicalMemory:
         if min_epoch <= self._journal_floor:
             return
         i = bisect_right(self._journal_epochs, min_epoch)
+        tracer = active_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "journal-trim",
+                "memory",
+                entries=i,
+                floor=min_epoch,
+                remaining=len(self._journal_epochs) - i,
+            )
         del self._journal_epochs[:i]
         del self._journal_pfns[:i]
         self._journal_floor = min_epoch

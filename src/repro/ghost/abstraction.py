@@ -27,6 +27,7 @@ from repro.arch.memory import PhysicalMemory
 from repro.arch.pte import EntryKind, PageState, decode_descriptor
 from repro.arch.cpu import Cpu
 from repro.ghost.maplets import Mapping, MapletTarget
+from repro.obs.trace import active_tracer
 from repro.ghost.state import (
     AbstractPgtable,
     GhostCpuLocal,
@@ -85,10 +86,23 @@ def interpret_pgtable(
     are re-decoded. With ``memo=None`` this is the paper's plain Fig. 2
     full traversal.
     """
-    maplets, phys = _interpret_table(
-        mem, root, START_LEVEL, 0, stage, memo, set(), {}
-    )
-    return AbstractPgtable(Mapping(list(maplets)), phys)
+    tracer = active_tracer()
+    if not tracer.enabled:
+        maplets, phys = _interpret_table(
+            mem, root, START_LEVEL, 0, stage, memo, set(), {}
+        )
+        return AbstractPgtable(Mapping(list(maplets)), phys)
+    with tracer.span(
+        "interpret_pgtable",
+        "oracle",
+        root=hex(root),
+        stage=stage.name,
+        incremental=memo is not None,
+    ):
+        maplets, phys = _interpret_table(
+            mem, root, START_LEVEL, 0, stage, memo, set(), {}
+        )
+        return AbstractPgtable(Mapping(list(maplets)), phys)
 
 
 def _subtree_clean(mem, entry, dirty_cache: dict) -> bool:

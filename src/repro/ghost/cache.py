@@ -24,6 +24,7 @@ from typing import Callable
 from repro.arch.defs import PAGE_SHIFT
 from repro.arch.memory import PhysicalMemory
 from repro.ghost.abstraction import AbstractionError
+from repro.obs.metrics import MetricsRegistry
 
 
 class ParanoidMismatchError(Exception):
@@ -77,17 +78,56 @@ class AbstractionCache:
         *,
         enabled: bool = True,
         paranoid: bool = False,
+        obs=None,
     ):
         self.mem = mem
         self.enabled = enabled
         self.paranoid = paranoid
+        #: The machine's :class:`repro.obs.Observability` bundle (flight
+        #: recorder + tracer); a direct-constructed cache gets metrics of
+        #: its own and no flight recorder.
+        self.obs = obs
+        metrics = obs.metrics if obs is not None else MetricsRegistry()
+        self.metrics = metrics
+        # All counters live in the metrics registry — the single source
+        # of truth GhostChecker.stats() reads; the attribute-style
+        # properties below are the legacy view.
+        self._hits = metrics.counter("oracle_cache_hits")
+        self._misses = metrics.counter("oracle_cache_misses")
+        self._invalidations = metrics.counter("oracle_cache_invalidations")
+        self._root_changes = metrics.counter("oracle_cache_root_changes")
+        self._paranoid_recomputes = metrics.counter(
+            "oracle_cache_paranoid_recomputes"
+        )
+        self._journal_trims = metrics.counter("oracle_cache_journal_trims")
+        self._entries_gauge = metrics.gauge("oracle_cache_entries")
         self._entries: dict[str, _Entry] = {}
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
-        self.root_changes = 0
-        self.paranoid_recomputes = 0
-        self.journal_trims = 0
+
+    # Legacy attribute view of the registry-backed counters.
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def invalidations(self) -> int:
+        return self._invalidations.value
+
+    @property
+    def root_changes(self) -> int:
+        return self._root_changes.value
+
+    @property
+    def paranoid_recomputes(self) -> int:
+        return self._paranoid_recomputes.value
+
+    @property
+    def journal_trims(self) -> int:
+        return self._journal_trims.value
 
     def record(
         self,
@@ -106,7 +146,11 @@ class AbstractionCache:
             if entry.root != root:
                 # A new tree: the memo is keyed by physical placement, so
                 # a reused table page would alias. Start over.
-                self.root_changes += 1
+                self._root_changes.inc()
+                if self.obs is not None:
+                    self.obs.flight.record(
+                        "cache-root-change", component=key, root=hex(root)
+                    )
                 del self._entries[key]
             else:
                 dirty = self.mem.writes_since(entry.epoch)
@@ -116,14 +160,20 @@ class AbstractionCache:
                     # the epoch (memo entries carry their own epochs and
                     # re-validate themselves when next traversed).
                     entry.epoch = epoch
-                    self.hits += 1
+                    self._hits.inc()
                     if self.paranoid:
                         self._paranoid_check(key, entry, compute)
                     return entry.value
-                self.invalidations += 1
+                self._invalidations.inc()
+                if self.obs is not None:
+                    self.obs.flight.record(
+                        "cache-invalidation",
+                        component=key,
+                        dirty_pages=len(dirty & entry.pfns),
+                    )
                 memo = entry.memo
                 del self._entries[key]
-        self.misses += 1
+        self._misses.inc()
         if len(memo) > self.MEMO_CAP:
             memo.clear()
         # A failed compute must leave no entry behind (the cache is never
@@ -148,6 +198,7 @@ class AbstractionCache:
         if self.paranoid:
             self._paranoid_check(key, entry, compute)
         self._entries[key] = entry
+        self._entries_gauge.set(len(self._entries))
         self._maybe_trim()
         return frozen
 
@@ -159,17 +210,20 @@ class AbstractionCache:
     def drop(self, key: str) -> None:
         """Forget one entry (e.g. a torn-down VM's stage 2)."""
         self._entries.pop(key, None)
+        self._entries_gauge.set(len(self._entries))
 
     def clear(self) -> None:
         self._entries.clear()
+        self._entries_gauge.set(0)
 
     def _paranoid_check(self, key, entry, compute) -> None:
         # Recompute with no memo at all: a full from-scratch traversal,
         # checking both the hit/invalidation logic and the memoised
         # incremental re-interpretation.
-        self.paranoid_recomputes += 1
+        self._paranoid_recomputes.inc()
         fresh_value, fresh_footprint = compute(None)
         if fresh_value != entry.value:
+            self._flight_dump_paranoid(key, entry, "stale value")
             raise ParanoidMismatchError(
                 f"cache entry {key!r} (root {entry.root:#x}) is stale: "
                 f"recomputed abstraction differs from the cached one.\n"
@@ -177,12 +231,24 @@ class AbstractionCache:
                 f"recomputed: {fresh_value!r}"
             )
         if fresh_footprint != entry.footprint:
+            self._flight_dump_paranoid(key, entry, "footprint changed")
             raise ParanoidMismatchError(
                 f"cache entry {key!r} (root {entry.root:#x}): footprint "
                 f"changed without an intersecting journaled write: "
                 f"cached {sorted(entry.footprint)} != "
                 f"recomputed {sorted(fresh_footprint)}"
             )
+
+    def _flight_dump_paranoid(self, key, entry, what: str) -> None:
+        """A paranoid mismatch aborts the run; leave the event history."""
+        if self.obs is None:
+            return
+        self.obs.flight.record(
+            "paranoid-mismatch", component=key, root=hex(entry.root), what=what
+        )
+        self.obs.flight.dump(
+            "paranoid-mismatch", extra={"component": key, "what": what}
+        )
 
     def _maybe_trim(self) -> None:
         if self.mem.journal_length <= self.TRIM_THRESHOLD:
@@ -192,18 +258,27 @@ class AbstractionCache:
         else:
             floor = self.mem.epoch
         self.mem.trim_journal(floor)
-        self.journal_trims += 1
+        self._journal_trims.inc()
 
     def stats(self) -> dict[str, int | bool]:
-        """Observability counters, merged into ``GhostChecker.stats()``."""
-        return {
+        """The legacy flat view of the registry-backed cache counters.
+
+        Every ``oracle_cache_*`` key is read back from the metrics
+        registry (no second tally anywhere); ``enabled``/``paranoid`` are
+        configuration echoes, not counters.
+        """
+        stats = {
             "oracle_cache_enabled": self.enabled,
             "oracle_cache_paranoid": self.paranoid,
-            "oracle_cache_hits": self.hits,
-            "oracle_cache_misses": self.misses,
-            "oracle_cache_invalidations": self.invalidations,
-            "oracle_cache_root_changes": self.root_changes,
-            "oracle_cache_paranoid_recomputes": self.paranoid_recomputes,
-            "oracle_cache_journal_trims": self.journal_trims,
-            "oracle_cache_entries": len(self._entries),
         }
+        for counter in (
+            self._hits,
+            self._misses,
+            self._invalidations,
+            self._root_changes,
+            self._paranoid_recomputes,
+            self._journal_trims,
+        ):
+            stats[counter.name] = counter.value
+        stats["oracle_cache_entries"] = len(self._entries)
+        return stats

@@ -23,6 +23,7 @@ check — the same scoping decision the paper makes.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.arch.cpu import Cpu
@@ -42,6 +43,8 @@ from repro.ghost.calldata import GhostCallData
 from repro.ghost.diff import diff_components
 from repro.ghost.spec import SpecAccessError, compute_post_trap, spec_name_for
 from repro.ghost.state import GhostState, local_key, vm_pgt_key
+from repro.obs import Observability
+from repro.obs.metrics import LATENCY_BUCKETS_US
 from repro.pkvm.defs import s64
 
 
@@ -114,30 +117,46 @@ class GhostChecker:
         #: The paper's host-abstraction looseness. False is an ablation:
         #: an over-fitted host abstraction that sees demand mapping.
         self.loose_host = loose_host
+        #: The machine's observability bundle: metrics registry (the
+        #: single source of truth behind :meth:`stats`), span tracer, and
+        #: flight recorder (dumped on any violation).
+        self.obs: Observability = getattr(machine, "obs", None) or Observability()
         #: Incremental abstraction cache (invalidation by footprint).
         #: ``oracle_cache=False`` restores the pre-refactor full-recompute
         #: path; ``paranoid=True`` recomputes every hit and asserts the
         #: cached value matches (debug mode, loud on divergence).
         self.cache = AbstractionCache(
-            machine.mem, enabled=oracle_cache, paranoid=paranoid
+            machine.mem, enabled=oracle_cache, paranoid=paranoid, obs=self.obs
         )
+        metrics = self.obs.metrics
+        self._m_checks_run = metrics.counter("oracle_checks_run")
+        self._m_checks_passed = metrics.counter("oracle_checks_passed")
+        self._m_checks_skipped = metrics.counter("oracle_checks_skipped")
+        self._m_multiphase_skips = metrics.counter(
+            "oracle_components_skipped_multiphase"
+        )
+        self._m_isolation_runs = metrics.counter("oracle_isolation_checks_run")
+        self._m_isolation_skips = metrics.counter(
+            "oracle_isolation_sweeps_skipped"
+        )
+        self._m_violations = metrics.counter("oracle_violations")
+        self._m_check_latency = metrics.histogram(
+            "oracle_check_latency_us", LATENCY_BUCKETS_US
+        )
+        self._m_ghost_bytes = metrics.gauge("ghost_memory_bytes")
+        self._m_ghost_peak = metrics.gauge("ghost_memory_peak_bytes")
         self.globals_ = record_globals(machine)
         #: The single shared reference copy of the ghost state used for
         #: the non-interference check (§4.4), per component.
         self.committed: dict[str, object] = {}
         self._records: dict[int, GhostCallRecord] = {}
         self.violations: list[Violation] = []
-        # Counters reported by the evaluation harness.
-        self.checks_run = 0
-        self.checks_passed = 0
-        self.checks_skipped = 0
+        #: Per-reason skip tally (legacy view; the registry keeps the
+        #: same numbers as ``oracle_checks_skipped{reason=...}``).
         self.skip_reasons: dict[str, int] = {}
-        self.components_skipped_multiphase = 0
         #: Cross-component isolation invariant (§3.1's partition), checked
         #: at quiescent handler exits.
         self.check_isolation = True
-        self.isolation_checks_run = 0
-        self.isolation_sweeps_skipped = 0
         # Identity-stamp over the committed dict: the §3.1 isolation sweep
         # only depends on committed component objects, so if none of them
         # changed (by identity) since the last clean sweep, the sweep
@@ -150,6 +169,32 @@ class GhostChecker:
         #: analysis' dynamic cross-validation) can audit the observed
         #: ghost diffs without re-running the oracle.
         self.frame_hook = None
+
+    # -- legacy attribute view of the registry-backed counters ------------
+
+    @property
+    def checks_run(self) -> int:
+        return self._m_checks_run.value
+
+    @property
+    def checks_passed(self) -> int:
+        return self._m_checks_passed.value
+
+    @property
+    def checks_skipped(self) -> int:
+        return self._m_checks_skipped.value
+
+    @property
+    def components_skipped_multiphase(self) -> int:
+        return self._m_multiphase_skips.value
+
+    @property
+    def isolation_checks_run(self) -> int:
+        return self._m_isolation_runs.value
+
+    @property
+    def isolation_sweeps_skipped(self) -> int:
+        return self._m_isolation_skips.value
 
     # -- attachment -------------------------------------------------------
 
@@ -275,7 +320,10 @@ class GhostChecker:
 
     def _on_acquire(self, key: str, recorder, cpu_index: int) -> None:
         try:
-            snapshot = recorder()
+            with self.obs.tracer.span(
+                f"oracle:record:{key}", "oracle", tid=cpu_index, at="acquire"
+            ):
+                snapshot = recorder()
         except AbstractionError as exc:
             self._report("abstraction", str(exc), component=key)
             return
@@ -301,7 +349,10 @@ class GhostChecker:
 
     def _on_release(self, key: str, recorder, cpu_index: int) -> None:
         try:
-            snapshot = recorder()
+            with self.obs.tracer.span(
+                f"oracle:record:{key}", "oracle", tid=cpu_index, at="release"
+            ):
+                snapshot = recorder()
         except AbstractionError as exc:
             self._report("abstraction", str(exc), component=key)
             return
@@ -385,7 +436,21 @@ class GhostChecker:
     # -- the ternary check ----------------------------------------------------
 
     def _check_record(self, record: GhostCallRecord) -> None:
-        self.checks_run += 1
+        started_ns = time.perf_counter_ns()
+        try:
+            with self.obs.tracer.span(
+                "oracle:check", "oracle", tid=record.cpu_index
+            ):
+                self._check_record_timed(record)
+        finally:
+            self._m_check_latency.observe(
+                (time.perf_counter_ns() - started_ns) // 1000
+            )
+            self._m_ghost_bytes.set(arena.live_bytes())
+            self._m_ghost_peak.set(arena.peak_bytes)
+
+    def _check_record_timed(self, record: GhostCallRecord) -> None:
+        self._m_checks_run.inc()
         g_pre = self._effective_pre(record)
         g_post = GhostState.blank(self.globals_)
         try:
@@ -396,7 +461,10 @@ class GhostChecker:
             self._report("spec-access", str(exc))
             return
         if not result.valid:
-            self.checks_skipped += 1
+            self._m_checks_skipped.inc()
+            self.obs.metrics.counter(
+                "oracle_checks_skipped_by_reason", {"reason": result.note}
+            ).inc()
             self.skip_reasons[result.note] = (
                 self.skip_reasons.get(result.note, 0) + 1
             )
@@ -419,7 +487,7 @@ class GhostChecker:
         ok = True
         for key in sorted(result.touched | set(record.post)):
             if key in record.multiphase:
-                self.components_skipped_multiphase += 1
+                self._m_multiphase_skips.inc()
                 continue
             effective_pre = record.pre.get(key, self.committed.get(key))
             if key in result.touched:
@@ -455,12 +523,15 @@ class GhostChecker:
             # component object changed since the last clean sweep, the
             # partition verdict is unchanged — skip.
             if self._isolation_clean:
-                self.isolation_sweeps_skipped += 1
+                self._m_isolation_skips.inc()
             else:
-                self._check_isolation()
+                with self.obs.tracer.span(
+                    "oracle:isolation-sweep", "oracle", tid=record.cpu_index
+                ):
+                    self._check_isolation()
                 self._isolation_clean = True
         if ok:
-            self.checks_passed += 1
+            self._m_checks_passed.inc()
 
     def _effective_pre(self, record: GhostCallRecord) -> GhostState:
         """Assemble the spec's pre-state: recorded components, falling back
@@ -514,7 +585,7 @@ class GhostChecker:
         from repro.arch.pte import PageState
         from repro.pkvm.defs import OwnerId
 
-        self.isolation_checks_run += 1
+        self._m_isolation_runs.inc()
         host = self.committed.get("host")
         pkvm = self.committed.get("pkvm")
         vms = self.committed.get("vms")
@@ -627,6 +698,22 @@ class GhostChecker:
     def _report(self, kind: str, detail: str, component: str = "") -> None:
         violation = Violation(kind=kind, detail=detail, component=component)
         self.violations.append(violation)
+        self._m_violations.inc()
+        flight = self.obs.flight
+        if flight.enabled:
+            # The post-mortem path: leave the violation as the final ring
+            # event, then write the whole ring to an artifact before the
+            # exception unwinds the campaign/test machinery above us.
+            flight.record(
+                "violation",
+                vkind=kind,
+                component=component,
+                detail=detail[:500],
+            )
+            flight.dump(
+                f"violation-{kind}",
+                extra={"component": component, "detail": detail},
+            )
         if self.console is not None and not self.console.lock.held:
             self.console.print_violation(violation)
         if self.fail_fast:
@@ -635,6 +722,14 @@ class GhostChecker:
             raise SpecViolation(kind, detail)
 
     def stats(self) -> dict[str, int | bool]:
+        """The harness-facing flat counter view.
+
+        Every number here is read from the machine's metrics registry
+        (``self.obs.metrics``) — the registry is the single source of
+        truth, this dict is a stable legacy projection of it. The
+        ``oracle_cache_*`` keys come through
+        :meth:`AbstractionCache.stats`, which reads the same registry.
+        """
         return {
             "checks_run": self.checks_run,
             "checks_passed": self.checks_passed,

@@ -18,6 +18,7 @@ import time
 
 from repro.arch.cpu import Cpu
 from repro.arch.memory import MemoryRegion, PhysicalMemory, default_memory_map
+from repro.obs import Observability
 from repro.pkvm.bugs import Bugs
 from repro.pkvm.host import Host
 from repro.pkvm.hyp import PKvm
@@ -37,14 +38,25 @@ class Machine:
         memory_map: list[MemoryRegion] | None = None,
         oracle_cache: bool = True,
         paranoid: bool = False,
+        obs: Observability | None = None,
     ):
         self.boot_seconds = 0.0
         started = time.perf_counter()
+        #: Observability bundle (metrics always on; tracing and the
+        #: flight recorder enabled by passing a configured bundle).
+        #: ``install()`` makes the tracer process-active so machine-less
+        #: modules (memory journal, spinlocks, the abstraction traversal)
+        #: trace into the same sink; it is a no-op when tracing is off.
+        self.obs = (obs if obs is not None else Observability()).install()
         self.mem = PhysicalMemory(memory_map or default_memory_map(dram_size))
         self.cpus = [Cpu(i) for i in range(nr_cpus)]
         self.bugs = bugs or Bugs()
         self.pkvm = PKvm(
-            self.mem, self.cpus, self.bugs, carveout_pages=carveout_pages
+            self.mem,
+            self.cpus,
+            self.bugs,
+            carveout_pages=carveout_pages,
+            obs=self.obs,
         )
         self.host = Host(self.mem, self.cpus, self.pkvm)
         self.checker = None
@@ -79,8 +91,16 @@ class Machine:
         return config
 
     @classmethod
-    def from_config(cls, config: dict) -> "Machine":
-        """Boot a machine from a :meth:`config` dict."""
+    def from_config(
+        cls, config: dict, *, obs: Observability | None = None
+    ) -> "Machine":
+        """Boot a machine from a :meth:`config` dict.
+
+        ``obs`` rides alongside rather than inside the config: the config
+        stays plain reproducibility data, while observability is a
+        property of the run (a campaign worker attaches its own bundle to
+        the machine it boots from the shared config).
+        """
         bug_names = config.get("bug_names", ())
         bugs = Bugs(**{name: True for name in bug_names}) if bug_names else None
         return cls(
@@ -90,6 +110,7 @@ class Machine:
             ghost=config.get("ghost", True),
             oracle_cache=config.get("oracle_cache", True),
             paranoid=config.get("paranoid", False),
+            obs=obs,
         )
 
     @property

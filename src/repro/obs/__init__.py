@@ -1,0 +1,100 @@
+"""repro.obs — observability for the oracle, simulator, and campaigns.
+
+Three zero-dependency pieces, bundled per machine by
+:class:`Observability`:
+
+- :mod:`repro.obs.trace` — hierarchical span tracer with Chrome
+  ``trace_event`` (Perfetto) export and a human-readable tree dump;
+- :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket
+  histograms with JSON and Prometheus exporters, mergeable across
+  campaign workers;
+- :mod:`repro.obs.flight` — a bounded ring of recent events the oracle
+  dumps to a timestamped artifact on any mismatch.
+
+The default bundle (what ``Machine()`` builds when none is passed) keeps
+metrics live — they are single integer updates and are the source of
+truth behind ``GhostChecker.stats()`` — but puts tracing behind a
+:class:`~repro.obs.trace.NullSink` and leaves the flight recorder at
+capacity 0, so the disabled paths cost one attribute check each
+(``benchmarks/bench_obs.py`` holds the line at no measurable overhead).
+
+Observability must never leak into the pure specification:
+``repro.analysis.purity`` forbids any ``repro.obs`` import inside
+``repro.ghost.spec``. See ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    MemorySink,
+    NullSink,
+    Tracer,
+    active_tracer,
+    set_active_tracer,
+)
+
+__all__ = [
+    "Observability",
+    "NULL_OBS",
+    "FlightRecorder",
+    "MetricsRegistry",
+    "Tracer",
+    "MemorySink",
+    "NullSink",
+    "active_tracer",
+    "set_active_tracer",
+]
+
+
+class Observability:
+    """One machine's observability bundle: tracer + metrics + flight.
+
+    >>> obs = Observability(tracing=True, flight_buffer=4096)
+    >>> machine = Machine(obs=obs)
+    >>> ...
+    >>> obs.tracer.write_chrome("trace.json")   # open in ui.perfetto.dev
+    >>> obs.metrics.write_json("metrics.json")
+    """
+
+    def __init__(
+        self,
+        *,
+        tracing: bool = False,
+        trace_max_events: int = 1_000_000,
+        flight_buffer: int = 0,
+        flight_dir: str | Path = ".",
+        worker_id: int = 0,
+    ):
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(
+            MemorySink(trace_max_events) if tracing else NullSink(),
+            pid=worker_id,
+        )
+        self.flight = FlightRecorder(flight_buffer, out_dir=flight_dir)
+        self.worker_id = worker_id
+
+    @property
+    def tracing(self) -> bool:
+        return self.tracer.enabled
+
+    def install(self) -> "Observability":
+        """Make this bundle's tracer the process-active tracer.
+
+        Modules with no machine reference (the abstraction traversal,
+        ``repro.arch.memory``, ``repro.pkvm.spinlock``) trace through
+        :func:`repro.obs.trace.active_tracer`; installing is only needed
+        (and only has an effect) when tracing is enabled.
+        """
+        if self.tracer.enabled:
+            set_active_tracer(self.tracer)
+        return self
+
+
+#: Shared disabled bundle for call sites that need an ``obs`` attribute
+#: before a machine has wired its own (never written to by instrumented
+#: code paths: its metrics are a throwaway registry).
+NULL_OBS = Observability()

@@ -1,0 +1,373 @@
+"""Structured span tracing for the oracle, simulator, and campaigns.
+
+The paper's evaluation reasons about *where the oracle's time goes* —
+abstraction recording at lock boundaries, the ternary check at handler
+exit, ``interpret_pgtable`` walks — but until now that structure only
+existed in prose. This module records it as a tree of timed spans, with
+two exporters:
+
+- **Chrome trace_event JSON** (:meth:`Tracer.to_chrome`): the array-of-
+  events format that ``chrome://tracing`` and https://ui.perfetto.dev
+  load directly. Spans become complete (``"ph": "X"``) events; instants
+  become ``"ph": "i"``. The ``pid`` field carries the campaign worker id
+  so a multi-worker campaign renders as parallel tracks.
+- **a human-readable tree** (:meth:`Tracer.dump_tree`) for quick
+  terminal triage without leaving the shell.
+
+Everything is behind a *sink*: the default :class:`NullSink` drops spans
+at the earliest possible moment (one attribute check), so fully built
+instrumentation stays in the hot paths at no measurable cost — the E14
+benchmark (``benchmarks/bench_obs.py``) holds that line. Recording
+sinks are bounded (``max_events``) so a runaway campaign cannot swallow
+the heap; overflow is counted, never silent.
+
+There is deliberately no dependency on anything else in ``repro``:
+observability must never leak into the pure specification
+(``repro.analysis.purity`` enforces this), and low-level modules
+(``repro.arch.memory``, ``repro.pkvm.spinlock``) import this module, so
+it has to sit at the bottom of the import graph.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable
+
+__all__ = [
+    "NullSink",
+    "MemorySink",
+    "Span",
+    "Tracer",
+    "NULL_TRACER",
+    "active_tracer",
+    "set_active_tracer",
+    "chrome_trace",
+    "write_chrome_trace",
+]
+
+
+class Span:
+    """One finished span (or instant, when ``dur_us`` is None)."""
+
+    __slots__ = ("name", "cat", "ts_us", "dur_us", "tid", "pid", "depth", "args")
+
+    def __init__(self, name, cat, ts_us, dur_us, tid, pid, depth, args):
+        self.name = name
+        self.cat = cat
+        self.ts_us = ts_us
+        self.dur_us = dur_us
+        self.tid = tid
+        self.pid = pid
+        self.depth = depth
+        self.args = args
+
+    def to_jsonable(self) -> dict:
+        return {
+            "name": self.name,
+            "cat": self.cat,
+            "ts_us": self.ts_us,
+            "dur_us": self.dur_us,
+            "tid": self.tid,
+            "pid": self.pid,
+            "depth": self.depth,
+            "args": self.args,
+        }
+
+    @staticmethod
+    def from_jsonable(data: dict) -> "Span":
+        return Span(
+            data["name"],
+            data["cat"],
+            data["ts_us"],
+            data["dur_us"],
+            data["tid"],
+            data["pid"],
+            data["depth"],
+            data.get("args") or {},
+        )
+
+    def to_trace_event(self) -> dict:
+        event = {
+            "name": self.name,
+            "cat": self.cat or "default",
+            "ts": self.ts_us,
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if self.dur_us is None:
+            event["ph"] = "i"
+            event["s"] = "t"  # thread-scoped instant
+        else:
+            event["ph"] = "X"
+            event["dur"] = self.dur_us
+        if self.args:
+            event["args"] = self.args
+        return event
+
+    def __repr__(self) -> str:
+        dur = "instant" if self.dur_us is None else f"{self.dur_us}us"
+        return f"Span({self.name!r}, {dur}, depth={self.depth})"
+
+
+class NullSink:
+    """The default sink: drops everything, costs one attribute check."""
+
+    enabled = False
+    dropped = 0
+
+    def emit(self, span: Span) -> None:  # pragma: no cover - never called
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+class MemorySink:
+    """Bounded in-memory sink; the exporters read ``spans``."""
+
+    enabled = True
+
+    def __init__(self, max_events: int = 1_000_000):
+        self.max_events = max_events
+        self.spans: list[Span] = []
+        #: Events dropped after the cap — counted, never silent.
+        self.dropped = 0
+
+    def emit(self, span: Span) -> None:
+        if len(self.spans) >= self.max_events:
+            self.dropped += 1
+            return
+        self.spans.append(span)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+class _NullSpanCtx:
+    """Shared no-op context manager returned when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_CTX = _NullSpanCtx()
+
+
+class _SpanCtx:
+    """A live span: opened by ``Tracer.span``, emitted on ``__exit__``."""
+
+    __slots__ = ("tracer", "name", "cat", "tid", "args", "start_ns", "depth")
+
+    def __init__(self, tracer, name, cat, tid, args):
+        self.tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.tid = tid
+        self.args = args
+
+    def __enter__(self):
+        tracer = self.tracer
+        self.depth = tracer._enter(self.tid)
+        self.start_ns = tracer.clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self.tracer
+        end_ns = tracer.clock()
+        tracer._exit(self.tid)
+        if exc_type is not None:
+            self.args = dict(self.args or {})
+            self.args["error"] = exc_type.__name__
+        tracer.sink.emit(
+            Span(
+                self.name,
+                self.cat,
+                (self.start_ns - tracer.epoch_ns) // 1000,
+                max(0, (end_ns - self.start_ns) // 1000),
+                self.tid,
+                tracer.pid,
+                self.depth,
+                self.args or {},
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Hierarchical span tracer.
+
+    Use as a context manager factory or a decorator::
+
+        with tracer.span("oracle:check", cat="oracle", call="share_hyp"):
+            ...
+
+        @tracer.traced("shrink", cat="campaign")
+        def shrink(...): ...
+
+    Nesting depth is tracked per ``tid`` (we use the CPU index as the
+    tid, matching how the simulation interleaves handlers), so the tree
+    dump and the Perfetto stacking both reflect the call structure.
+    """
+
+    def __init__(
+        self,
+        sink: NullSink | MemorySink | None = None,
+        *,
+        pid: int = 0,
+        clock: Callable[[], int] = time.perf_counter_ns,
+    ):
+        self.sink = sink if sink is not None else NullSink()
+        self.pid = pid
+        self.clock = clock
+        self.epoch_ns = clock()
+        self._depths: dict[int, int] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.sink.enabled
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name: str, cat: str = "", *, tid: int = 0, **args):
+        if not self.sink.enabled:
+            return _NULL_CTX
+        return _SpanCtx(self, name, cat, tid, args)
+
+    def instant(self, name: str, cat: str = "", *, tid: int = 0, **args) -> None:
+        if not self.sink.enabled:
+            return
+        self.sink.emit(
+            Span(
+                name,
+                cat,
+                (self.clock() - self.epoch_ns) // 1000,
+                None,
+                tid,
+                self.pid,
+                self._depths.get(tid, 0),
+                args,
+            )
+        )
+
+    def traced(self, name: str | None = None, cat: str = ""):
+        """Decorator form of :meth:`span`."""
+
+        def decorate(fn):
+            span_name = name or fn.__qualname__
+
+            def wrapper(*args, **kwargs):
+                if not self.sink.enabled:
+                    return fn(*args, **kwargs)
+                with self.span(span_name, cat):
+                    return fn(*args, **kwargs)
+
+            wrapper.__name__ = fn.__name__
+            wrapper.__qualname__ = fn.__qualname__
+            wrapper.__doc__ = fn.__doc__
+            wrapper.__wrapped__ = fn
+            return wrapper
+
+        return decorate
+
+    def _enter(self, tid: int) -> int:
+        depth = self._depths.get(tid, 0)
+        self._depths[tid] = depth + 1
+        return depth
+
+    def _exit(self, tid: int) -> None:
+        depth = self._depths.get(tid, 1)
+        self._depths[tid] = depth - 1 if depth > 0 else 0
+
+    # -- export ------------------------------------------------------------
+
+    @property
+    def spans(self) -> list[Span]:
+        return getattr(self.sink, "spans", [])
+
+    def to_chrome(self, extra_spans: list[Span] | None = None) -> dict:
+        """The Chrome ``trace_event`` JSON object (Perfetto-loadable)."""
+        spans = list(self.spans)
+        if extra_spans:
+            spans.extend(extra_spans)
+        return chrome_trace(spans, dropped=getattr(self.sink, "dropped", 0))
+
+    def write_chrome(self, path, extra_spans: list[Span] | None = None) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome(extra_spans), fh)
+            fh.write("\n")
+
+    def dump_tree(self) -> str:
+        """An indented, per-track text rendering of the recorded spans."""
+        lines: list[str] = []
+        tracks: dict[tuple[int, int], list[Span]] = {}
+        for span in self.spans:
+            tracks.setdefault((span.pid, span.tid), []).append(span)
+        for (pid, tid) in sorted(tracks):
+            lines.append(f"[worker {pid} / cpu {tid}]")
+            for span in sorted(tracks[(pid, tid)], key=lambda s: s.ts_us):
+                indent = "  " * (span.depth + 1)
+                if span.dur_us is None:
+                    timing = f"@{span.ts_us}us"
+                else:
+                    timing = f"{span.dur_us}us @{span.ts_us}us"
+                args = (
+                    " " + ", ".join(f"{k}={v}" for k, v in span.args.items())
+                    if span.args
+                    else ""
+                )
+                lines.append(f"{indent}{span.name} [{timing}]{args}")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        if hasattr(self.sink, "spans"):
+            self.sink.spans.clear()
+            self.sink.dropped = 0
+        self._depths.clear()
+
+
+def chrome_trace(spans: list[Span], *, dropped: int = 0) -> dict:
+    """The Chrome ``trace_event`` JSON object for an arbitrary span list.
+
+    The campaign engine uses this directly: worker spans arrive as
+    shipped data (each worker's ``pid`` is its worker id), not through
+    any live tracer, and still need one merged Perfetto-loadable file.
+    """
+    spans = sorted(spans, key=lambda s: (s.pid, s.tid, s.ts_us))
+    return {
+        "traceEvents": [s.to_trace_event() for s in spans],
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.obs.trace",
+            "dropped_events": dropped,
+        },
+    }
+
+
+def write_chrome_trace(path, spans: list[Span], *, dropped: int = 0) -> None:
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(spans, dropped=dropped), fh)
+        fh.write("\n")
+
+
+#: The process-wide disabled tracer; the active-tracer default.
+NULL_TRACER = Tracer(NullSink())
+
+#: Modules with no machine reference (``repro.arch.memory``,
+#: ``repro.pkvm.spinlock``, the abstraction traversal) trace through the
+#: process-active tracer, installed by ``Observability.install()``.
+_active: Tracer = NULL_TRACER
+
+
+def active_tracer() -> Tracer:
+    return _active
+
+
+def set_active_tracer(tracer: Tracer | None) -> None:
+    global _active
+    _active = tracer if tracer is not None else NULL_TRACER

@@ -17,6 +17,7 @@ and a few call-outs — the analogue of the paper's
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.arch.cpu import Cpu
@@ -42,6 +43,8 @@ from repro.pkvm.defs import (
     s64,
     u64,
 )
+from repro.obs import NULL_OBS
+from repro.obs.metrics import LATENCY_BUCKETS_US
 from repro.pkvm.mem_protect import (
     HostAbortResult,
     MemProtect,
@@ -91,11 +94,16 @@ class PKvm:
         bugs: Bugs | None = None,
         *,
         carveout_pages: int = 1024,
+        obs=None,
     ):
         self.mem = mem
         self.cpus = cpus
         self.bugs = bugs or Bugs()
         self.ghost = None  # attached by repro.ghost.checker when enabled
+        #: Observability bundle (repro.obs.Observability); the machine
+        #: passes its own, a bare PKvm gets the shared disabled bundle.
+        self.obs = obs if obs is not None else NULL_OBS
+        self._trap_hists: dict[str, object] = {}
 
         dram = mem.dram_regions()[-1]
         carveout_size = carveout_pages * PAGE_SIZE
@@ -197,19 +205,68 @@ class PKvm:
         )
         syndrome = Syndrome.decode_esr(cpu.sysregs.esr_el2, fault_ipa)
         self.traps_handled += 1
+        obs = self.obs
+        name = self._trap_name(cpu, syndrome)
+        started_ns = time.perf_counter_ns()
+        obs.flight.record(
+            "trap-entry",
+            call=name,
+            cpu=cpu.index,
+            args=[hex(r) for r in cpu.saved_el1.regs[1:4]],
+        )
         if self.ghost is not None:
             self.ghost.on_handler_entry(cpu, syndrome)
-        try:
-            if syndrome.ec is EsrEc.HVC64:
-                self._handle_host_hcall(cpu)
-            elif syndrome.is_abort:
-                self._handle_host_mem_abort(cpu, syndrome)
-            else:
-                raise HypervisorPanic(f"unhandled exception class {syndrome.ec}")
-        finally:
-            if self.ghost is not None:
-                self.ghost.on_handler_exit(cpu)
-            cpu.return_to_el1()
+        with obs.tracer.span(f"trap:{name}", "hypercall", tid=cpu.index):
+            try:
+                if syndrome.ec is EsrEc.HVC64:
+                    self._handle_host_hcall(cpu)
+                elif syndrome.is_abort:
+                    self._handle_host_mem_abort(cpu, syndrome)
+                else:
+                    raise HypervisorPanic(
+                        f"unhandled exception class {syndrome.ec}"
+                    )
+            finally:
+                # The exit-time ternary check may raise (fail-fast); the
+                # latency observation and the flight-recorder exit event
+                # must survive that — the dump's last events are exactly
+                # what identifies the faulting hypercall.
+                try:
+                    if self.ghost is not None:
+                        self.ghost.on_handler_exit(cpu)
+                    cpu.return_to_el1()
+                finally:
+                    self._trap_latency(name).observe(
+                        (time.perf_counter_ns() - started_ns) // 1000
+                    )
+                    obs.flight.record(
+                        "trap-exit",
+                        call=name,
+                        cpu=cpu.index,
+                        ret=s64(cpu.saved_el1.regs[1]),
+                    )
+
+    def _trap_name(self, cpu: Cpu, syndrome: Syndrome) -> str:
+        """A stable label for the trap: the hypercall name, ``mem_abort``,
+        or the raw exception class."""
+        if syndrome.ec is EsrEc.HVC64:
+            try:
+                return HypercallId(cpu.saved_el1.regs[0]).name.lower()
+            except ValueError:
+                return "garbage_hvc"
+        if syndrome.is_abort:
+            return "mem_abort"
+        return syndrome.ec.name.lower()
+
+    def _trap_latency(self, name: str):
+        """The per-hypercall latency histogram (cached per label)."""
+        hist = self._trap_hists.get(name)
+        if hist is None:
+            hist = self.obs.metrics.histogram(
+                "hypercall_latency_us", LATENCY_BUCKETS_US, {"call": name}
+            )
+            self._trap_hists[name] = hist
+        return hist
 
     def _handle_host_hcall(self, cpu: Cpu) -> None:
         ctx = cpu.saved_el1

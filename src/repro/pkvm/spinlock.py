@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.obs.trace import active_tracer
 from repro.sim.sched import current_scheduler, yield_point
 
 AcquireHook = Callable[["HypSpinLock", int], None]
@@ -75,6 +76,11 @@ class HypSpinLock:
             )
         self._holder = cpu_index
         self.acquisitions += 1
+        tracer = active_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                f"lock-acquire:{self.name}", "lock", tid=cpu_index
+            )
         if GLOBAL_ACQUIRE_HOOKS:
             for hook in GLOBAL_ACQUIRE_HOOKS:
                 hook(self, cpu_index)
@@ -90,6 +96,11 @@ class HypSpinLock:
             raise LockError(
                 f"cpu{cpu_index} releasing {self.name} held by "
                 f"cpu{self._holder}"
+            )
+        tracer = active_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                f"lock-release:{self.name}", "lock", tid=cpu_index
             )
         # Hooks observe the lock as still held (their recording must be
         # race-free), but a hook that raises must not leave it held — the

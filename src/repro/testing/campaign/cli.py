@@ -102,6 +102,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the incremental abstraction cache (the pre-refactor "
         "full-recompute oracle path)",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="enable span tracing and write a merged Chrome trace_event "
+        "JSON (load in chrome://tracing or ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the merged campaign metrics registry as JSON",
+    )
+    parser.add_argument(
+        "--flight-buffer",
+        type=int,
+        default=0,
+        metavar="N",
+        help="per-worker flight-recorder ring size in events (0 = off); "
+        "any oracle mismatch dumps the ring to a flight-*.json artifact",
+    )
+    parser.add_argument(
+        "--flight-dir",
+        default=".",
+        metavar="DIR",
+        help="directory for flight-recorder dump artifacts",
+    )
     return parser
 
 
@@ -129,6 +156,8 @@ def format_report(report: CampaignReport) -> str:
             f"(worker {finding.worker_id}, batch {finding.batch_index}, "
             f"+{finding.duplicates} dup{shrunk})"
         )
+        if finding.flight:
+            lines.append(f"    flight recorder: {finding.flight}")
     return "\n".join(lines)
 
 
@@ -160,6 +189,10 @@ def main(argv: list[str] | None = None) -> int:
             time_limit=args.time_limit,
             oracle_cache=args.oracle_cache,
             paranoid=args.paranoid,
+            trace_out=args.trace_out,
+            metrics_out=args.metrics_out,
+            flight_buffer=args.flight_buffer,
+            flight_dir=args.flight_dir,
         )
         engine = CampaignEngine(config, out=args.out)
     report = engine.run()

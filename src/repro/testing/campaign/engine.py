@@ -26,6 +26,8 @@ import multiprocessing
 import time
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, write_chrome_trace
 from repro.testing.campaign import checkpoint as ckpt
 from repro.testing.campaign.findings import DedupIndex, RawFinding
 from repro.testing.campaign.scheduler import BudgetScheduler
@@ -68,6 +70,17 @@ class CampaignConfig:
     #: path; ``paranoid=True`` recomputes every cache hit and asserts it.
     oracle_cache: bool = True
     paranoid: bool = False
+    #: Observability: a merged Chrome trace_event file (workers render as
+    #: parallel pid tracks), a merged metrics JSON, and the per-worker
+    #: flight-recorder ring (0 = off; dumps land in ``flight_dir``).
+    trace_out: str | None = None
+    metrics_out: str | None = None
+    flight_buffer: int = 0
+    flight_dir: str = "."
+
+    @property
+    def tracing(self) -> bool:
+        return self.trace_out is not None
 
     def machine_config(self) -> dict:
         return {
@@ -97,6 +110,10 @@ class CampaignConfig:
             "max_factor": self.max_factor,
             "oracle_cache": self.oracle_cache,
             "paranoid": self.paranoid,
+            "trace_out": self.trace_out,
+            "metrics_out": self.metrics_out,
+            "flight_buffer": self.flight_buffer,
+            "flight_dir": self.flight_dir,
         }
 
     @staticmethod
@@ -156,6 +173,13 @@ class CampaignEngine:
         )
         self.coverage = CoverageMap()
         self.dedup = DedupIndex()
+        #: Parent metrics registry: every worker snapshot merges in here
+        #: (counters and histogram buckets add, gauges take the max), so
+        #: the campaign-wide view is one registry regardless of mode.
+        self.metrics = MetricsRegistry()
+        #: Worker spans, re-hydrated; each carries its worker id as pid.
+        self.spans: list[Span] = []
+        self.flight_dumps: list[str] = []
         self.batch_records: list[dict] = []
         self.next_batch_index: dict[int, int] = {}
         self.issued_steps = 0
@@ -237,6 +261,11 @@ class CampaignEngine:
     def _absorb(self, result: BatchResult) -> None:
         new_lines = self.coverage.merge(result.coverage)
         self.scheduler.feedback(result.worker_id, new_lines)
+        if result.metrics:
+            self.metrics.merge(result.metrics)
+        if result.spans:
+            self.spans.extend(Span.from_jsonable(s) for s in result.spans)
+        self.flight_dumps.extend(result.flight_dumps)
         if result.finding is not None:
             self.dedup.add(result.finding)
         self.batch_records.append(result.to_jsonable())
@@ -264,6 +293,9 @@ class CampaignEngine:
                     self.config.machine_config(),
                     task,
                     coverage=self.config.coverage,
+                    tracing=self.config.tracing,
+                    flight_buffer=self.config.flight_buffer,
+                    flight_dir=self.config.flight_dir,
                 )
             )
 
@@ -279,6 +311,9 @@ class CampaignEngine:
                     task_queue,
                     result_queue,
                     self.config.coverage,
+                    self.config.tracing,
+                    self.config.flight_buffer,
+                    self.config.flight_dir,
                 ),
                 daemon=True,
             )
@@ -327,9 +362,28 @@ class CampaignEngine:
             seconds=time.perf_counter() - self._started,
             resumed=self.resumed,
         )
+        self._export_observability(report)
         if self.out is not None:
             self._save(complete=True, report=report)
         return report
+
+    def _export_observability(self, report: CampaignReport) -> None:
+        """Campaign-level gauges, plus the merged trace/metrics files."""
+        m = self.metrics
+        m.gauge("campaign_hypercalls_per_hour").set(
+            round(report.hypercalls_per_hour, 1)
+        )
+        m.gauge("campaign_coverage_lines").set(report.coverage_lines)
+        m.gauge("campaign_coverage_functions").set(report.coverage_functions)
+        m.gauge("campaign_batches").set(report.batches)
+        m.gauge("campaign_steps_total").set(report.total_steps)
+        m.gauge("campaign_hypercalls_total").set(report.total_hypercalls)
+        m.gauge("campaign_findings_distinct").set(len(report.findings))
+        m.gauge("campaign_flight_dumps").set(len(self.flight_dumps))
+        if self.config.trace_out is not None:
+            write_chrome_trace(self.config.trace_out, self.spans)
+        if self.config.metrics_out is not None:
+            m.write_json(self.config.metrics_out)
 
     def _save(
         self, *, complete: bool, report: CampaignReport | None = None

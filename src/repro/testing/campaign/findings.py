@@ -117,6 +117,9 @@ class RawFinding:
     orig_len: int = 0
     shrunk_len: int = 0
     duplicates: int = 0
+    #: Path of the flight-recorder dump for this finding ("" when the
+    #: recorder was off) — the event history leading into the failure.
+    flight: str = ""
 
     def trace(self) -> Trace:
         return Trace.loads(self.trace_text)
@@ -136,6 +139,7 @@ class RawFinding:
             "orig_len": self.orig_len,
             "shrunk_len": self.shrunk_len,
             "duplicates": self.duplicates,
+            "flight": self.flight,
         }
 
     @staticmethod
@@ -154,6 +158,7 @@ class RawFinding:
             orig_len=data.get("orig_len", 0),
             shrunk_len=data.get("shrunk_len", 0),
             duplicates=data.get("duplicates", 0),
+            flight=data.get("flight", ""),
         )
 
 

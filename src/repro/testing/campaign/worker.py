@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from repro.arch.exceptions import HostCrash, HypervisorPanic
 from repro.ghost.checker import SpecViolation
 from repro.machine import Machine
+from repro.obs import Observability
 from repro.testing.campaign.findings import RawFinding, make_finding
 from repro.testing.coverage import (
     CoverageMap,
@@ -58,6 +59,12 @@ class BatchResult:
     finding: RawFinding | None
     coverage: CoverageMap = field(default_factory=CoverageMap)
     seconds: float = 0.0
+    #: Observability payload, shipped as plain data (picklable through
+    #: the result queue) and deliberately NOT in :meth:`to_jsonable` —
+    #: the checkpoint stays slim; traces/metrics are run artifacts.
+    spans: list = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+    flight_dumps: list = field(default_factory=list)
 
     def to_jsonable(self) -> dict:
         return {
@@ -89,14 +96,28 @@ def run_batch(
     task: BatchTask,
     *,
     coverage: str = "functions",
+    tracing: bool = False,
+    flight_buffer: int = 0,
+    flight_dir: str = ".",
 ) -> BatchResult:
     """Run one batch; never raises on findings — they come back as data.
 
     ``coverage``: "functions" (cheap, the campaign default), "lines"
     (full line bitmap, ~20x slower), or "off".
+
+    When ``tracing``/``flight_buffer`` are on, the batch runs under its
+    own :class:`Observability` bundle (pid = worker id, so a merged
+    trace renders workers as parallel tracks) and ships spans, a
+    metrics snapshot, and any flight-dump paths back in the result.
     """
     started = time.perf_counter()
-    machine = Machine.from_config(machine_config)
+    obs = Observability(
+        tracing=tracing,
+        flight_buffer=flight_buffer,
+        flight_dir=flight_dir,
+        worker_id=task.worker_id,
+    ).install()
+    machine = Machine.from_config(machine_config, obs=obs)
     trace = Trace(
         nr_cpus=machine_config.get("nr_cpus", 4),
         dram_size=machine_config.get("dram_size", 256 * 1024 * 1024),
@@ -126,6 +147,19 @@ def run_batch(
                     seed=task.seed,
                     step_index=i,
                 )
+                if obs.flight.enabled:
+                    # Spec violations were already dumped by the checker
+                    # at the point of mismatch; panics and host crashes
+                    # bypass the checker, so dump here.
+                    path = (
+                        obs.flight.dumps[-1]
+                        if obs.flight.dumps
+                        else obs.flight.dump(
+                            f"finding-{finding.klass}",
+                            extra={"call": finding.call_name},
+                        )
+                    )
+                    finding.flight = str(path)
                 steps_run = i + 1
                 break
             steps_run = i + 1
@@ -144,6 +178,9 @@ def run_batch(
         finding=finding,
         coverage=snapshot,
         seconds=time.perf_counter() - started,
+        spans=[s.to_jsonable() for s in obs.tracer.spans],
+        metrics=obs.metrics.snapshot(),
+        flight_dumps=[str(p) for p in obs.flight.dumps],
     )
 
 
@@ -152,10 +189,22 @@ def worker_main(
     task_queue,
     result_queue,
     coverage: str = "functions",
+    tracing: bool = False,
+    flight_buffer: int = 0,
+    flight_dir: str = ".",
 ) -> None:
     """Process entry point: drain tasks until the None sentinel."""
     while True:
         task = task_queue.get()
         if task is None:
             return
-        result_queue.put(run_batch(machine_config, task, coverage=coverage))
+        result_queue.put(
+            run_batch(
+                machine_config,
+                task,
+                coverage=coverage,
+                tracing=tracing,
+                flight_buffer=flight_buffer,
+                flight_dir=flight_dir,
+            )
+        )

@@ -16,6 +16,7 @@ from typing import Callable
 from repro.arch.exceptions import HostCrash, HypervisorPanic
 from repro.ghost.checker import SpecViolation
 from repro.machine import Machine
+from repro.obs import Observability
 from repro.pkvm.bugs import Bugs
 from repro.testing.proxy import HypProxy
 
@@ -73,8 +74,14 @@ def run_one(
     bugs: Bugs | None = None,
     oracle_cache: bool = True,
     paranoid: bool = False,
+    obs: Observability | None = None,
 ) -> TestResult:
-    """Run one test on a fresh machine and classify the outcome."""
+    """Run one test on a fresh machine and classify the outcome.
+
+    ``obs`` is shared across tests when a suite runs under one bundle:
+    metrics accumulate, while spans/flight events interleave with a
+    per-machine pid staying constant (the bundle owns the track ids).
+    """
     started = time.perf_counter()
     try:
         machine = make_machine(
@@ -82,6 +89,7 @@ def run_one(
             bugs=bugs,
             oracle_cache=oracle_cache,
             paranoid=paranoid,
+            obs=obs,
             **test.machine_kwargs,
         )
         proxy = HypProxy(machine)
@@ -125,6 +133,7 @@ def run_tests(
     bugs: Bugs | None = None,
     oracle_cache: bool = True,
     paranoid: bool = False,
+    obs: Observability | None = None,
 ) -> list[TestResult]:
     """Run a suite; one fresh machine per test."""
     return [
@@ -134,6 +143,7 @@ def run_tests(
             bugs=bugs,
             oracle_cache=oracle_cache,
             paranoid=paranoid,
+            obs=obs,
         )
         for t in tests
     ]

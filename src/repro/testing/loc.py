@@ -85,6 +85,11 @@ CATEGORIES: dict[str, list[str]] = {
         "analysis/__main__.py",
         "sim/instrument.py",
     ],
+    "observability (tracing/metrics/flight)": [
+        "obs/trace.py",
+        "obs/metrics.py",
+        "obs/flight.py",
+    ],
 }
 
 

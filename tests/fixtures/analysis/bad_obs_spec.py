@@ -1,0 +1,19 @@
+"""Fixture: a spec module that leaks observability into the pure spec.
+
+Tracing a spec function reads the wall clock; bumping a metrics counter
+writes process-shared state; flight-recording does both. Each is a
+side channel that makes the "pure function of the pre-state" claim
+false, so the purity linter must flag every ``repro.obs`` import.
+"""
+
+from repro.obs import Observability  # forbidden-import
+from repro.obs.metrics import MetricsRegistry  # forbidden-import
+from repro.obs.trace import active_tracer  # forbidden-import
+
+_REGISTRY = MetricsRegistry()
+
+
+def compute_post__share_hyp(g_post, g_pre, call, cpu):
+    with active_tracer().span("spec:share_hyp"):
+        _REGISTRY.counter("spec_calls").inc()
+        return g_post

@@ -1,0 +1,167 @@
+"""Integration tests: campaign-level observability (PR 5 tentpole).
+
+A seeded inline campaign with ``--trace-out``/``--metrics-out``/
+``--flight-buffer`` must produce a loadable Chrome trace, a merged
+metrics registry whose campaign gauges agree with the report, and —
+when a bug is injected — a flight-recorder artifact attached to the
+finding.
+"""
+
+import json
+
+import pytest
+
+from repro.testing.campaign.cli import main as campaign_main
+from repro.testing.campaign.engine import CampaignConfig, run_campaign
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory):
+    """One seeded buggy campaign with every obs output enabled."""
+    out = tmp_path_factory.mktemp("obs-campaign")
+    config = CampaignConfig(
+        workers=2,
+        budget=400,
+        batch_steps=100,
+        seed=7,
+        bug_names=("synth_share_skip_check",),
+        inline=True,
+        shrink=False,
+        max_findings=1,
+        trace_out=str(out / "trace.json"),
+        metrics_out=str(out / "metrics.json"),
+        flight_buffer=256,
+        flight_dir=str(out / "flights"),
+    )
+    report = run_campaign(config)
+    return out, config, report
+
+
+class TestTraceOut:
+    def test_trace_is_valid_chrome_json(self, campaign):
+        out, _config, _report = campaign
+        doc = json.loads((out / "trace.json").read_text())
+        events = doc["traceEvents"]
+        assert events, "campaign produced no spans"
+        for event in events:
+            assert event["ph"] in ("X", "i")
+            assert isinstance(event["ts"], int)
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+
+    def test_trace_contains_hypercall_spans(self, campaign):
+        out, _config, _report = campaign
+        doc = json.loads((out / "trace.json").read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert any(n.startswith("trap:") for n in names)
+        assert any(n.startswith("oracle:") for n in names)
+        assert "interpret_pgtable" in names
+
+
+class TestMetricsOut:
+    def load(self, out):
+        return json.loads((out / "metrics.json").read_text())
+
+    def gauge(self, data, name):
+        return next(g["value"] for g in data["gauges"] if g["name"] == name)
+
+    def test_campaign_gauges_match_report(self, campaign):
+        out, _config, report = campaign
+        data = self.load(out)
+        assert self.gauge(data, "campaign_batches") == report.batches
+        assert self.gauge(data, "campaign_steps_total") == report.total_steps
+        assert (
+            self.gauge(data, "campaign_hypercalls_total")
+            == report.total_hypercalls
+        )
+        assert self.gauge(data, "campaign_findings_distinct") == len(
+            report.findings
+        )
+
+    def test_hypercalls_per_hour_within_tolerance(self, campaign):
+        """The exported throughput gauge is the report's wall-clock
+        number rounded to one decimal — identical within rounding."""
+        out, _config, report = campaign
+        measured = self.gauge(self.load(out), "campaign_hypercalls_per_hour")
+        assert measured == pytest.approx(
+            report.hypercalls_per_hour, rel=0.01
+        )
+
+    def test_worker_metrics_merged_in(self, campaign):
+        """Per-hypercall latency histograms from the worker machines
+        survive the snapshot/merge round-trip into the parent registry."""
+        out, _config, report = campaign
+        data = self.load(out)
+        latency = [
+            h for h in data["histograms"] if h["name"] == "hypercall_latency_us"
+        ]
+        assert latency
+        total_observed = sum(h["count"] for h in latency)
+        # Every hypercall the campaign ran went through one trap span.
+        assert total_observed >= report.total_hypercalls
+
+    def test_oracle_counters_present(self, campaign):
+        out, _config, _report = campaign
+        data = self.load(out)
+        names = {c["name"] for c in data["counters"]}
+        assert "oracle_checks_run" in names
+        assert "oracle_cache_hits" in names
+        assert "oracle_violations" in names
+
+
+class TestFlightAttachment:
+    def test_finding_carries_flight_dump(self, campaign):
+        out, _config, report = campaign
+        assert report.findings, "seeded bug campaign found nothing"
+        finding = report.findings[0]
+        assert finding.flight, "finding has no flight artifact"
+        payload = json.loads(open(finding.flight).read())
+        events = payload["events"]
+        last_trap = [e for e in events if e["kind"] == "trap-entry"][-1]
+        assert last_trap["call"] == "host_share_hyp"
+        assert finding.call_name == "HOST_SHARE_HYP"
+
+    def test_flight_survives_finding_roundtrip(self, campaign):
+        from repro.testing.campaign.findings import RawFinding
+
+        _out, _config, report = campaign
+        finding = report.findings[0]
+        clone = RawFinding.from_jsonable(finding.to_jsonable())
+        assert clone.flight == finding.flight
+        # Checkpoint-era records without the field default cleanly.
+        old = finding.to_jsonable()
+        del old["flight"]
+        assert RawFinding.from_jsonable(old).flight == ""
+
+
+class TestCli:
+    def test_cli_flags_write_outputs(self, tmp_path, capsys):
+        rc = campaign_main(
+            [
+                "--workers", "1",
+                "--budget", "60",
+                "--batch-steps", "60",
+                "--inline",
+                "--no-shrink",
+                "--trace-out", str(tmp_path / "t.json"),
+                "--metrics-out", str(tmp_path / "m.json"),
+                "--flight-buffer", "64",
+                "--flight-dir", str(tmp_path / "fl"),
+            ]
+        )
+        assert rc == 0
+        assert (tmp_path / "t.json").exists()
+        assert (tmp_path / "m.json").exists()
+        json.loads((tmp_path / "t.json").read_text())
+        json.loads((tmp_path / "m.json").read_text())
+
+    def test_obs_off_by_default_keeps_checkpoint_compat(self, tmp_path):
+        """A config round-trips through its checkpoint representation
+        with the new fields defaulted."""
+        config = CampaignConfig(workers=1, budget=10, inline=True)
+        clone = CampaignConfig.from_jsonable(config.to_jsonable())
+        assert clone == config
+        legacy = config.to_jsonable()
+        for key in ("trace_out", "metrics_out", "flight_buffer", "flight_dir"):
+            del legacy[key]
+        assert CampaignConfig.from_jsonable(legacy) == config

@@ -68,3 +68,25 @@ class TestOnBadFixture:
         assert muts and all(
             f.function == "compute_post__share_hyp" for f in muts
         )
+
+
+class TestObsForbidden:
+    """Observability must never leak into the pure spec (PR 5)."""
+
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return check_spec_purity(FIXTURES / "bad_obs_spec.py")
+
+    def test_every_obs_import_is_flagged(self, findings):
+        msgs = [f.message for f in findings if f.rule == "forbidden-import"]
+        assert len(msgs) == 3
+        assert any("repro.obs'" in m for m in msgs)
+        assert any("repro.obs.metrics" in m for m in msgs)
+        assert any("repro.obs.trace" in m for m in msgs)
+
+    def test_flagged_as_forbidden_not_io(self, findings):
+        """repro.obs is an implementation concern, not merely impure —
+        the rule is forbidden-import so the message names the boundary."""
+        obs_findings = [f for f in findings if "repro.obs" in f.message]
+        assert obs_findings
+        assert all(f.rule == "forbidden-import" for f in obs_findings)

@@ -44,6 +44,21 @@ class TestCheckAccounting:
         machine.host.read64(machine.host.alloc_page())
         assert machine.checker.stats()["checks_passed"] == 1
 
+    def test_stats_project_the_metrics_registry(self, machine):
+        """PR 5: the metrics registry is the single source of truth;
+        stats() is a read-only projection of the same numbers."""
+        page = machine.host.alloc_page()
+        machine.host.hvc(HypercallId.HOST_SHARE_HYP, page >> 12)
+        machine.host.hvc(HypercallId.HOST_UNSHARE_HYP, page >> 12)
+        stats = machine.checker.stats()
+        reg = machine.obs.metrics
+        assert stats["checks_run"] == reg.value("oracle_checks_run") == 2
+        assert stats["checks_passed"] == reg.value("oracle_checks_passed")
+        assert stats["oracle_cache_hits"] == reg.value("oracle_cache_hits")
+        assert stats["oracle_cache_misses"] == reg.value("oracle_cache_misses")
+        latency = reg.get("oracle_check_latency_us")
+        assert latency is not None and latency.count == stats["checks_run"]
+
 
 class TestNonInterference:
     def test_out_of_band_pagetable_write_detected(self, machine):

@@ -1,0 +1,139 @@
+"""Unit tests for the flight recorder (repro.obs.flight) and its
+dump-on-mismatch wiring into the ghost checker."""
+
+import json
+
+import pytest
+
+from repro.ghost.checker import SpecViolation
+from repro.machine import Machine
+from repro.obs import Observability
+from repro.obs.flight import FlightRecorder
+from repro.pkvm.bugs import Bugs
+
+
+class TestRing:
+    def test_disabled_by_default(self):
+        rec = FlightRecorder()
+        rec.record("x")
+        assert not rec.enabled
+        assert len(rec) == 0
+        assert rec.dump("reason") is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(-1)
+
+    def test_records_in_order(self):
+        rec = FlightRecorder(8)
+        rec.record("a", x=1)
+        rec.record("b", x=2)
+        events = rec.snapshot()
+        assert [e["kind"] for e in events] == ["a", "b"]
+        assert events[0]["seq"] == 1
+        assert events[1]["x"] == 2
+
+    def test_wraparound_keeps_newest_and_seq(self):
+        """The ring evicts oldest-first; seq is monotonic across the
+        whole run so a dump shows how much history fell off."""
+        rec = FlightRecorder(3)
+        for i in range(10):
+            rec.record("e", i=i)
+        events = rec.snapshot()
+        assert len(events) == 3
+        assert [e["i"] for e in events] == [7, 8, 9]
+        assert [e["seq"] for e in events] == [8, 9, 10]
+        assert rec.seq == 10
+
+    def test_snapshot_copies(self):
+        rec = FlightRecorder(4)
+        rec.record("a")
+        snap = rec.snapshot()
+        snap[0]["kind"] = "mutated"
+        assert rec.snapshot()[0]["kind"] == "a"
+
+
+class TestDump:
+    def test_dump_writes_artifact(self, tmp_path):
+        rec = FlightRecorder(4, out_dir=tmp_path)
+        for i in range(6):
+            rec.record("e", i=i)
+        path = rec.dump("post-mismatch", extra={"call": "share"})
+        assert path is not None and path.exists()
+        assert path.name.startswith("flight-")
+        assert path.name.endswith("-post-mismatch.json")
+        payload = json.loads(path.read_text())
+        assert payload["reason"] == "post-mismatch"
+        assert payload["events_recorded"] == 6
+        assert payload["events_retained"] == 4
+        assert payload["extra"] == {"call": "share"}
+        assert [e["i"] for e in payload["events"]] == [2, 3, 4, 5]
+        assert rec.dumps == [path]
+
+    def test_dump_slug_sanitised(self, tmp_path):
+        rec = FlightRecorder(2, out_dir=tmp_path)
+        rec.record("e")
+        path = rec.dump("weird/reason: spaces!")
+        assert "/" not in path.name[len("flight-") :]
+        assert path.exists()
+
+    def test_repeated_dumps_do_not_collide(self, tmp_path):
+        rec = FlightRecorder(2, out_dir=tmp_path)
+        rec.record("e")
+        first = rec.dump("r")
+        rec.record("e")
+        second = rec.dump("r")
+        assert first != second
+        assert len(rec.dumps) == 2
+
+
+class TestDumpOnMismatch:
+    def test_violation_dumps_and_names_faulting_hypercall(self, tmp_path):
+        """The tentpole triage story: an injected bug fires the oracle,
+        and the flight dump's event history ends at the trap that
+        faulted — host_share_hyp for synth_share_skip_check."""
+        obs = Observability(flight_buffer=256, flight_dir=tmp_path)
+        machine = Machine.boot(
+            bugs=Bugs(synth_share_skip_check=True), obs=obs
+        )
+        from repro.testing.proxy import HypProxy
+
+        proxy = HypProxy(machine)
+        page = proxy.alloc_page()
+        proxy.share_page(page)
+        with pytest.raises(SpecViolation):
+            proxy.share_page(page)  # double-share: impl skips the check
+
+        assert len(obs.flight.dumps) == 1
+        payload = json.loads(obs.flight.dumps[0].read_text())
+        assert payload["reason"].startswith("violation-")
+        kinds = [e["kind"] for e in payload["events"]]
+        assert "trap-entry" in kinds
+        assert kinds[-1] == "violation"
+        last_trap = [
+            e for e in payload["events"] if e["kind"] == "trap-entry"
+        ][-1]
+        assert last_trap["call"] == "host_share_hyp"
+
+    def test_clean_run_dumps_nothing(self, tmp_path):
+        obs = Observability(flight_buffer=256, flight_dir=tmp_path)
+        machine = Machine.boot(obs=obs)
+        from repro.testing.proxy import HypProxy
+
+        proxy = HypProxy(machine)
+        page = proxy.alloc_page()
+        proxy.share_page(page)
+        proxy.unshare_page(page)
+        assert obs.flight.dumps == []
+        assert list(tmp_path.iterdir()) == []
+
+    def test_disabled_flight_costs_nothing_on_violation(self):
+        machine = Machine.boot(bugs=Bugs(synth_share_skip_check=True))
+        from repro.testing.proxy import HypProxy
+
+        proxy = HypProxy(machine)
+        page = proxy.alloc_page()
+        proxy.share_page(page)
+        with pytest.raises(SpecViolation):
+            proxy.share_page(page)
+        assert machine.obs.flight.dumps == []
