@@ -1,4 +1,4 @@
-"""E12 — analysis-pass latency: all five passes on the real tree, under
+"""E12 — analysis-pass latency: all six passes on the real tree, under
 a CI budget.
 
 The paper's pragmatics depend on the checks being cheap enough to run on
@@ -7,19 +7,23 @@ with ordinary testing). The static passes and the bitfields proof are
 near-instant; the frame pass's dynamic half replays the whole
 handwritten suite plus a short random campaign, so it dominates. The
 assertion keeps the full ``python -m repro.analysis`` wall time inside a
-budget a pre-merge CI job can absorb.
+budget a pre-merge CI job can absorb — the ownership pass rode in on the
+shared AST cache (PR 6), so six passes must cost no more wall time than
+five did.
 """
 
 import time
 
 from benchmarks.conftest import report
+from repro.analysis.astutil import ast_cache_stats, clear_ast_cache
 from repro.analysis.bitfields import check_pte_codec
 from repro.analysis.frame import run_frame_pass
 from repro.analysis.lockorder import check_lock_discipline
+from repro.analysis.ownership import check_ownership
 from repro.analysis.purity import check_spec_purity
 from repro.analysis.scenarios import DEFAULT_SCENARIO, run_lockset_scenario
 
-#: Generous CI ceiling for all five passes together (seconds). The
+#: Generous CI ceiling for all six passes together (seconds). The
 #: observed total is a few seconds; the margin absorbs slow runners.
 BUDGET_SECONDS = 60.0
 
@@ -29,6 +33,7 @@ PASSES = (
     ("lockset", lambda: run_lockset_scenario(DEFAULT_SCENARIO, max_schedules=32)),
     ("frame", lambda: run_frame_pass(None, dynamic=True, random_steps=200)),
     ("bitfields", lambda: check_pte_codec(None)),
+    ("ownership", lambda: check_ownership(None)),
 )
 
 
@@ -36,6 +41,7 @@ def bench_all_passes_within_ci_budget(benchmark):
     timings = {}
 
     def run_all():
+        clear_ast_cache()
         findings = []
         for name, pass_fn in PASSES:
             start = time.perf_counter()
@@ -46,6 +52,11 @@ def bench_all_passes_within_ci_budget(benchmark):
     findings = benchmark.pedantic(run_all, rounds=1, iterations=1)
 
     assert findings == [], "the real tree must be clean"
+    cache = ast_cache_stats()
+    assert cache["hits"] >= 3, (
+        "the shared AST cache must absorb the repeat reads "
+        f"(got {cache['hits']} hits over {cache['parses']} parses)"
+    )
     total = sum(timings.values())
     assert total < BUDGET_SECONDS, (
         f"analysis passes took {total:.1f}s, over the {BUDGET_SECONDS:.0f}s "
@@ -55,6 +66,7 @@ def bench_all_passes_within_ci_budget(benchmark):
     report(
         "E12",
         "checks cheap enough to ride along with ordinary pre-merge testing",
-        f"all five passes clean in {total:.1f}s ({breakdown}); "
+        f"all six passes clean in {total:.1f}s ({breakdown}; ast-cache "
+        f"{cache['parses']} parses, {cache['hits']} hits); "
         f"budget {BUDGET_SECONDS:.0f}s",
     )

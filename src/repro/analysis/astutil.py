@@ -14,6 +14,14 @@ Two families live here so `purity` and `frame` cannot drift apart:
   findings for the named rule(s) on its own line, or (when the pragma is
   a comment-only line) on the line below. A pragma with no reason text is
   itself a finding: exclusions must be accountable.
+- **the shared AST loader** — :func:`load_module_ast` parses each source
+  file once per (mtime, size) and hands the same
+  :class:`ParsedModule` to every pass. The purity, frame, lockorder,
+  bitfields, and ownership passes all read overlapping file sets
+  (``spec.py`` three times over, the ``repro.pkvm`` modules twice);
+  without the cache a full ``python -m repro.analysis`` run re-parses
+  the same bytes per pass. :func:`ast_cache_stats` feeds the CLI's
+  timing line so a regression shows up in CI output.
 """
 
 from __future__ import annotations
@@ -26,6 +34,59 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.analysis.report import Finding
+
+
+# ---------------------------------------------------------------------------
+# Shared AST loader
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ParsedModule:
+    """One parsed source file, shared by every pass that reads it."""
+
+    path: str
+    source: str
+    tree: ast.Module
+
+
+#: resolved path -> ((mtime_ns, size), ParsedModule)
+_AST_CACHE: dict[str, tuple[tuple[int, int], ParsedModule]] = {}
+_CACHE_STATS = {"parses": 0, "hits": 0}
+
+
+def load_module_ast(path: str | Path) -> ParsedModule:
+    """Parse ``path`` once; later loads of the unchanged file are hits.
+
+    The cache key is (resolved path, mtime, size), so an edited file is
+    re-parsed and a long-lived process (the CLI running six passes, the
+    test suite) never sees a stale tree. Syntax errors propagate to the
+    caller exactly as ``ast.parse`` raises them.
+    """
+    resolved = str(Path(path).resolve())
+    stat = Path(resolved).stat()
+    stamp = (stat.st_mtime_ns, stat.st_size)
+    cached = _AST_CACHE.get(resolved)
+    if cached is not None and cached[0] == stamp:
+        _CACHE_STATS["hits"] += 1
+        return cached[1]
+    source = Path(resolved).read_text()
+    tree = ast.parse(source, filename=resolved)
+    module = ParsedModule(path=resolved, source=source, tree=tree)
+    _AST_CACHE[resolved] = (stamp, module)
+    _CACHE_STATS["parses"] += 1
+    return module
+
+
+def ast_cache_stats() -> dict[str, int]:
+    """Parse/hit counters since start-up (or the last clear)."""
+    return dict(_CACHE_STATS)
+
+
+def clear_ast_cache() -> None:
+    _AST_CACHE.clear()
+    _CACHE_STATS["parses"] = 0
+    _CACHE_STATS["hits"] = 0
 
 #: Method names that mutate their receiver (shared by purity's read-only
 #: enforcement and frame's write-footprint inference).
@@ -158,6 +219,7 @@ def scan_pragmas(
                     f"(expected '# analysis: allow[rule] reason')",
                     file=filename,
                     line=line,
+                    column=tok.start[1] + 1,
                 )
             )
             continue

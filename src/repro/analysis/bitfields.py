@@ -45,7 +45,7 @@ import importlib.util
 import itertools
 from pathlib import Path
 
-from repro.analysis.astutil import apply_pragmas
+from repro.analysis.astutil import apply_pragmas, load_module_ast
 from repro.analysis.report import Finding
 from repro.arch.defs import LEAF_LEVEL, MemType, Perms, Stage, level_shift
 
@@ -83,12 +83,14 @@ class SymbolicLayout:
 class _Codec:
     """The module under test, with line numbers for its definitions."""
 
-    def __init__(self, module, path: Path, source: str):
+    def __init__(self, module, path: Path, source: str, tree: ast.Module | None = None):
         self.module = module
         self.path = path
         self.source = source
         self.lines: dict[str, int] = {}
-        for node in ast.parse(source).body:
+        if tree is None:
+            tree = ast.parse(source)
+        for node in tree.body:
             if isinstance(node, (ast.FunctionDef, ast.ClassDef)):
                 self.lines[node.name] = node.lineno
             elif isinstance(node, ast.Assign):
@@ -118,7 +120,8 @@ def load_codec(module_path: str | Path | None = None) -> _Codec:
         )
         module = importlib.util.module_from_spec(spec)
         spec.loader.exec_module(module)
-    return _Codec(module, path, path.read_text())
+    parsed = load_module_ast(path)
+    return _Codec(module, path, parsed.source, parsed.tree)
 
 
 class _Checker:

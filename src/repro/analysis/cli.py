@@ -3,12 +3,14 @@ on any finding.
 
 Examples::
 
-    python -m repro.analysis                    # all five passes
+    python -m repro.analysis                    # all six passes
     python -m repro.analysis purity lockorder   # static hygiene only
     python -m repro.analysis frame bitfields    # the deep passes
+    python -m repro.analysis ownership          # transition-system pass
     python -m repro.analysis --json             # machine-readable report
     python -m repro.analysis --sarif out.sarif  # GitHub-annotatable log
     python -m repro.analysis lockset --lockset-scenario unlocked-init-read
+    python -m repro.analysis --ownership-differential   # static vs. oracle
 
 The static passes default to the installed ``repro.ghost.spec`` module,
 ``repro.pkvm`` package, and ``repro.arch.pte`` codec;
@@ -17,6 +19,15 @@ files (used by the tests to lint the deliberately-bad fixtures, and
 usable to vet a spec before it lands). Pointing the frame pass at
 another file skips its dynamic cross-validation — an unmerged spec has
 no machine to replay.
+
+Text output ends with a per-pass timing line::
+
+    repro.analysis timing: purity 0.01s, ... (total 0.92s; ast-cache: 5 parses, 7 hits)
+
+All passes parse through one shared AST cache (``astutil.load_module_ast``),
+so the hit count shows the re-parses the cache saved; the same numbers
+are in the ``--json`` payload under ``timings``/``ast_cache``, and
+``benchmarks/bench_analysis.py`` (E12) tracks the full-suite wall time.
 """
 
 from __future__ import annotations
@@ -24,11 +35,14 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
+from repro.analysis.astutil import ast_cache_stats
 from repro.analysis.bitfields import check_pte_codec
 from repro.analysis.frame import run_frame_pass
 from repro.analysis.lockorder import check_lock_discipline
+from repro.analysis.ownership import check_ownership
 from repro.analysis.purity import check_spec_purity
 from repro.analysis.report import Report
 from repro.analysis.scenarios import (
@@ -37,14 +51,14 @@ from repro.analysis.scenarios import (
     run_lockset_scenario,
 )
 
-PASSES = ("purity", "lockorder", "lockset", "frame", "bitfields")
+PASSES = ("purity", "lockorder", "lockset", "frame", "bitfields", "ownership")
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="spec-hygiene, lock-discipline, ghost-frame, and "
-        "descriptor-codec analyses",
+        description="spec-hygiene, lock-discipline, ghost-frame, "
+        "descriptor-codec, and ownership-transition analyses",
     )
     parser.add_argument(
         "passes",
@@ -55,7 +69,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json",
         action="store_true",
-        help="emit the findings as JSON instead of text",
+        help="emit the findings as JSON instead of text (includes "
+        "per-pass timings and AST-cache parse/hit counters)",
     )
     parser.add_argument(
         "--sarif",
@@ -74,15 +89,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--spec-module",
         metavar="PATH",
         default=None,
-        help="spec source file for the purity and frame passes "
-        "(default: the installed repro.ghost.spec)",
+        help="spec source file for the purity, frame, and ownership "
+        "passes (default: the installed repro.ghost.spec)",
     )
     parser.add_argument(
         "--pkvm-root",
         metavar="PATH",
         default=None,
-        help="directory or file for the lock-discipline pass "
-        "(default: the installed repro.pkvm package)",
+        help="directory or file for the lock-discipline and ownership "
+        "passes (default: the installed repro.pkvm package). When the "
+        "ownership pass is pointed at a single file with no "
+        "--spec-module, it parses OWNERSHIP_EDGES from that same file",
     )
     parser.add_argument(
         "--pte-module",
@@ -126,12 +143,43 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SEED",
         help="seed for the frame pass's random campaign (default: 0)",
     )
+    parser.add_argument(
+        "--ownership-differential",
+        action="store_true",
+        help="instead of running passes, run the ownership differential "
+        "eval: re-run the static pass once per synthetic ownership/"
+        "error-path bug (flag assumed true) and replay each bug through "
+        "the dynamic oracle; exit 1 unless both sides agree on every "
+        "bug and the clean tree is spotless",
+    )
+    parser.add_argument(
+        "--differential-static-only",
+        action="store_true",
+        help="with --ownership-differential: skip the dynamic oracle "
+        "replays and check only the static side",
+    )
     return parser
+
+
+def _run_differential(args) -> int:
+    from repro.analysis.differential import (
+        differential_ok,
+        format_differential,
+        run_differential,
+    )
+
+    results = run_differential(dynamic=not args.differential_static_only)
+    print(format_differential(results))
+    ok = differential_ok(results)
+    print(f"repro.analysis: ownership-differential: {'ok' if ok else 'FAILED'}")
+    return 0 if ok else 1
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.ownership_differential:
+        return _run_differential(args)
     unknown = [p for p in args.passes if p not in PASSES]
     if unknown:
         parser.error(
@@ -142,22 +190,29 @@ def main(argv: list[str] | None = None) -> int:
 
     report = Report()
     ran: list[str] = []
+    timings: dict[str, float] = {}
+
+    def run(name: str, thunk) -> None:
+        start = time.perf_counter()
+        report.extend(thunk())
+        timings[name] = time.perf_counter() - start
+        ran.append(name)
+
     if "purity" in selected:
-        report.extend(check_spec_purity(args.spec_module))
-        ran.append("purity")
+        run("purity", lambda: check_spec_purity(args.spec_module))
     if "lockorder" in selected:
-        report.extend(check_lock_discipline(args.pkvm_root))
-        ran.append("lockorder")
+        run("lockorder", lambda: check_lock_discipline(args.pkvm_root))
     if "lockset" in selected:
-        report.extend(
-            run_lockset_scenario(
+        run(
+            "lockset",
+            lambda: run_lockset_scenario(
                 args.lockset_scenario, max_schedules=args.max_schedules
-            )
+            ),
         )
-        ran.append("lockset")
     if "frame" in selected:
-        report.extend(
-            run_frame_pass(
+        run(
+            "frame",
+            lambda: run_frame_pass(
                 args.spec_module,
                 dynamic=args.frame_dynamic != "off",
                 random_steps=(
@@ -166,27 +221,39 @@ def main(argv: list[str] | None = None) -> int:
                     else 0
                 ),
                 seed=args.frame_seed,
-            )
+            ),
         )
-        ran.append("frame")
     if "bitfields" in selected:
-        report.extend(check_pte_codec(args.pte_module))
-        ran.append("bitfields")
+        run("bitfields", lambda: check_pte_codec(args.pte_module))
+    if "ownership" in selected:
+        run(
+            "ownership",
+            lambda: check_ownership(args.pkvm_root, args.spec_module),
+        )
 
     if args.sarif:
         Path(args.sarif).write_text(
             json.dumps(report.to_sarif(), indent=2) + "\n"
         )
 
+    cache = ast_cache_stats()
     if args.json:
         payload = report.to_dict()
         payload["passes"] = ran
+        payload["timings"] = {k: round(v, 4) for k, v in timings.items()}
+        payload["ast_cache"] = cache
         print(json.dumps(payload, indent=2))
     else:
         for finding in report.sorted():
             print(finding.describe())
         status = "clean" if report.clean else f"{len(report.findings)} finding(s)"
         print(f"repro.analysis: {', '.join(ran)}: {status}")
+        per_pass = ", ".join(f"{name} {timings[name]:.2f}s" for name in ran)
+        total = sum(timings.values())
+        print(
+            f"repro.analysis timing: {per_pass} (total {total:.2f}s; "
+            f"ast-cache: {cache['parses']} parses, {cache['hits']} hits)"
+        )
     return 0 if report.clean else 1
 
 

@@ -1,0 +1,129 @@
+"""Differential eval: the static ownership pass vs. the dynamic oracle.
+
+Revizor-style second-implementation checking (PAPERS.md): the ownership
+pass re-implements the page-ownership rules the ghost oracle enforces
+dynamically, so the two must agree on which registry bugs are real.
+For each synthetic bug of the ownership/error-path class the harness
+
+- runs the static pass with that bug flag *assumed true* (the flags gate
+  real divergent code in ``repro.pkvm``, so the pass analyses the buggy
+  arm exactly as the dynamic run executes it), and
+- replays the bug's detection scenario through the ghost oracle,
+
+then asserts both sides flag it — and that the clean tree (no flags
+assumed) is statically spotless. A bug only the dynamic side catches is
+a static-coverage gap; a finding only the static side raises is a false
+positive. Either fails CI.
+
+Bugs whose effect is data-dependent rather than path-shaped
+(``synth_teardown_page_leak``, ``synth_fault_off_by_one``,
+``synth_vttbr_not_restored``) are dynamic-only by design and excluded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.ownership import check_ownership
+from repro.analysis.report import Finding
+
+#: The registry bugs the static pass must flag: every synthetic bug whose
+#: divergence is a control-flow arm in the handlers (a skipped check, a
+#: wrong constant, a skipped paired write, a skipped write-back).
+OWNERSHIP_BUGS = (
+    "synth_share_skip_check",
+    "synth_share_skip_hyp_map",
+    "synth_share_wrong_state",
+    "synth_unshare_leak",
+    "synth_donate_wrong_owner",
+    "synth_missing_ret_write",
+)
+
+
+@dataclass(frozen=True)
+class DifferentialResult:
+    """One bug's verdict pair (plus the clean-tree row, bug='<clean>')."""
+
+    bug: str
+    static_flagged: bool
+    static_rules: tuple[str, ...]
+    dynamic_detected: bool | None  # None when dynamic replay was skipped
+    dynamic_how: str
+
+    @property
+    def agree(self) -> bool:
+        if self.bug == "<clean>":
+            return not self.static_flagged
+        if self.dynamic_detected is None:
+            return self.static_flagged
+        return self.static_flagged and self.dynamic_detected
+
+
+def run_differential(*, dynamic: bool = True) -> list[DifferentialResult]:
+    """Run the full differential matrix.
+
+    ``dynamic=False`` skips the oracle replays (unit tests exercise the
+    static side alone; CI runs both). The clean-tree row comes first so
+    a polluted baseline is the loudest failure.
+    """
+    results: list[DifferentialResult] = []
+    clean = check_ownership()
+    results.append(
+        DifferentialResult(
+            bug="<clean>",
+            static_flagged=bool(clean),
+            static_rules=tuple(sorted({f.rule for f in clean})),
+            dynamic_detected=None,
+            dynamic_how="n/a",
+        )
+    )
+    for bug in OWNERSHIP_BUGS:
+        findings = check_ownership(assume_bugs={bug})
+        rules = tuple(sorted({f.rule for f in findings}))
+        if dynamic:
+            from repro.testing.synthetic import _run_scenario
+
+            detected, how = _run_scenario(bug, bug)
+        else:
+            detected, how = None, "skipped"
+        results.append(
+            DifferentialResult(
+                bug=bug,
+                static_flagged=bool(findings),
+                static_rules=rules,
+                dynamic_detected=detected,
+                dynamic_how=how,
+            )
+        )
+    return results
+
+
+def differential_ok(results: list[DifferentialResult]) -> bool:
+    return all(r.agree for r in results)
+
+
+def format_differential(results: list[DifferentialResult]) -> str:
+    lines = [
+        f"{'bug':<28} {'static':<10} {'rules':<36} {'dynamic':<14} {'agree'}"
+    ]
+    for r in results:
+        if r.bug == "<clean>":
+            static = "clean" if not r.static_flagged else "FINDINGS"
+        else:
+            static = "FLAGGED" if r.static_flagged else "missed"
+        dynamic = (
+            "skipped"
+            if r.dynamic_detected is None
+            else (r.dynamic_how if r.dynamic_detected else "missed")
+        )
+        lines.append(
+            f"{r.bug:<28} {static:<10} "
+            f"{', '.join(r.static_rules) or '-':<36} "
+            f"{dynamic:<14} {'YES' if r.agree else 'NO'}"
+        )
+    return "\n".join(lines)
+
+
+def findings_for(bug: str) -> list[Finding]:
+    """The static findings with ``bug`` assumed on — debugging helper."""
+    return check_ownership(assume_bugs={bug})

@@ -57,6 +57,7 @@ from repro.analysis.astutil import (
     VIEW_METHODS,
     apply_pragmas,
     is_prefix,
+    load_module_ast,
 )
 from repro.analysis.purity import spec_module_path
 from repro.analysis.report import Finding
@@ -578,9 +579,10 @@ def check_frames(source_path: str | Path | None = None) -> list[Finding]:
     """Statically check every spec's inferred footprint against its
     declared frame manifest."""
     path = Path(source_path) if source_path else spec_module_path()
-    source = path.read_text()
-    tree = ast.parse(source, filename=str(path))
-    filename = str(path)
+    module = load_module_ast(path)
+    source = module.source
+    tree = module.tree
+    filename = module.path
     manifests, findings = parse_manifests(tree, filename)
     engine = FootprintEngine(tree)
 
@@ -672,7 +674,7 @@ def check_frames(source_path: str | Path | None = None) -> list[Finding]:
                     manifest.line,
                     name,
                 )
-    return apply_pragmas(findings, path, source)
+    return apply_pragmas(findings, filename, source)
 
 
 # ---------------------------------------------------------------------------

@@ -41,7 +41,7 @@ import ast
 import importlib.util
 from pathlib import Path
 
-from repro.analysis.astutil import apply_pragmas
+from repro.analysis.astutil import apply_pragmas, load_module_ast
 from repro.analysis.report import Finding
 
 #: The global acquisition order (outermost first).
@@ -109,19 +109,18 @@ def check_lock_discipline(root: str | Path | None = None) -> list[Finding]:
 
 
 def check_file(path: Path) -> list[Finding]:
-    source = path.read_text()
-    tree = ast.parse(source, filename=str(path))
+    module = load_module_ast(path)
     findings: list[Finding] = []
-    for fn, class_name in _functions(tree):
+    for fn, class_name in _functions(module.tree):
         if _is_lock_wrapper(fn, class_name):
             continue
-        interp = _PathInterp(str(path), fn, class_name)
+        interp = _PathInterp(module.path, fn, class_name)
         interp.run()
         findings.extend(interp.findings)
     # Re-interpreting finally bodies at each exit can re-derive the same
     # violation; findings are value objects, so dedupe structurally.
     deduped = sorted(set(findings), key=Finding.sort_key)
-    return apply_pragmas(deduped, path, source)
+    return apply_pragmas(deduped, module.path, module.source)
 
 
 def _functions(tree: ast.Module):

@@ -39,7 +39,12 @@ import ast
 import importlib.util
 from pathlib import Path
 
-from repro.analysis.astutil import MUTATING_METHODS, apply_pragmas, root_name
+from repro.analysis.astutil import (
+    MUTATING_METHODS,
+    apply_pragmas,
+    load_module_ast,
+    root_name,
+)
 from repro.analysis.report import Finding
 
 #: Implementation modules the spec must never import from. ``repro.obs``
@@ -89,6 +94,13 @@ IMPURE_BUILTINS = frozenset(
      "breakpoint", "globals", "vars", "setattr", "delattr"}
 )
 
+#: Builtins whose result varies run to run (``id()`` tracks the
+#: allocator, ``hash()`` is salted per process): a spec keyed on them
+#: makes the oracle's verdict depend on interpreter state rather than
+#: the machine's pre-state, mirroring the ``repro.obs`` ban on
+#: nondeterministic observability payloads.
+NONDET_BUILTINS = frozenset({"id", "hash"})
+
 #: Expected positional signature of every compute_post__* function.
 SPEC_SIGNATURE = ("g_post", "g_pre", "call", "cpu")
 
@@ -126,11 +138,10 @@ def check_spec_purity(
 ) -> list[Finding]:
     """Lint one spec module; return the (possibly empty) findings."""
     path = Path(source_path) if source_path else spec_module_path()
-    source = path.read_text()
-    tree = ast.parse(source, filename=str(path))
-    linter = _PurityLinter(str(path), constant_allowlist)
-    linter.run(tree)
-    return apply_pragmas(linter.findings, path, source)
+    module = load_module_ast(path)
+    linter = _PurityLinter(module.path, constant_allowlist)
+    linter.run(module.tree)
+    return apply_pragmas(linter.findings, module.path, module.source)
 
 
 class _PurityLinter:
@@ -215,6 +226,13 @@ class _PurityLinter:
         if isinstance(func, ast.Name) and func.id in IMPURE_BUILTINS:
             self._report(
                 "io-call", f"call to impure builtin {func.id}()", node
+            )
+        elif isinstance(func, ast.Name) and func.id in NONDET_BUILTINS:
+            self._report(
+                "nondet-call",
+                f"call to nondeterministic builtin {func.id}() "
+                "(spec output must be a function of the pre-state)",
+                node,
             )
         elif isinstance(func, ast.Attribute):
             root = root_name(func)

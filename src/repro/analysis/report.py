@@ -34,6 +34,10 @@ class Finding:
     line: int = 0
     #: Enclosing function, when known.
     function: str = ""
+    #: 1-based source column, 0 when not applicable (AST ``col_offset``
+    #: is 0-based; every pass converts before constructing a Finding, so
+    #: SARIF emission never has to guess which convention it was handed).
+    column: int = 0
 
     @property
     def location(self) -> str:
@@ -92,13 +96,23 @@ class Report:
         relative to ``base`` (default: the working directory) when the
         file lies under it — GitHub code scanning only annotates
         relative paths. Dynamic findings (``<dynamic>``-style pseudo
-        files) carry no location.
+        files) carry no location. Regions use 1-based ``startLine`` and
+        (when a pass recorded a column) 1-based ``startColumn``, per the
+        SARIF text-region convention; identical (rule, file, line,
+        message) results are emitted once — path-sensitive passes can
+        re-derive the same violation along many paths, and code
+        scanning treats each duplicate as a separate alert.
         """
         base = (base or Path.cwd()).resolve()
         rules: dict[str, dict] = {}
         results = []
+        emitted: set[tuple[str, str, int, str]] = set()
         for f in self.sorted():
             rule_id = f"{f.analysis}/{f.rule}"
+            key = (rule_id, f.file, f.line, f.message)
+            if key in emitted:
+                continue
+            emitted.add(key)
             rules.setdefault(
                 rule_id,
                 {"id": rule_id, "shortDescription": {"text": rule_id}},
@@ -114,7 +128,9 @@ class Report:
                     uri = path.relative_to(base).as_posix()
                 except ValueError:
                     uri = path.as_posix()
-                region = {"startLine": f.line} if f.line else {}
+                region: dict = {"startLine": f.line} if f.line else {}
+                if region and f.column >= 1:
+                    region["startColumn"] = f.column
                 result["locations"] = [
                     {
                         "physicalLocation": {

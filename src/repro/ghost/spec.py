@@ -107,6 +107,42 @@ class Frame:
     writes: frozenset
 
 
+@dataclass(frozen=True)
+class OwnershipRule:
+    """The declared page-state transition system of one hypervisor op.
+
+    One rule per ``do_*`` operation in ``repro.pkvm.mem_protect`` (plus
+    the host-abort demand mapper). Fields are keyed by page table —
+    ``"host_mmu"``, ``"pkvm_pgd"``, or ``"guest"`` — and describe what a
+    *correct* implementation does:
+
+    - ``checks``: the ``PageState`` the op must verify per table before
+      mutating anything (``{"host_mmu": "OWNED"}`` means the host
+      stage-2 entry must be checked to be OWNED first).
+    - ``success``: the effect each table receives on every successful
+      path, as ``"map:<STATE>"``, ``"unmap"``, or ``"set_owner:<WHO>"``
+      (``<WHO>`` is an ``OwnerId`` name or ``"caller"`` for the
+      guest-handle parameter).
+    - ``rollback``: effects additionally permitted on *error* paths
+      only — the undo writes of a failed second half.
+    - ``paired``: tables whose effects are atomic as a group — a
+      success path applying one must apply all (the paper's
+      share/unshare pairing of host stage-2 with hyp stage-1).
+    - ``locks``: the ``HypSpinLock`` names that must be held around
+      every one of the op's page-table writes.
+
+    Like :class:`Frame` manifests, values are pure literals: the
+    ownership analysis parses them from this module's AST without
+    importing it.
+    """
+
+    checks: dict
+    success: dict
+    rollback: dict
+    paired: tuple
+    locks: tuple
+
+
 # ---------------------------------------------------------------------------
 # Shared helpers (ghost-state-only, mirroring the paper's auxiliaries)
 # ---------------------------------------------------------------------------
@@ -1109,5 +1145,104 @@ FRAME_MANIFESTS = {
     "compute_post__host_mem_abort": Frame(
         reads={"globals", "host", "local"},
         writes={"local"},
+    ),
+}
+
+
+#: The declared page-ownership transition system, one rule per
+#: ``repro.pkvm.mem_protect`` operation. This is the static twin of the
+#: dynamic ownership checks above: the ``ownership`` analysis pass
+#: (``python -m repro.analysis ownership``) abstractly interprets each
+#: op's paths and verifies every page-table write is an allowed edge,
+#: dominated by its declared check, paired with its partner table on
+#: success paths, and covered by the declared locks — see
+#: docs/SPEC_GUIDE.md, "Declaring an ownership edge". Keep values
+#: literal: the static pass parses them without importing this module.
+OWNERSHIP_EDGES = {
+    "do_share_hyp": OwnershipRule(
+        checks={"host_mmu": "OWNED"},
+        success={
+            "host_mmu": "map:SHARED_OWNED",
+            "pkvm_pgd": "map:SHARED_BORROWED",
+        },
+        rollback={"host_mmu": "map:OWNED"},
+        paired=("host_mmu", "pkvm_pgd"),
+        locks=("host_mmu", "pkvm_pgd"),
+    ),
+    "do_unshare_hyp": OwnershipRule(
+        checks={"host_mmu": "SHARED_OWNED"},
+        success={"host_mmu": "map:OWNED", "pkvm_pgd": "unmap"},
+        rollback={},
+        paired=("host_mmu", "pkvm_pgd"),
+        locks=("host_mmu", "pkvm_pgd"),
+    ),
+    "do_donate_hyp": OwnershipRule(
+        checks={"host_mmu": "OWNED"},
+        success={"host_mmu": "set_owner:HYP", "pkvm_pgd": "map:OWNED"},
+        rollback={"host_mmu": "set_owner:HOST"},
+        paired=("host_mmu", "pkvm_pgd"),
+        locks=("host_mmu", "pkvm_pgd"),
+    ),
+    "do_reclaim_from_hyp": OwnershipRule(
+        checks={},
+        success={"pkvm_pgd": "unmap", "host_mmu": "map:OWNED"},
+        rollback={},
+        paired=("host_mmu", "pkvm_pgd"),
+        locks=("host_mmu", "pkvm_pgd"),
+    ),
+    "do_donate_guest": OwnershipRule(
+        checks={"host_mmu": "OWNED"},
+        success={"guest": "map:OWNED", "host_mmu": "set_owner:caller"},
+        rollback={"guest": "unmap"},
+        paired=("guest", "host_mmu"),
+        locks=("host_mmu", "vm"),
+    ),
+    "do_guest_share_host": OwnershipRule(
+        checks={},
+        success={
+            "guest": "map:SHARED_OWNED",
+            "host_mmu": "map:SHARED_BORROWED",
+        },
+        rollback={"guest": "map:OWNED"},
+        paired=("guest", "host_mmu"),
+        locks=("host_mmu", "vm"),
+    ),
+    "do_guest_unshare_host": OwnershipRule(
+        checks={},
+        success={"guest": "map:OWNED", "host_mmu": "set_owner:caller"},
+        rollback={},
+        paired=("guest", "host_mmu"),
+        locks=("host_mmu", "vm"),
+    ),
+    "do_share_guest": OwnershipRule(
+        checks={"host_mmu": "OWNED"},
+        success={
+            "guest": "map:SHARED_BORROWED",
+            "host_mmu": "map:SHARED_OWNED",
+        },
+        rollback={"guest": "unmap"},
+        paired=("guest", "host_mmu"),
+        locks=("host_mmu", "vm"),
+    ),
+    "do_unshare_guest": OwnershipRule(
+        checks={},
+        success={"guest": "unmap", "host_mmu": "map:OWNED"},
+        rollback={},
+        paired=("guest", "host_mmu"),
+        locks=("host_mmu", "vm"),
+    ),
+    "do_reclaim_from_guest": OwnershipRule(
+        checks={},
+        success={"guest": "unmap", "host_mmu": "map:OWNED"},
+        rollback={},
+        paired=("guest", "host_mmu"),
+        locks=("host_mmu", "vm"),
+    ),
+    "host_handle_mem_abort": OwnershipRule(
+        checks={},
+        success={"host_mmu": "map:OWNED"},
+        rollback={},
+        paired=(),
+        locks=("host_mmu",),
     ),
 }

@@ -141,6 +141,7 @@ class PKvm:
         """
         linear_base_va = hyp_va(self.carveout.base)
         linear_end_va = hyp_va(self.carveout.end)
+        # analysis: allow[unmanifested-write] boot-time construction of the hyp linear map, before any ownership transitions exist
         ret = map_range(
             self.mp.pkvm_pgd,
             linear_base_va,
@@ -158,6 +159,7 @@ class PKvm:
             private_base = max(HYP_PRIVATE_VA_BASE, linear_end_va)
         uart = next(r for r in self.mem.regions if r.name == "uart")
         self._uart_va = private_base
+        # analysis: allow[unmanifested-write] boot-time private IO mapping; no page changes owner here
         ret = map_range(
             self.mp.pkvm_pgd,
             private_base,
@@ -173,6 +175,7 @@ class PKvm:
         host stage 2; everything else is filled lazily on host faults."""
         from repro.pkvm.pgtable import set_owner_range
 
+        # analysis: allow[unmanifested-write] boot-time carveout annotation; the donate/reclaim ops take over from here
         ret = set_owner_range(
             self.mp.host_mmu, self.carveout.base, self.carveout.size, OwnerId.HYP
         )

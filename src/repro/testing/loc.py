@@ -80,6 +80,8 @@ CATEGORIES: dict[str, list[str]] = {
         "analysis/lockorder.py",
         "analysis/frame.py",
         "analysis/bitfields.py",
+        "analysis/ownership.py",
+        "analysis/differential.py",
         "analysis/scenarios.py",
         "analysis/cli.py",
         "analysis/__main__.py",

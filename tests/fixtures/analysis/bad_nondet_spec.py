@@ -1,0 +1,31 @@
+"""Deliberately nondeterministic spec module — negative fixture for the
+spec-purity pass's nondeterminism rules. Parsed by AST only, never
+imported (the imports don't even need to resolve)."""
+
+import time  # io-import: impure module
+import random  # io-import: impure module
+from os import urandom  # io-import: impure module
+
+
+def compute_post__wall_clock(g_post, g_pre, call, cpu):
+    g_post.host.annot[call.phys] = time.time()  # io-call into time
+    return g_post
+
+
+def compute_post__coin_flip(g_post, g_pre, call, cpu):
+    if random.random() < 0.5:  # io-call into random
+        g_post.host.shared[call.phys] = 1
+    return g_post
+
+
+def compute_post__entropy(g_post, g_pre, call, cpu):
+    g_post.host.annot[call.phys] = urandom(8)
+    return g_post
+
+
+def compute_post__identity_keys(g_post, g_pre, call, cpu):
+    # id() tracks the allocator; hash() is salted per process. Keying
+    # the post-state on either makes the oracle nondeterministic.
+    g_post.host.annot[id(g_pre)] = 1  # nondet-call
+    g_post.host.shared[hash(call)] = 1  # nondet-call
+    return g_post

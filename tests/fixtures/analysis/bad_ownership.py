@@ -1,0 +1,77 @@
+"""Deliberately ownership-violating handlers — negative fixture for the
+ownership pass. Parsed by AST only, never imported; the pass reads the
+OWNERSHIP_EDGES literal below from this same file (single-file mode)."""
+
+from repro.ghost.spec import OwnershipRule
+
+OWNERSHIP_EDGES = {
+    "do_share_demo": OwnershipRule(
+        checks={"host_mmu": "OWNED"},
+        success={
+            "host_mmu": "map:SHARED_OWNED",
+            "pkvm_pgd": "map:SHARED_BORROWED",
+        },
+        rollback={"host_mmu": "map:OWNED"},
+        paired=("host_mmu", "pkvm_pgd"),
+        locks=("host_mmu", "pkvm_pgd"),
+    ),
+    "do_retire_demo": OwnershipRule(
+        checks={"host_mmu": "SHARED_OWNED"},
+        success={"host_mmu": "map:OWNED", "pkvm_pgd": "unmap"},
+        rollback={},
+        paired=("host_mmu", "pkvm_pgd"),
+        locks=("host_mmu", "pkvm_pgd"),
+    ),
+}
+
+
+class DemoProtect:
+    def do_share_demo(self, phys, size):
+        # No check_page_state anywhere, the wrong state installed, and
+        # the hyp half of the pair never mapped.
+        ret = map_range(
+            self.host_mmu,
+            phys,
+            size,
+            phys,
+            host_memory_attrs(True, PageState.OWNED),
+        )
+        if ret:
+            return ret
+        return 0
+
+    def do_retire_demo(self, phys, size):
+        ret = check_page_state(self.host_mmu, phys, size, PageState.SHARED_OWNED)
+        if ret:
+            return ret
+        ret = map_range(
+            self.host_mmu,
+            phys,
+            size,
+            phys,
+            host_memory_attrs(True, PageState.OWNED),
+        )
+        if ret:
+            return ret
+        # analysis: allow[nonexistent-rule]
+        return unmap_range(self.scratch_pgd, phys, size)
+
+
+class DemoHyp:
+    def _hcall_share_demo(self, cpu, phys, size):
+        self.mp.host_lock_component(cpu.index)
+        try:
+            ret = self.mp.do_share_demo(phys, size)
+        finally:
+            self.mp.host_unlock_component(cpu.index)
+        if ret:
+            return
+        self._finish_hcall(cpu, ret)
+
+    def _finish_hcall(self, cpu, ret):
+        if ret < 0:
+            return
+        cpu.regs[0] = ret
+
+    def _stray_writer(self, cpu, phys):
+        set_owner_range(self.mp.host_mmu, phys, 4096, OwnerId.HYP)

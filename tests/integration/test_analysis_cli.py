@@ -24,6 +24,32 @@ class TestCleanRepo:
         assert main(["frame", "bitfields", "--frame-random-steps", "60"]) == 0
         assert "clean" in capsys.readouterr().out
 
+    def test_ownership_pass_exits_zero_on_the_repo(self, capsys):
+        assert main(["ownership"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_text_output_ends_with_the_timing_line(self, capsys):
+        assert main(["purity", "ownership"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out[-1].startswith("repro.analysis timing: purity ")
+        assert "ownership" in out[-1]
+        assert "ast-cache:" in out[-1] and "parses" in out[-1]
+
+    def test_shared_cache_saves_reparses_across_passes(self, capsys):
+        """purity, frame, and ownership all read spec.py; lockorder and
+        ownership both read the pkvm modules — the second readers must
+        be cache hits."""
+        from repro.analysis.astutil import clear_ast_cache
+
+        clear_ast_cache()
+        assert (
+            main(["purity", "lockorder", "ownership", "--frame-dynamic", "off"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        hits = int(out.rsplit("ast-cache:", 1)[1].split("parses,")[1].split()[0])
+        assert hits >= 3
+
 
 class TestSeededViolations:
     def test_bad_spec_fixture_fails_the_build(self, capsys):
@@ -82,6 +108,23 @@ class TestSeededViolations:
         )
         assert rc == 1
         assert "[lock-discipline/double-acquire]" in capsys.readouterr().out
+
+    def test_bad_ownership_fixture_fails_the_build(self, capsys):
+        rc = main(
+            ["ownership", "--pkvm-root", str(FIXTURES / "bad_ownership.py")]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "[ownership/unchecked-transition]" in out
+        assert "[ownership/unlocked-transition]" in out
+        assert "[ownership/missing-ret-write]" in out
+
+    def test_bad_nondet_spec_fixture_fails_the_build(self, capsys):
+        rc = main(
+            ["purity", "--spec-module", str(FIXTURES / "bad_nondet_spec.py")]
+        )
+        assert rc == 1
+        assert "[spec-purity/nondet-call]" in capsys.readouterr().out
 
     def test_fail_on_finding_flag_accepted(self):
         rc = main(
@@ -161,3 +204,76 @@ class TestSarifOutput:
         assert rc == 0
         log = json.loads(out.read_text())
         assert log["runs"][0]["results"] == []
+
+    def test_sarif_matches_the_2_1_0_schema_shape(self, tmp_path, capsys):
+        """The structural subset GitHub code scanning ingests: pinned
+        $schema/version, named driver with rules, and results whose
+        regions use 1-based startLine/startColumn."""
+        out = tmp_path / "own.sarif"
+        rc = main(
+            [
+                "ownership",
+                "--pkvm-root",
+                str(FIXTURES / "bad_ownership.py"),
+                "--sarif",
+                str(out),
+            ]
+        )
+        assert rc == 1
+        log = json.loads(out.read_text())
+        assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro.analysis"
+        assert {r["id"] for r in driver["rules"]} >= {
+            "ownership/unchecked-transition",
+            "ownership/wrong-transition",
+            "ownership/missing-paired-effect",
+        }
+        assert run["results"]
+        for result in run["results"]:
+            assert result["ruleId"].count("/") == 1
+            assert result["message"]["text"]
+            for loc in result.get("locations", []):
+                phys = loc["physicalLocation"]
+                assert phys["artifactLocation"]["uri"]
+                region = phys.get("region")
+                if region is not None:
+                    assert region["startLine"] >= 1
+                    if "startColumn" in region:
+                        assert region["startColumn"] >= 1
+
+    def test_sarif_dedupes_identical_results(self, tmp_path, capsys):
+        out = tmp_path / "own.sarif"
+        main(
+            [
+                "ownership",
+                "--pkvm-root",
+                str(FIXTURES / "bad_ownership.py"),
+                "--sarif",
+                str(out),
+            ]
+        )
+        results = json.loads(out.read_text())["runs"][0]["results"]
+        keys = [
+            (
+                r["ruleId"],
+                r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+                if "locations" in r
+                else "",
+                r["message"]["text"],
+            )
+            for r in results
+        ]
+        assert len(keys) == len(set(keys))
+
+
+class TestOwnershipDifferential:
+    def test_static_only_differential_is_green(self, capsys):
+        rc = main(["--ownership-differential", "--differential-static-only"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "<clean>" in out
+        assert "synth_missing_ret_write" in out
+        assert "ownership-differential: ok" in out

@@ -1,0 +1,81 @@
+"""Tests for the static-vs-dynamic differential eval
+(repro.analysis.differential). The unit tier runs the static side only;
+the dynamic replays are covered by the detection-matrix integration
+tests and the CI ``--ownership-differential`` step."""
+
+from repro.analysis.differential import (
+    OWNERSHIP_BUGS,
+    differential_ok,
+    format_differential,
+    run_differential,
+)
+
+
+class TestStaticSide:
+    def test_matrix_is_green(self):
+        results = run_differential(dynamic=False)
+        assert differential_ok(results), format_differential(results)
+
+    def test_clean_row_comes_first_and_is_clean(self):
+        results = run_differential(dynamic=False)
+        assert results[0].bug == "<clean>"
+        assert not results[0].static_flagged
+        assert results[0].static_rules == ()
+
+    def test_every_ownership_bug_is_statically_flagged(self):
+        results = {r.bug: r for r in run_differential(dynamic=False)}
+        for bug in OWNERSHIP_BUGS:
+            assert results[bug].static_flagged, bug
+            assert results[bug].static_rules, bug
+
+    def test_registry_coverage_is_complete(self):
+        """Every synthetic bug in the registry is either in the static
+        matrix or documented as dynamic-only — a new synth_* flag must
+        take a stance."""
+        from repro.pkvm.bugs import Bugs
+        import dataclasses
+
+        synth = {
+            f.name
+            for f in dataclasses.fields(Bugs)
+            if f.name.startswith("synth_")
+        }
+        dynamic_only = {
+            "synth_teardown_page_leak",
+            "synth_fault_off_by_one",
+            "synth_vttbr_not_restored",
+        }
+        assert synth == set(OWNERSHIP_BUGS) | dynamic_only
+
+    def test_formatting_marks_agreement(self):
+        results = run_differential(dynamic=False)
+        text = format_differential(results)
+        assert "<clean>" in text and "YES" in text
+        assert "synth_share_skip_check" in text
+
+
+class TestDisagreementDetection:
+    def test_a_missed_bug_fails_the_matrix(self):
+        from repro.analysis.differential import DifferentialResult
+
+        missed = DifferentialResult(
+            bug="synth_share_skip_check",
+            static_flagged=False,
+            static_rules=(),
+            dynamic_detected=True,
+            dynamic_how="spec-violation",
+        )
+        assert not missed.agree
+        assert not differential_ok([missed])
+
+    def test_a_polluted_clean_tree_fails_the_matrix(self):
+        from repro.analysis.differential import DifferentialResult
+
+        polluted = DifferentialResult(
+            bug="<clean>",
+            static_flagged=True,
+            static_rules=("wrong-transition",),
+            dynamic_detected=None,
+            dynamic_how="n/a",
+        )
+        assert not polluted.agree

@@ -90,3 +90,39 @@ class TestObsForbidden:
         obs_findings = [f for f in findings if "repro.obs" in f.message]
         assert obs_findings
         assert all(f.rule == "forbidden-import" for f in obs_findings)
+
+
+class TestNondeterminismBan:
+    """The spec must be a function of the pre-state: wall clocks,
+    entropy, and identity-based keys are all rejected (PR 6), mirroring
+    the repro.obs ban."""
+
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return check_spec_purity(FIXTURES / "bad_nondet_spec.py")
+
+    def test_time_and_random_imports_flagged(self, findings):
+        msgs = [f.message for f in findings if f.rule == "io-import"]
+        assert any("'time'" in m for m in msgs)
+        assert any("'random'" in m for m in msgs)
+        assert any("'os'" in m for m in msgs)  # from os import urandom
+
+    def test_clock_and_entropy_calls_flagged(self, findings):
+        msgs = [f.message for f in findings if f.rule == "io-call"]
+        assert any("time.time()" in m for m in msgs)
+        assert any("random.random()" in m for m in msgs)
+
+    def test_identity_keys_get_their_own_rule(self, findings):
+        nondet = [f for f in findings if f.rule == "nondet-call"]
+        assert len(nondet) == 2
+        assert {m.split("(")[0].split()[-1] for m in
+                (f.message for f in nondet)} == {"id", "hash"}
+
+    def test_nondet_findings_attribute_function_context(self, findings):
+        nondet = [f for f in findings if f.rule == "nondet-call"]
+        assert all(f.line > 0 for f in nondet)
+
+    def test_real_spec_has_no_nondeterminism(self):
+        assert [
+            f for f in check_spec_purity() if f.rule == "nondet-call"
+        ] == []

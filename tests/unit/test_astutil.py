@@ -1,4 +1,5 @@
-"""The shared AST helpers: alias chains and suppression pragmas."""
+"""The shared AST helpers: alias chains, suppression pragmas, and the
+module-AST cache."""
 
 import ast
 
@@ -6,7 +7,10 @@ from repro.analysis.astutil import (
     Pragma,
     access_path,
     apply_pragmas,
+    ast_cache_stats,
+    clear_ast_cache,
     is_prefix,
+    load_module_ast,
     root_name,
     scan_pragmas,
 )
@@ -39,6 +43,85 @@ class TestAccessPath:
     def test_root_name_matches(self):
         assert root_name(expr("g.pgt.mapping.lookup(ipa)")) == "g"
         assert root_name(expr("sorted(g.host.owned)")) is None
+
+
+class TestAliasThroughStatements:
+    """Alias chains reached via statement targets — tuple unpacking and
+    augmented assignment — the shapes the ownership pass walks."""
+
+    def targets(self, source: str):
+        stmt = ast.parse(source).body[0]
+        if isinstance(stmt, ast.AugAssign):
+            return [stmt.target]
+        return stmt.targets
+
+    def test_tuple_unpack_targets_resolve_individually(self):
+        a, b = ast.parse("kind, state = f()").body[0].targets[0].elts
+        assert access_path(a) == ("kind", ())
+        assert access_path(b) == ("state", ())
+
+    def test_starred_unpack_target_resolves_through_the_star(self):
+        first, rest = ast.parse("x, *g.rest = f()").body[0].targets[0].elts
+        assert root_name(rest) == "g"
+        assert access_path(rest) == ("g", ("rest",))
+
+    def test_attribute_target_in_tuple_unpack(self):
+        (target,) = self.targets("g.host.owned, x = f()")
+        left = target.elts[0]
+        assert access_path(left) == ("g", ("host", "owned"))
+
+    def test_augassign_target_is_a_normal_chain(self):
+        (target,) = self.targets("g.host.refcnt[p] += 1")
+        assert access_path(target) == ("g", ("host", "refcnt", "*"))
+        assert root_name(target) == "g"
+
+    def test_augassign_through_method_view(self):
+        (target,) = self.targets("g.vms.get(h).count += 1")
+        assert access_path(target) == ("g", ("vms", "count"))
+
+
+class TestModuleAstCache:
+    def test_second_load_is_a_hit(self, tmp_path):
+        target = tmp_path / "m.py"
+        target.write_text("x = 1\n")
+        clear_ast_cache()
+        first = load_module_ast(target)
+        second = load_module_ast(target)
+        assert second is first
+        stats = ast_cache_stats()
+        assert stats == {"parses": 1, "hits": 1}
+
+    def test_edited_file_is_reparsed(self, tmp_path):
+        import os
+
+        target = tmp_path / "m.py"
+        target.write_text("x = 1\n")
+        clear_ast_cache()
+        first = load_module_ast(target)
+        target.write_text("x = 2  # changed\n")
+        # mtime granularity can swallow fast rewrites; force it forward.
+        info = target.stat()
+        os.utime(target, ns=(info.st_atime_ns, info.st_mtime_ns + 1_000_000))
+        second = load_module_ast(target)
+        assert second is not first
+        assert "changed" in second.source
+        assert ast_cache_stats() == {"parses": 2, "hits": 0}
+
+    def test_loads_are_keyed_per_file(self, tmp_path):
+        a, b = tmp_path / "a.py", tmp_path / "b.py"
+        a.write_text("x = 1\n")
+        b.write_text("x = 2\n")
+        clear_ast_cache()
+        assert load_module_ast(a) is not load_module_ast(b)
+        assert ast_cache_stats() == {"parses": 2, "hits": 0}
+
+    def test_syntax_errors_propagate(self, tmp_path):
+        import pytest
+
+        target = tmp_path / "m.py"
+        target.write_text("def broken(:\n")
+        with pytest.raises(SyntaxError):
+            load_module_ast(target)
 
 
 class TestIsPrefix:
@@ -85,6 +168,17 @@ class TestScanPragmas:
         )
         assert pragmas == []
         assert [f.rule for f in bad] == ["bad-pragma"]
+
+    def test_reasonless_ownership_pragma_rejected_like_any_other(self):
+        """The ownership pass gets no special escape hatch: a bare
+        ``allow[ownership-rule]`` with no reason is itself a finding."""
+        pragmas, bad = scan_pragmas(
+            "# analysis: allow[unmanifested-write]\nret = map_range(t)\n",
+            "f.py",
+        )
+        assert pragmas == []
+        assert [f.rule for f in bad] == ["bad-pragma"]
+        assert bad[0].column >= 1
 
 
 class TestApplyPragmas:
