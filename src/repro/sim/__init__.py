@@ -11,7 +11,19 @@ load/init race, the concurrent host-pagefault panic) reproducible
 deterministically.
 """
 
-from repro.sim.explore import ExploreResult, ScheduleOutcome, explore
+from repro.sim.coverage import (
+    ScheduleCoverageMap,
+    schedule_class,
+    schedule_windows,
+    windows_of_scheduler,
+)
+from repro.sim.explore import (
+    ExploreResult,
+    ScheduleOutcome,
+    explore,
+    run_scripted,
+    sample,
+)
 from repro.sim.sched import (
     DeadlockError,
     Scheduler,
@@ -23,10 +35,16 @@ from repro.sim.sched import (
 __all__ = [
     "DeadlockError",
     "ExploreResult",
+    "ScheduleCoverageMap",
     "ScheduleOutcome",
     "Scheduler",
     "SimThread",
     "current_scheduler",
     "explore",
+    "run_scripted",
+    "sample",
+    "schedule_class",
+    "schedule_windows",
+    "windows_of_scheduler",
     "yield_point",
 ]

@@ -1,14 +1,25 @@
-"""Systematic interleaving exploration (stateless-model-checking flavour).
+"""Systematic interleaving exploration and randomized schedule sampling.
 
 The paper's closest prior work (Bornholt et al., S3) pairs its executable
 specification with stateless model checking of interleavings. This module
-adds the same capability over the deterministic scheduler: enumerate
-schedules of a multi-CPU scenario by depth-first search over the
-scheduler's decision points, re-executing the scenario from scratch for
-each schedule (executions are deterministic given the decision script).
+adds the same capability over the deterministic scheduler, two ways:
+
+- :func:`explore` — exhaustive depth-first enumeration of schedules by
+  branching over the scheduler's decision points. Complete but
+  exponential: it cannot scale past toy scenarios.
+- :func:`sample` — budget-bounded randomized search under the ``"pct"``
+  (or ``"random"``) policy: each schedule is seeded independently, its
+  decision script is recorded, and its interleaving class lands in a
+  :class:`repro.sim.coverage.ScheduleCoverageMap`. This is the form the
+  campaign engine scales out.
+
+Either way a scenario is re-executed from scratch per schedule
+(executions are deterministic given the decision script), so any outcome
+— found by DFS or by a random priority schedule — replays bit-identically
+through :func:`run_scripted`.
 
 Unlike the hand-written race tests — which pin the problematic window
-with explicit synchronisation — the explorer finds such windows
+with explicit synchronisation — both searches find such windows
 mechanically: useful exactly when one cannot anticipate where the race
 is.
 """
@@ -18,6 +29,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.sim.coverage import (
+    DEFAULT_WINDOW,
+    ScheduleCoverageMap,
+    schedule_class,
+    windows_of_scheduler,
+)
 from repro.sim.sched import Scheduler
 
 
@@ -32,16 +49,37 @@ class ScheduleOutcome:
     #: Lockset race reports for this schedule (``detect_races=True``):
     #: stable sorted strings, so outcomes compare equal across runs.
     races: tuple[str, ...] = ()
+    #: Stable interleaving-class signature of the run (see
+    #: :func:`repro.sim.coverage.schedule_class`); 0 when not computed.
+    interleaving_class: int = 0
 
     @property
     def failed(self) -> bool:
         return self.error is not None
+
+    @property
+    def error_name(self) -> str:
+        return type(self.error).__name__ if self.error is not None else ""
+
+    def comparable(self) -> tuple:
+        """The projection two runs of the same script must agree on —
+        the determinism contract replay and shrinking depend on.
+        (Exceptions compare by identity, hence the class name.)"""
+        return (
+            self.script,
+            self.error_name,
+            self.decisions,
+            self.races,
+            self.interleaving_class,
+        )
 
 
 @dataclass
 class ExploreResult:
     outcomes: list[ScheduleOutcome] = field(default_factory=list)
     truncated: bool = False
+    #: Merged interleaving-class coverage across all schedules run.
+    coverage: ScheduleCoverageMap = field(default_factory=ScheduleCoverageMap)
 
     @property
     def schedules_run(self) -> int:
@@ -59,6 +97,73 @@ class ExploreResult:
     def races(self) -> tuple[str, ...]:
         """Union of race reports across all schedules, deduplicated."""
         return tuple(sorted({r for o in self.outcomes for r in o.races}))
+
+    def interleaving_classes(self) -> int:
+        """Distinct interleaving classes among the outcomes."""
+        return len({o.interleaving_class for o in self.outcomes})
+
+
+def _run_one(
+    build: Callable[[Scheduler], None],
+    scheduler: Scheduler,
+    *,
+    detect_races: bool = False,
+    scenario_key: str = "",
+    coverage: ScheduleCoverageMap | None = None,
+    window: int = DEFAULT_WINDOW,
+) -> ScheduleOutcome:
+    """Build a fresh scenario on ``scheduler``, run it, classify it.
+
+    The shared execution core behind :func:`explore`, :func:`sample`,
+    and :func:`run_scripted` — one implementation, many drivers.
+    """
+    tracker = None
+    if detect_races:
+        # Imported lazily: the analysis package depends on this module.
+        from repro.analysis.lockset import LocksetTracker
+
+        tracker = LocksetTracker().attach()
+    error: BaseException | None = None
+    try:
+        build(scheduler)
+    except BaseException:
+        if tracker is not None:
+            tracker.detach()
+        raise  # a broken scenario is a harness bug, not an outcome
+    try:
+        scheduler.run()
+    except BaseException as exc:  # noqa: BLE001 - outcome classification
+        error = exc
+    finally:
+        if tracker is not None:
+            tracker.detach()
+    events = [(name, tag) for _tick, name, tag in scheduler.trace]
+    windows = windows_of_scheduler(scheduler, window)
+    if coverage is not None:
+        coverage.add(scenario_key or "scenario", windows)
+    return ScheduleOutcome(
+        script=tuple(name for name, _alts in scheduler.decision_log),
+        error=error,
+        decisions=len(scheduler.decision_log),
+        races=tracker.race_strings() if tracker is not None else (),
+        interleaving_class=schedule_class(events, window),
+    )
+
+
+def run_scripted(
+    build: Callable[[Scheduler], None],
+    script: tuple[str, ...] | list[str],
+    *,
+    detect_races: bool = False,
+) -> ScheduleOutcome:
+    """Replay one decision script against a fresh scenario.
+
+    The determinism contract: identical scripts yield identical
+    :meth:`ScheduleOutcome.comparable` projections, so a schedule found
+    by any policy is a reproducible regression case.
+    """
+    scheduler = Scheduler(policy="script", script=list(script))
+    return _run_one(build, scheduler, detect_races=detect_races)
 
 
 def explore(
@@ -97,33 +202,20 @@ def explore(
         seen.add(prefix)
 
         scheduler = Scheduler(policy="script", script=list(prefix))
-        tracker = None
-        if detect_races:
-            # Imported lazily: the analysis package depends on this module.
-            from repro.analysis.lockset import LocksetTracker
-
-            tracker = LocksetTracker().attach()
-        error: BaseException | None = None
-        try:
-            build(scheduler)
-        except BaseException:
-            if tracker is not None:
-                tracker.detach()
-            raise  # a broken scenario is a harness bug, not an outcome
-        try:
-            scheduler.run()
-        except BaseException as exc:  # noqa: BLE001 - outcome classification
-            error = exc
-        finally:
-            if tracker is not None:
-                tracker.detach()
+        outcome = _run_one(
+            build,
+            scheduler,
+            detect_races=detect_races,
+            coverage=result.coverage,
+        )
         log = scheduler.decision_log[:max_depth]
         result.outcomes.append(
             ScheduleOutcome(
                 script=tuple(name for name, _alts in log),
-                error=error,
-                decisions=len(scheduler.decision_log),
-                races=tracker.race_strings() if tracker is not None else (),
+                error=outcome.error,
+                decisions=outcome.decisions,
+                races=outcome.races,
+                interleaving_class=outcome.interleaving_class,
             )
         )
 
@@ -139,4 +231,49 @@ def explore(
                 )
                 if branch not in seen:
                     pending.append(branch)
+    return result
+
+
+def sample(
+    build: Callable[[Scheduler], None],
+    *,
+    schedules: int = 64,
+    seed: int = 0,
+    policy: str = "pct",
+    pct_depth: int = 3,
+    pct_steps: int = 1000,
+    priority_tags: tuple[str, ...] = (),
+    detect_races: bool = False,
+    coverage: ScheduleCoverageMap | None = None,
+) -> ExploreResult:
+    """Randomized schedule sampling: ``schedules`` independent runs.
+
+    Schedule ``i`` runs under ``Scheduler(policy, seed=seed + i)``, so
+    the whole sample is reproducible from one base seed and any single
+    outcome replays from its recorded :attr:`ScheduleOutcome.script`.
+    Merged interleaving-class coverage accumulates in
+    ``result.coverage`` (or a caller-supplied map, for cross-sample
+    budgeting).
+    """
+    if policy not in ("pct", "random", "rr"):
+        raise ValueError(f"sample() cannot drive policy {policy!r}")
+    result = ExploreResult()
+    if coverage is not None:
+        result.coverage = coverage
+    for i in range(schedules):
+        scheduler = Scheduler(
+            policy=policy,
+            seed=seed + i,
+            pct_depth=pct_depth,
+            pct_steps=pct_steps,
+            priority_tags=priority_tags,
+        )
+        result.outcomes.append(
+            _run_one(
+                build,
+                scheduler,
+                detect_races=detect_races,
+                coverage=result.coverage,
+            )
+        )
     return result

@@ -8,8 +8,20 @@ to another runnable thread according to its policy:
 
 - ``"rr"`` — round robin at every yield point;
 - ``"random"`` — seeded pseudo-random choice, for stress interleaving;
+- ``"pct"`` — PCT-style randomized priority schedules (Burckhardt et
+  al., ASPLOS 2010): each thread gets a random distinct priority and the
+  highest-priority runnable thread always runs, except at ``d - 1``
+  priority-change points placed deterministically from the seed, where
+  the running thread is demoted below everyone else. PCT finds any bug
+  of depth ``d`` with probability ``>= 1/(n * k^(d-1))`` per schedule —
+  a *guided* needle-in-haystack search where ``"random"`` is a blind
+  one;
 - ``"script"`` — an explicit list of thread names consumed one per yield
   point, for replaying a specific race.
+
+Every policy records its full decision sequence, so any run — however it
+was scheduled — replays bit-identically by feeding
+:meth:`Scheduler.schedule_script` back in under the ``"script"`` policy.
 
 Threads outside any scheduler (the common single-CPU case) see
 :func:`yield_point` as a no-op, so the hypervisor code is identical whether
@@ -63,16 +75,29 @@ class SimThread:
 class Scheduler:
     """Admits one simulated thread at a time, switching at yield points."""
 
+    #: Caps on the per-run trace and decision log. Long campaigns would
+    #: otherwise grow them without bound; hitting a cap sets the matching
+    #: ``*_truncated`` flag instead of silently dropping entries.
+    TRACE_LIMIT = 100_000
+    DECISION_LIMIT = 100_000
+
     def __init__(
         self,
         policy: str = "rr",
         seed: int = 0,
         script: list[str] | None = None,
+        *,
+        pct_depth: int = 3,
+        pct_steps: int = 1000,
+        priority_tags: tuple[str, ...] = (),
+        obs=None,
     ):
-        if policy not in ("rr", "random", "script"):
+        if policy not in ("rr", "random", "pct", "script"):
             raise ValueError(f"unknown scheduling policy {policy!r}")
         if policy == "script" and script is None:
             raise ValueError("script policy requires a script")
+        if pct_depth < 1:
+            raise ValueError("pct_depth must be at least 1")
         self.policy = policy
         self._rng = random.Random(seed)
         self._script = list(script or [])
@@ -85,9 +110,30 @@ class Scheduler:
         self.ticks = 0
         #: Trace of (tick, thread name, tag) for debugging interleavings.
         self.trace: list[tuple[int, str, str]] = []
+        #: Set once ``trace`` hits :data:`TRACE_LIMIT` and entries drop.
+        self.trace_truncated = False
         #: Per-decision (chosen thread, runnable thread names) — the raw
-        #: material the systematic interleaving explorer branches on.
+        #: material the systematic interleaving explorer branches on and
+        #: the decision script :meth:`schedule_script` replays from.
         self.decision_log: list[tuple[str, tuple[str, ...]]] = []
+        self.decision_log_truncated = False
+        #: Optional :class:`repro.obs.Observability` bundle; truncation
+        #: events count into its metrics registry when attached.
+        self.obs = obs
+        # -- PCT state ---------------------------------------------------
+        #: Yield-point tag fragments to prioritise: a tag matching any of
+        #: these becomes an extra candidate priority-change point (the
+        #: feedback channel for the lockset detector's racy pairs).
+        self.priority_tags = tuple(priority_tags)
+        self.pct_depth = pct_depth
+        self.pct_steps = max(1, pct_steps)
+        #: Thread name -> current priority (higher runs first). Assigned
+        #: at ``run()`` once the thread set is final.
+        self._prios: dict[str, int] = {}
+        self._change_points: list[int] = []
+        #: Next demotion priority: strictly decreasing, always below
+        #: every initial priority, so later demotions sink deeper.
+        self._next_low = -1
 
     # -- public API ------------------------------------------------------
 
@@ -110,6 +156,8 @@ class Scheduler:
         if not self._threads:
             return {}
         self._started = True
+        if self.policy == "pct":
+            self._init_pct()
         for t in self._threads:
             t.thread.start()
         with self._cond:
@@ -131,14 +179,33 @@ class Scheduler:
         me = self._current
         assert me is not None
         self.ticks += 1
-        if len(self.trace) < 100_000:
+        if len(self.trace) < self.TRACE_LIMIT:
             self.trace.append((self.ticks, me.name, tag))
+        elif not self.trace_truncated:
+            self.trace_truncated = True
+            self._count_truncation("trace")
         with self._cond:
-            nxt = self._pick_next(me)
+            nxt = self._pick_next(me, tag)
             if nxt is not me:
                 self._current = nxt
                 self._cond.notify_all()
                 self._wait_until_current(me)
+
+    def schedule_script(self) -> tuple[str, ...]:
+        """The full decision sequence of this run, as a ``"script"``
+        policy script: replaying it on an identical scenario reproduces
+        the exact interleaving, whatever policy produced it.
+
+        Raises if the decision log overflowed — a truncated script would
+        silently replay a *different* schedule past the cut.
+        """
+        if self.decision_log_truncated:
+            raise RuntimeError(
+                "decision log truncated at "
+                f"{self.DECISION_LIMIT} entries; the schedule cannot be "
+                "replayed faithfully"
+            )
+        return tuple(name for name, _alts in self.decision_log)
 
     def block_until(self, predicate: Callable[[], bool], tag: str) -> None:
         """Spin (yielding) until ``predicate`` holds — the spinlock loop.
@@ -167,18 +234,27 @@ class Scheduler:
 
     # -- internals -------------------------------------------------------
 
-    def _pick_next(self, me: SimThread) -> SimThread:
+    def _count_truncation(self, which: str) -> None:
+        if self.obs is not None:
+            self.obs.metrics.counter(f"sched_{which}_truncated_total").inc()
+
+    def _pick_next(self, me: SimThread, tag: str = "") -> SimThread:
         runnable = [t for t in self._threads if not t.done]
         if not runnable:
             return me
-        chosen = self._choose(me, runnable)
-        if len(self.decision_log) < 100_000:
+        chosen = self._choose(me, runnable, tag)
+        if len(self.decision_log) < self.DECISION_LIMIT:
             self.decision_log.append(
                 (chosen.name, tuple(t.name for t in runnable))
             )
+        elif not self.decision_log_truncated:
+            self.decision_log_truncated = True
+            self._count_truncation("decision_log")
         return chosen
 
-    def _choose(self, me: SimThread, runnable: list[SimThread]) -> SimThread:
+    def _choose(
+        self, me: SimThread, runnable: list[SimThread], tag: str = ""
+    ) -> SimThread:
         if self.policy == "script" and self._script_pos < len(self._script):
             wanted = self._script[self._script_pos]
             self._script_pos += 1
@@ -188,9 +264,51 @@ class Scheduler:
             return me if me in runnable else runnable[0]
         if self.policy == "random":
             return self._rng.choice(runnable)
+        if self.policy == "pct":
+            return self._choose_pct(me, runnable, tag)
         # round robin (also the script fallback once the script runs out)
         idx = runnable.index(me) if me in runnable else -1
         return runnable[(idx + 1) % len(runnable)]
+
+    # -- PCT -------------------------------------------------------------
+
+    def _init_pct(self) -> None:
+        """Assign distinct random initial priorities and place the
+        ``pct_depth - 1`` priority-change points, all from the seed."""
+        order = list(self._threads)
+        self._rng.shuffle(order)
+        self._prios = {t.name: i + 1 for i, t in enumerate(order)}
+        nr_points = min(self.pct_depth - 1, self.pct_steps)
+        self._change_points = sorted(
+            self._rng.sample(range(1, self.pct_steps + 1), nr_points)
+        )
+
+    def _choose_pct(
+        self, me: SimThread, runnable: list[SimThread], tag: str
+    ) -> SimThread:
+        # A scheduled change point demotes the running thread below all
+        # others; so does a prioritised yield tag (a location the lockset
+        # detector reported racy), with seeded probability so repeated
+        # hits explore both sides of the racy window.
+        hit_point = False
+        while self._change_points and self.ticks >= self._change_points[0]:
+            self._change_points.pop(0)
+            hit_point = True
+        if not hit_point and tag and self.priority_tags:
+            if any(frag in tag for frag in self.priority_tags):
+                hit_point = self._rng.random() < 0.5
+        if hit_point:
+            self._prios[me.name] = self._next_low
+            self._next_low -= 1
+        # Threads spinning on a contended lock cannot make progress until
+        # the holder runs; scheduling strictly by priority would livelock
+        # on priority inversion, so blocked threads always rank below
+        # unblocked ones (the scheduler-assisted yield real PCT
+        # implementations perform at blocking operations).
+        return max(
+            runnable,
+            key=lambda t: (t.blocked_on is None, self._prios.get(t.name, 0)),
+        )
 
     def _wait_until_current(self, me: SimThread) -> None:
         while self._current is not me:

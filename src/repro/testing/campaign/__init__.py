@@ -13,8 +13,17 @@ from repro.testing.campaign.engine import (
     CampaignReport,
     run_campaign,
 )
+from repro.testing.campaign.concurrency import (
+    CONCURRENCY_SCENARIOS,
+    run_concurrency_batch,
+)
 from repro.testing.campaign.findings import DedupIndex, RawFinding, make_finding
-from repro.testing.campaign.shrink import reproduces_finding, shrink_trace
+from repro.testing.campaign.shrink import (
+    reproduces_finding,
+    reproduces_schedule,
+    shrink_schedule,
+    shrink_trace,
+)
 from repro.testing.campaign.worker import BatchTask, batch_seed, run_batch
 
 __all__ = [
@@ -22,10 +31,14 @@ __all__ = [
     "CampaignEngine",
     "CampaignReport",
     "run_campaign",
+    "CONCURRENCY_SCENARIOS",
+    "run_concurrency_batch",
     "DedupIndex",
     "RawFinding",
     "make_finding",
     "reproduces_finding",
+    "reproduces_schedule",
+    "shrink_schedule",
     "shrink_trace",
     "BatchTask",
     "batch_seed",

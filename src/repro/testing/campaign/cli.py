@@ -71,6 +71,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-shrink", dest="shrink", action="store_false", default=True
     )
     parser.add_argument(
+        "--mode",
+        choices=["random", "concurrency"],
+        default="random",
+        help="random input fuzzing (default) or PCT schedule fuzzing of "
+        "a fixed multi-CPU scenario (--budget counts schedules)",
+    )
+    parser.add_argument(
+        "--scenario",
+        default="mixed",
+        help="concurrency mode: which scenario trace to fuzz "
+        "(vcpu-race, host-fault, mixed)",
+    )
+    parser.add_argument(
+        "--pct-depth",
+        type=int,
+        default=3,
+        metavar="D",
+        help="concurrency mode: PCT depth bound — D-1 priority-change "
+        "points per schedule (depth-D bugs need depth D)",
+    )
+    parser.add_argument(
+        "--pct-cpus",
+        type=int,
+        default=0,
+        metavar="N",
+        help="concurrency mode: simulated CPUs driving the scenario "
+        "(0 = --nr-cpus default)",
+    )
+    parser.add_argument(
         "--coverage",
         choices=["functions", "lines", "off"],
         default="functions",
@@ -144,6 +173,12 @@ def format_report(report: CampaignReport) -> str:
         f"{report.coverage_functions} functions",
         f"distinct findings: {len(report.findings)}",
     ]
+    if report.coverage_windows:
+        lines.insert(
+            -1,
+            f"schedule coverage: {report.coverage_windows} "
+            "interleaving windows",
+        )
     for finding in report.findings:
         label = finding.klass + (f"/{finding.kind}" if finding.kind else "")
         shrunk = (
@@ -151,6 +186,11 @@ def format_report(report: CampaignReport) -> str:
             if finding.shrunk_len
             else ""
         )
+        if finding.sched_len:
+            shrunk += (
+                f", schedule {finding.sched_len}->"
+                f"{finding.shrunk_sched_len} decisions"
+            )
         lines.append(
             f"  - {label} at {finding.call_name} "
             f"(worker {finding.worker_id}, batch {finding.batch_index}, "
@@ -183,6 +223,10 @@ def main(argv: list[str] | None = None) -> int:
             bug_names=_parse_bugs(args.bugs),
             inline=args.inline,
             shrink=args.shrink,
+            mode=args.mode,
+            scenario=args.scenario,
+            pct_depth=args.pct_depth,
+            pct_cpus=args.pct_cpus,
             coverage=args.coverage,
             max_findings=args.max_findings,
             max_batches=args.max_batches,

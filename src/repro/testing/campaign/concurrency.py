@@ -1,0 +1,322 @@
+"""Concurrency-campaign batches: PCT schedule fuzzing of multi-CPU traces.
+
+The random campaign fuzzes *inputs* (hypercall sequences) against one
+CPU; this module fuzzes *schedules*. A scenario is a fixed multi-CPU
+trace — per-CPU hypercall/memory programs with no hand-written
+synchronisation — and each batch step runs it under a fresh PCT priority
+schedule (Burckhardt et al., ASPLOS 2010): distinct random thread
+priorities plus ``pct_depth - 1`` seeded priority-change points. A
+schedule that makes the scenario panic or crash becomes a finding whose
+trace carries the scheduler's full decision script in
+``meta["schedule"]``, so :meth:`repro.testing.trace.Trace.replay_schedule`
+reproduces the exact interleaving bit-for-bit.
+
+Two feedback signals close the loop:
+
+- each run's interleaving-class windows land in a
+  :class:`repro.sim.coverage.ScheduleCoverageMap` shipped back with the
+  batch (novelty feeds the budget scheduler exactly like new lines);
+- the lockset detector's racy locations are mapped to yield-tag
+  fragments and shipped back as *priority tags* — later batches' PCT
+  schedulers treat yield points at those tags as extra candidate
+  priority-change points, steering schedules toward the code the race
+  detector already distrusts.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.arch.defs import PAGE_SIZE, phys_to_pfn
+from repro.arch.exceptions import HostCrash, HypervisorPanic
+from repro.ghost.checker import SpecViolation
+from repro.obs import Observability
+from repro.pkvm.defs import HypercallId
+from repro.sim.coverage import ScheduleCoverageMap, windows_of_scheduler
+from repro.sim.sched import Scheduler
+from repro.testing.campaign.findings import make_finding
+from repro.testing.trace import Trace
+
+#: DRAM base of the simulated machine (see ``repro.arch.memory``); the
+#: scenarios place their pages at fixed offsets above it so traces are
+#: pure data — no allocator calls, no recorded return values.
+DRAM_BASE = 0x4000_0000
+
+#: First VM handle the hypervisor hands out (``VmTable`` is
+#: deterministic), so a pre-recorded trace can name the VM its own
+#: ``INIT_VM`` step will create without reading the return value.
+FIRST_HANDLE = 0x1000
+
+
+def _page(index: int) -> int:
+    """Fixed scenario page addresses: 2 MiB above DRAM base, one page
+    per index — far from the boot-time carveout and the host's bump
+    allocator, and demand-faulted into the host stage 2 on first use."""
+    return DRAM_BASE + 0x20_0000 + index * PAGE_SIZE
+
+
+def vcpu_race_trace(nr_cpus: int = 2) -> Trace:
+    """The paper's vcpu load/init race surface (bug 3), unsynchronised.
+
+    CPU 0 performs a well-formed ``INIT_VM`` + ``INIT_VCPU``; CPU 1
+    hammers ``VCPU_LOAD``/``VCPU_RUN`` against the handle CPU 0 will
+    create. No schedule-independent ordering makes this fail — only a
+    schedule that lands CPU 1's load inside the publish-before-init
+    window (with ``vcpu_load_race`` injected) runs an uninitialised
+    vCPU.
+    """
+    trace = Trace(nr_cpus=max(2, nr_cpus))
+    params, pgd, donated = _page(0), _page(1), _page(2)
+    # CPU 0: params page (1 vcpu, protected, pgd pfn), share, init, vcpu.
+    trace.record_write(params, 1, 0)
+    trace.record_write(params + 8, 1, 0)
+    trace.record_write(params + 16, phys_to_pfn(pgd), 0)
+    trace.record_hvc(0, HypercallId.HOST_SHARE_HYP, phys_to_pfn(params))
+    trace.record_hvc(0, HypercallId.INIT_VM, phys_to_pfn(params))
+    trace.record_hvc(0, HypercallId.INIT_VCPU, FIRST_HANDLE, phys_to_pfn(donated))
+    # CPU 1: racing load+run attempts. Early attempts lose harmlessly
+    # (-ENOENT before the VM exists); one may land in the window. A
+    # failed attempt costs only ~2 yield points, so CPU 1 needs a deep
+    # pool of them to still be running when CPU 0 — whose INIT_VM walks
+    # hundreds of page-table yields — finally opens the window; the pool
+    # also stretches the calibrated k, pushing uniform change points
+    # past CPU 0's long pre-window prefix.
+    for _ in range(240):
+        trace.record_hvc(1, HypercallId.VCPU_LOAD, FIRST_HANDLE, 0)
+        trace.record_hvc(1, HypercallId.VCPU_RUN)
+    return trace
+
+
+def host_fault_trace(nr_cpus: int = 2) -> Trace:
+    """The paper's concurrent host-pagefault surface (bug 4).
+
+    Every CPU touches the *same* unmapped page (plus a private page for
+    schedule diversity); with ``host_fault_fragile`` injected, two fault
+    handlers interleaving on the shared page panic on the second,
+    already-mapped mapping attempt.
+    """
+    nr_cpus = max(2, nr_cpus)
+    trace = Trace(nr_cpus=nr_cpus)
+    shared = _page(8)
+    for cpu in range(nr_cpus):
+        trace.record_read(shared, cpu)
+        trace.record_write(_page(9 + cpu), 0xC0FFEE00 + cpu, cpu)
+        trace.record_read(shared, cpu)
+    return trace
+
+
+def mixed_trace(nr_cpus: int = 2) -> Trace:
+    """Both surfaces in one trace: the vcpu-race programs on CPUs 0-1
+    plus the shared-pagefault touches on every CPU.
+
+    Every CPU also share/unshares a private page first. That drives
+    ``pgt:hyp_s1`` into the Eraser shared-modified state, so
+    ``INIT_VM``'s lock-free precondition read trips the lockset
+    detector — exercising the racy-pair feedback channel (reported
+    locations become later batches' PCT priority tags) on the stock
+    scenario."""
+    nr_cpus = max(2, nr_cpus)
+    trace = vcpu_race_trace(nr_cpus)
+    prelude = Trace(nr_cpus=nr_cpus)
+    for cpu in range(nr_cpus):
+        private = phys_to_pfn(_page(16 + cpu))
+        prelude.record_hvc(cpu, HypercallId.HOST_SHARE_HYP, private)
+        prelude.record_hvc(cpu, HypercallId.HOST_UNSHARE_HYP, private)
+    trace.steps[:0] = prelude.steps
+    shared = _page(8)
+    for cpu in range(nr_cpus):
+        trace.record_read(shared, cpu)
+        trace.record_write(_page(9 + cpu), 0xC0FFEE00 + cpu, cpu)
+    return trace
+
+
+#: Scenario registry: name -> trace builder taking ``nr_cpus``.
+CONCURRENCY_SCENARIOS = {
+    "vcpu-race": vcpu_race_trace,
+    "host-fault": host_fault_trace,
+    "mixed": mixed_trace,
+}
+
+#: A yield tag seen at most this often in a calibration run is "rare":
+#: almost certainly a hand-annotated ordering window or a one-shot
+#: publication point rather than a bulk page-table walk, and therefore a
+#: prime candidate priority-change point.
+RARE_TAG_MAX = 2
+
+
+def calibrate(trace: Trace) -> tuple[int, tuple[str, ...]]:
+    """One round-robin run of the scenario: measure the schedule length
+    (the PCT ``k`` parameter — change points drawn past the run's end
+    are wasted) and collect its rare yield tags.
+
+    Uniform change points almost never land in a 2-tick race window out
+    of several hundred; rare tags mark exactly those windows, so feeding
+    them to the PCT scheduler as priority tags turns a ~1/k chance per
+    change point into a coin flip per window passage. Tolerates the
+    calibration run itself failing (round-robin trivially strikes some
+    races): the partial decision count and tags are still usable.
+    """
+    scheduler = Scheduler(policy="rr")
+    try:
+        trace.replay_schedule(scheduler=scheduler)
+    except (SpecViolation, HypervisorPanic, HostCrash):
+        pass
+    counts: dict[str, int] = {}
+    for _tick, _name, tag in scheduler.trace:
+        if tag:
+            counts[tag] = counts.get(tag, 0) + 1
+    rare = tuple(
+        sorted(tag for tag, n in counts.items() if n <= RARE_TAG_MAX)
+    )
+    return max(1, len(scheduler.decision_log)), rare
+
+
+def racy_tags_from_races(race_strings: tuple[str, ...]) -> set[str]:
+    """Map lockset race locations to yield-tag fragments.
+
+    Race reports name shared *locations* (``pgt:host_s2``,
+    ``vcpu:0:0``, ``vm_table``); PCT priority tags match scheduler
+    *yield tags* by substring. The translation: page-table locations
+    yield at ``pte:<name>``, vCPU metadata yields at ``vcpu_*`` tags,
+    and lock-protected structures yield at ``lock:<name>``/
+    ``unlock:<name>`` (substring match covers both).
+    """
+    tags: set[str] = set()
+    for race in race_strings:
+        location = race.split(": ", 1)[0]
+        if location.startswith("pgt:"):
+            tags.add("pte:" + location[len("pgt:") :])
+        elif location.startswith("vcpu:"):
+            tags.add("vcpu")
+        else:
+            tags.add(location)
+    return tags
+
+
+def run_concurrency_batch(
+    machine_config: dict,
+    task,
+    *,
+    scenario: str = "mixed",
+    pct_depth: int = 3,
+    detect_races: bool = True,
+    tracing: bool = False,
+    flight_buffer: int = 0,
+    flight_dir: str = ".",
+):
+    """Run one concurrency batch: ``task.steps`` PCT schedules of one
+    scenario. Mirrors :func:`repro.testing.campaign.worker.run_batch` —
+    same result shape, same first-finding-ends-the-batch contract — but
+    the search dimension is the schedule, not the input.
+
+    Schedule ``i`` is seeded ``task.seed + i``, so any finding names its
+    schedule seed *and* carries the recorded decision script; replay
+    needs only the script.
+    """
+    # Imported here: worker.py imports this module's caller lazily to
+    # keep random-mode imports unchanged.
+    from repro.testing.campaign.worker import BatchResult
+
+    if scenario not in CONCURRENCY_SCENARIOS:
+        raise ValueError(f"unknown concurrency scenario {scenario!r}")
+    started = time.perf_counter()
+    obs = Observability(
+        tracing=tracing,
+        flight_buffer=flight_buffer,
+        flight_dir=flight_dir,
+        worker_id=task.worker_id,
+    ).install()
+    build = CONCURRENCY_SCENARIOS[scenario]
+    nr_cpus = machine_config.get("nr_cpus", 2)
+    bug_names = tuple(machine_config.get("bug_names", ()))
+    schedule_coverage = ScheduleCoverageMap()
+    racy: set[str] = set()
+    finding = None
+    schedules_run = 0
+    hypercalls = 0
+    # Calibrate once per batch: the PCT step bound k and the scenario's
+    # rare-tag windows, merged with the engine's racy-pair feedback.
+    cal_trace = build(nr_cpus)
+    cal_trace.bug_names = bug_names
+    pct_steps, rare_tags = calibrate(cal_trace)
+    priority_tags = tuple(
+        sorted(set(getattr(task, "priority_tags", ())) | set(rare_tags))
+    )
+
+    for i in range(task.steps):
+        sched_seed = task.seed + i
+        trace = build(nr_cpus)
+        trace.bug_names = bug_names
+        trace.meta.update(
+            worker_id=task.worker_id,
+            batch_index=task.batch_index,
+            seed=task.seed,
+            sched_seed=sched_seed,
+            scenario=scenario,
+        )
+        scheduler = Scheduler(
+            policy="pct",
+            seed=sched_seed,
+            pct_depth=pct_depth,
+            pct_steps=pct_steps,
+            priority_tags=priority_tags,
+            obs=obs,
+        )
+        tracker = None
+        if detect_races:
+            from repro.analysis.lockset import LocksetTracker
+
+            tracker = LocksetTracker().attach()
+        error = None
+        try:
+            trace.replay_schedule(scheduler=scheduler, ghost=False)
+        except (SpecViolation, HypervisorPanic, HostCrash) as exc:
+            error = exc
+        finally:
+            if tracker is not None:
+                tracker.detach()
+                racy |= racy_tags_from_races(tracker.race_strings())
+        schedules_run = i + 1
+        hypercalls += sum(1 for s in trace.steps if s[0] == "hvc")
+        schedule_coverage.add(scenario, windows_of_scheduler(scheduler))
+        if error is not None:
+            trace.meta["schedule"] = list(scheduler.schedule_script())
+            finding = make_finding(
+                error,
+                trace,
+                worker_id=task.worker_id,
+                batch_index=task.batch_index,
+                seed=sched_seed,
+                step_index=i,
+                call_name=f"scenario:{scenario}",
+            )
+            finding.sched_len = len(trace.meta["schedule"])
+            if obs.flight.enabled:
+                path = (
+                    obs.flight.dumps[-1]
+                    if obs.flight.dumps
+                    else obs.flight.dump(
+                        f"finding-{finding.klass}",
+                        extra={"call": finding.call_name},
+                    )
+                )
+                finding.flight = str(path)
+            break
+
+    return BatchResult(
+        worker_id=task.worker_id,
+        batch_index=task.batch_index,
+        seed=task.seed,
+        steps_run=schedules_run,
+        steps_budgeted=task.steps,
+        hypercalls=hypercalls,
+        rejected=0,
+        finding=finding,
+        schedule_coverage=schedule_coverage,
+        racy_tags=tuple(sorted(racy)),
+        schedules_run=schedules_run,
+        seconds=time.perf_counter() - started,
+        spans=[s.to_jsonable() for s in obs.tracer.spans],
+        metrics=obs.metrics.snapshot(),
+        flight_dumps=[str(p) for p in obs.flight.dumps],
+    )

@@ -31,7 +31,7 @@ from repro.obs.trace import Span, write_chrome_trace
 from repro.testing.campaign import checkpoint as ckpt
 from repro.testing.campaign.findings import DedupIndex, RawFinding
 from repro.testing.campaign.scheduler import BudgetScheduler
-from repro.testing.campaign.shrink import shrink_trace
+from repro.testing.campaign.shrink import shrink_schedule, shrink_trace
 from repro.testing.campaign.worker import (
     BatchResult,
     BatchTask,
@@ -39,7 +39,7 @@ from repro.testing.campaign.worker import (
     run_batch,
     worker_main,
 )
-from repro.testing.coverage import CoverageMap
+from repro.testing.coverage import CoverageMap, ScheduleCoverageMap
 
 
 @dataclass
@@ -47,7 +47,8 @@ class CampaignConfig:
     """Everything that determines a campaign, and nothing that doesn't."""
 
     workers: int = 2
-    #: Total step budget across all workers.
+    #: Total step budget across all workers. In concurrency mode a
+    #: "step" is one PCT schedule of the scenario.
     budget: int = 2000
     #: Base steps per batch (the scheduler scales this per worker).
     batch_steps: int = 250
@@ -57,6 +58,15 @@ class CampaignConfig:
     dram_size: int = 256 * 1024 * 1024
     inline: bool = False
     shrink: bool = True
+    #: "random" (the model-guided tester) or "concurrency" (PCT schedule
+    #: fuzzing of a fixed multi-CPU scenario).
+    mode: str = "random"
+    #: Concurrency mode: which scenario trace to fuzz, the PCT depth
+    #: bound (d priority-change points explore depth-d bugs), and how
+    #: many simulated CPUs drive it (0 = ``nr_cpus``).
+    scenario: str = "mixed"
+    pct_depth: int = 3
+    pct_cpus: int = 0
     #: "functions" (cheap call-grain, default), "lines", or "off".
     coverage: str = "functions"
     #: Stop issuing batches once this many distinct findings exist.
@@ -83,11 +93,17 @@ class CampaignConfig:
         return self.trace_out is not None
 
     def machine_config(self) -> dict:
+        # Concurrency scenarios run ghost-off (matching the synthetic
+        # registry's race entries: the *schedule*, not the oracle, is
+        # the test subject there).
+        concurrency = self.mode == "concurrency"
         return {
-            "nr_cpus": self.nr_cpus,
+            "nr_cpus": (
+                self.pct_cpus or self.nr_cpus if concurrency else self.nr_cpus
+            ),
             "dram_size": self.dram_size,
             "bug_names": tuple(self.bug_names),
-            "ghost": True,
+            "ghost": not concurrency,
             "oracle_cache": self.oracle_cache,
             "paranoid": self.paranoid,
         }
@@ -103,6 +119,10 @@ class CampaignConfig:
             "dram_size": self.dram_size,
             "inline": self.inline,
             "shrink": self.shrink,
+            "mode": self.mode,
+            "scenario": self.scenario,
+            "pct_depth": self.pct_depth,
+            "pct_cpus": self.pct_cpus,
             "coverage": self.coverage,
             "max_findings": self.max_findings,
             "max_batches": self.max_batches,
@@ -135,6 +155,8 @@ class CampaignReport:
     coverage_functions: int
     seconds: float
     resumed: bool = False
+    #: Concurrency mode: distinct interleaving-class windows explored.
+    coverage_windows: int = 0
 
     @property
     def hypercalls_per_hour(self) -> float:
@@ -151,6 +173,7 @@ class CampaignReport:
             "total_rejected": self.total_rejected,
             "coverage_lines": self.coverage_lines,
             "coverage_functions": self.coverage_functions,
+            "coverage_windows": self.coverage_windows,
             "findings": [f.to_jsonable() for f in self.findings],
         }
 
@@ -172,6 +195,11 @@ class CampaignEngine:
             base_steps=config.batch_steps, max_factor=config.max_factor
         )
         self.coverage = CoverageMap()
+        #: Concurrency mode: merged interleaving-class coverage and the
+        #: racy yield-tag pool (lockset feedback steering later PCT
+        #: batches' priority-change points).
+        self.schedule_coverage = ScheduleCoverageMap()
+        self.racy_tags: set[str] = set()
         self.dedup = DedupIndex()
         #: Parent metrics registry: every worker snapshot merges in here
         #: (counters and histogram buckets add, gauges take the max), so
@@ -197,6 +225,12 @@ class CampaignEngine:
         engine = cls(CampaignConfig.from_jsonable(state["config"]), out=path)
         engine.scheduler = BudgetScheduler.from_jsonable(state["scheduler"])
         engine.coverage = CoverageMap.from_jsonable(state["coverage"])
+        # .get defaults: checkpoints written before concurrency mode
+        # existed stay loadable (same VERSION, purely additive keys).
+        engine.schedule_coverage = ScheduleCoverageMap.from_jsonable(
+            state.get("schedule_coverage", {})
+        )
+        engine.racy_tags = set(state.get("racy_tags", []))
         for data in state["findings"]:
             finding = RawFinding.from_jsonable(data)
             engine.dedup.by_signature[finding.signature] = finding
@@ -256,11 +290,17 @@ class CampaignEngine:
             batch_index=index,
             seed=batch_seed(self.config.seed, worker, index),
             steps=steps,
+            # Racy-pair feedback: sorted for determinism across runs.
+            priority_tags=tuple(sorted(self.racy_tags)),
         )
 
     def _absorb(self, result: BatchResult) -> None:
         new_lines = self.coverage.merge(result.coverage)
-        self.scheduler.feedback(result.worker_id, new_lines)
+        new_windows = self.schedule_coverage.merge(result.schedule_coverage)
+        # In concurrency mode the novelty signal is new interleaving
+        # classes; in random mode new_windows is always 0.
+        self.scheduler.feedback(result.worker_id, new_lines + new_windows)
+        self.racy_tags.update(result.racy_tags)
         if result.metrics:
             self.metrics.merge(result.metrics)
         if result.spans:
@@ -296,6 +336,9 @@ class CampaignEngine:
                     tracing=self.config.tracing,
                     flight_buffer=self.config.flight_buffer,
                     flight_dir=self.config.flight_dir,
+                    mode=self.config.mode,
+                    scenario=self.config.scenario,
+                    pct_depth=self.config.pct_depth,
                 )
             )
 
@@ -314,6 +357,9 @@ class CampaignEngine:
                     self.config.tracing,
                     self.config.flight_buffer,
                     self.config.flight_dir,
+                    self.config.mode,
+                    self.config.scenario,
+                    self.config.pct_depth,
                 ),
                 daemon=True,
             )
@@ -345,9 +391,24 @@ class CampaignEngine:
         findings = self.dedup.findings()
         if self.config.shrink:
             for finding in findings:
-                result = shrink_trace(
-                    finding.trace(), finding.klass, finding.kind
-                )
+                if self.config.mode == "concurrency":
+                    # Schedule findings shrink along both axes: the
+                    # decision script and the per-CPU step programs.
+                    # Concurrent replays cost ~10x a sequential one, so
+                    # the probe budget is tighter than random mode's.
+                    result = shrink_schedule(
+                        finding.trace(),
+                        finding.klass,
+                        finding.kind,
+                        max_probes=300,
+                    )
+                    finding.shrunk_sched_len = len(
+                        result.trace.meta.get("schedule", [])
+                    )
+                else:
+                    result = shrink_trace(
+                        finding.trace(), finding.klass, finding.kind
+                    )
                 finding.shrunk_len = len(result.trace)
                 finding.trace_text = result.trace.dumps()
         report = CampaignReport(
@@ -359,6 +420,7 @@ class CampaignEngine:
             findings=findings,
             coverage_lines=self.coverage.line_count(),
             coverage_functions=self.coverage.function_count(),
+            coverage_windows=self.schedule_coverage.window_count(),
             seconds=time.perf_counter() - self._started,
             resumed=self.resumed,
         )
@@ -375,6 +437,7 @@ class CampaignEngine:
         )
         m.gauge("campaign_coverage_lines").set(report.coverage_lines)
         m.gauge("campaign_coverage_functions").set(report.coverage_functions)
+        m.gauge("campaign_coverage_windows").set(report.coverage_windows)
         m.gauge("campaign_batches").set(report.batches)
         m.gauge("campaign_steps_total").set(report.total_steps)
         m.gauge("campaign_hypercalls_total").set(report.total_hypercalls)
@@ -395,6 +458,8 @@ class CampaignEngine:
             "scheduler": self.scheduler.to_jsonable(),
             "batches": self.batch_records,
             "coverage": self.coverage.to_jsonable(),
+            "schedule_coverage": self.schedule_coverage.to_jsonable(),
+            "racy_tags": sorted(self.racy_tags),
             "findings": [f.to_jsonable() for f in self.dedup.findings()],
         }
         if report is not None:

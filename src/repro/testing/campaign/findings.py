@@ -116,6 +116,11 @@ class RawFinding:
     #: Filled in by the engine's shrink pass.
     orig_len: int = 0
     shrunk_len: int = 0
+    #: Schedule-script lengths for concurrency findings (0 = sequential
+    #: finding, no schedule); filled by the worker and the schedule
+    #: shrinker respectively.
+    sched_len: int = 0
+    shrunk_sched_len: int = 0
     duplicates: int = 0
     #: Path of the flight-recorder dump for this finding ("" when the
     #: recorder was off) — the event history leading into the failure.
@@ -138,6 +143,8 @@ class RawFinding:
             "step_index": self.step_index,
             "orig_len": self.orig_len,
             "shrunk_len": self.shrunk_len,
+            "sched_len": self.sched_len,
+            "shrunk_sched_len": self.shrunk_sched_len,
             "duplicates": self.duplicates,
             "flight": self.flight,
         }
@@ -157,6 +164,8 @@ class RawFinding:
             step_index=data["step_index"],
             orig_len=data.get("orig_len", 0),
             shrunk_len=data.get("shrunk_len", 0),
+            sched_len=data.get("sched_len", 0),
+            shrunk_sched_len=data.get("shrunk_sched_len", 0),
             duplicates=data.get("duplicates", 0),
             flight=data.get("flight", ""),
         )
@@ -170,12 +179,19 @@ def make_finding(
     batch_index: int = 0,
     seed: int = 0,
     step_index: int = 0,
+    call_name: str | None = None,
 ) -> RawFinding:
-    """Classify an exception caught during a batch into a RawFinding."""
+    """Classify an exception caught during a batch into a RawFinding.
+
+    ``call_name`` overrides the last-recorded-step heuristic — needed for
+    concurrency findings, where the trace is a pre-recorded multi-CPU
+    program and the *schedule*, not the final step, provoked the failure.
+    """
     klass = finding_class(exc)
     if klass is None:
         raise TypeError(f"not a finding class: {exc!r}")
-    call_name = faulting_call_name(trace)
+    if call_name is None:
+        call_name = faulting_call_name(trace)
     if isinstance(exc, SpecViolation):
         kind = exc.kind
         detail = exc.detail

@@ -1,10 +1,16 @@
-"""Delta-debugging trace minimization (ddmin).
+"""Delta-debugging trace and schedule minimization (ddmin).
 
 A campaign finding arrives as the whole batch trace — often hundreds of
 steps of which a handful matter. The shrinker removes ever-smaller chunks
 of steps, keeping a candidate whenever its strict replay still raises the
 *same finding class and kind*, until the trace is 1-minimal: no single
 step can be removed without losing the finding.
+
+Concurrency findings carry a second shrinkable artifact: the scheduler
+decision script. :func:`shrink_schedule` minimises both — first the
+script (shortest-failing-prefix, then ddmin over the remaining entries;
+script entries are *soft*, so dropping one just hands that decision to
+the round-robin fallback), then the trace steps under the shrunk script.
 
 Replays run in strict mode: a HostCrash during a replayed host touch
 propagates instead of being tolerated, because the crash may *be* the
@@ -49,6 +55,33 @@ def reproduces_finding(trace: Trace, klass: str, kind: str = "") -> bool:
     return _reproduces(trace, klass, kind)
 
 
+def _ddmin(items: list, test, exhausted) -> list:
+    """The ddmin core: remove ever-smaller chunks while ``test`` keeps
+    passing, until 1-minimal or ``exhausted()``. ``test`` does its own
+    probe accounting."""
+    granularity = 2
+    while len(items) >= 2 and not exhausted():
+        chunk = max(1, (len(items) + granularity - 1) // granularity)
+        reduced = False
+        for start in range(0, len(items), chunk):
+            candidate = items[:start] + items[start + chunk :]
+            if not candidate:
+                continue
+            if test(candidate):
+                items = candidate
+                # restart at coarse granularity relative to the new size
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+            if exhausted():
+                break
+        if not reduced:
+            if granularity >= len(items):
+                break  # 1-minimal: no single item is removable
+            granularity = min(len(items), granularity * 2)
+    return items
+
+
 def shrink_trace(
     trace: Trace,
     klass: str,
@@ -68,26 +101,91 @@ def shrink_trace(
 
     if not test(trace.steps):
         return ShrinkResult(trace, probes)
-
-    steps = list(trace.steps)
-    granularity = 2
-    while len(steps) >= 2 and probes < max_probes:
-        chunk = max(1, (len(steps) + granularity - 1) // granularity)
-        reduced = False
-        for start in range(0, len(steps), chunk):
-            candidate = steps[:start] + steps[start + chunk :]
-            if not candidate:
-                continue
-            if test(candidate):
-                steps = candidate
-                # restart at coarse granularity relative to the new size
-                granularity = max(granularity - 1, 2)
-                reduced = True
-                break
-            if probes >= max_probes:
-                break
-        if not reduced:
-            if granularity >= len(steps):
-                break  # 1-minimal: no single step is removable
-            granularity = min(len(steps), granularity * 2)
+    steps = _ddmin(list(trace.steps), test, lambda: probes >= max_probes)
     return ShrinkResult(trace.with_steps(steps), probes)
+
+
+def _reproduces_schedule(
+    trace: Trace, schedule: list[str], klass: str, kind: str
+) -> bool:
+    """Does a strict concurrent replay under ``schedule`` end in the
+    same finding? (Ghost off: concurrency scenarios run unchecked, the
+    schedule — not the oracle — is what provoked the failure.)"""
+    try:
+        trace.replay_schedule(list(schedule), ghost=False, strict=True)
+    except BaseException as exc:  # noqa: BLE001 - classified below
+        if finding_class(exc) != klass:
+            return False
+        if klass == "SpecViolation" and getattr(exc, "kind", "") != kind:
+            return False
+        return True
+    return False
+
+
+def reproduces_schedule(
+    trace: Trace, schedule: list[str] | None = None, klass: str = "", kind: str = ""
+) -> bool:
+    """Public check: strict schedule replay raises finding class
+    ``klass``. ``schedule`` defaults to the trace's ``meta["schedule"]``."""
+    if schedule is None:
+        schedule = list(trace.meta.get("schedule", []))
+    return _reproduces_schedule(trace, schedule, klass, kind)
+
+
+def shrink_schedule(
+    trace: Trace,
+    klass: str,
+    kind: str = "",
+    *,
+    max_probes: int = 2000,
+) -> ShrinkResult:
+    """Minimize a concurrency finding: the schedule script first, then
+    the trace steps under the shrunk script.
+
+    Script entries are soft (an entry naming a non-runnable thread, or
+    running past the script's end, falls back deterministically), so
+    both a truncated prefix and a ddmin-thinned script remain valid
+    schedules — they just delegate more decisions to round-robin. The
+    shortest-failing-prefix pass alone typically cuts the script below
+    half: the failure fires early and the rr tail was never load-bearing.
+
+    The result trace carries the shrunk script in ``meta["schedule"]``.
+    """
+    probes = 0
+    schedule = [str(s) for s in trace.meta.get("schedule", [])]
+
+    def exhausted() -> bool:
+        return probes >= max_probes
+
+    def test_schedule(candidate: list[str]) -> bool:
+        nonlocal probes
+        probes += 1
+        return _reproduces_schedule(trace, candidate, klass, kind)
+
+    if not test_schedule(schedule):
+        return ShrinkResult(trace, probes)
+
+    # Shortest failing prefix, geometrically: the script's tail past the
+    # failure point only ever replays the rr fallback's own choices.
+    if test_schedule([]):
+        schedule = []  # plain round-robin already reproduces
+    else:
+        n = 1
+        while n < len(schedule) and not exhausted():
+            if test_schedule(schedule[:n]):
+                schedule = schedule[:n]
+                break
+            n *= 2
+        schedule = _ddmin(schedule, test_schedule, exhausted)
+
+    def test_steps(steps: list[tuple]) -> bool:
+        nonlocal probes
+        probes += 1
+        return _reproduces_schedule(
+            trace.with_steps(steps), schedule, klass, kind
+        )
+
+    steps = _ddmin(list(trace.steps), test_steps, exhausted)
+    shrunk = trace.with_steps(steps)
+    shrunk.meta["schedule"] = list(schedule)
+    return ShrinkResult(shrunk, probes)

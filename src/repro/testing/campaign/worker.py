@@ -19,6 +19,7 @@ from repro.arch.exceptions import HostCrash, HypervisorPanic
 from repro.ghost.checker import SpecViolation
 from repro.machine import Machine
 from repro.obs import Observability
+from repro.sim.coverage import ScheduleCoverageMap
 from repro.testing.campaign.findings import RawFinding, make_finding
 from repro.testing.coverage import (
     CoverageMap,
@@ -42,7 +43,13 @@ class BatchTask:
     worker_id: int
     batch_index: int
     seed: int
+    #: Step budget: tester steps in random mode, schedules in
+    #: concurrency mode.
     steps: int
+    #: Concurrency mode only: yield-tag fragments (from racy-pair
+    #: feedback) the PCT scheduler treats as extra candidate
+    #: priority-change points.
+    priority_tags: tuple = ()
 
 
 @dataclass
@@ -58,6 +65,14 @@ class BatchResult:
     rejected: int
     finding: RawFinding | None
     coverage: CoverageMap = field(default_factory=CoverageMap)
+    #: Concurrency mode: merged interleaving-class windows of the
+    #: batch's schedules, racy-location yield tags from the lockset
+    #: detector, and how many schedules actually ran.
+    schedule_coverage: ScheduleCoverageMap = field(
+        default_factory=ScheduleCoverageMap
+    )
+    racy_tags: tuple = ()
+    schedules_run: int = 0
     seconds: float = 0.0
     #: Observability payload, shipped as plain data (picklable through
     #: the result queue) and deliberately NOT in :meth:`to_jsonable` —
@@ -99,17 +114,38 @@ def run_batch(
     tracing: bool = False,
     flight_buffer: int = 0,
     flight_dir: str = ".",
+    mode: str = "random",
+    scenario: str = "mixed",
+    pct_depth: int = 3,
 ) -> BatchResult:
     """Run one batch; never raises on findings — they come back as data.
 
     ``coverage``: "functions" (cheap, the campaign default), "lines"
     (full line bitmap, ~20x slower), or "off".
 
+    ``mode="concurrency"`` dispatches to the schedule fuzzer instead:
+    ``task.steps`` PCT schedules of ``scenario`` rather than random
+    tester steps (see :mod:`repro.testing.campaign.concurrency`).
+
     When ``tracing``/``flight_buffer`` are on, the batch runs under its
     own :class:`Observability` bundle (pid = worker id, so a merged
     trace renders workers as parallel tracks) and ships spans, a
     metrics snapshot, and any flight-dump paths back in the result.
     """
+    if mode == "concurrency":
+        # Imported lazily: concurrency mode pulls in the scheduler and
+        # lockset machinery that random batches never touch.
+        from repro.testing.campaign.concurrency import run_concurrency_batch
+
+        return run_concurrency_batch(
+            machine_config,
+            task,
+            scenario=scenario,
+            pct_depth=pct_depth,
+            tracing=tracing,
+            flight_buffer=flight_buffer,
+            flight_dir=flight_dir,
+        )
     started = time.perf_counter()
     obs = Observability(
         tracing=tracing,
@@ -192,6 +228,9 @@ def worker_main(
     tracing: bool = False,
     flight_buffer: int = 0,
     flight_dir: str = ".",
+    mode: str = "random",
+    scenario: str = "mixed",
+    pct_depth: int = 3,
 ) -> None:
     """Process entry point: drain tasks until the None sentinel."""
     while True:
@@ -206,5 +245,8 @@ def worker_main(
                 tracing=tracing,
                 flight_buffer=flight_buffer,
                 flight_dir=flight_dir,
+                mode=mode,
+                scenario=scenario,
+                pct_depth=pct_depth,
             )
         )

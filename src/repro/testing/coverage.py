@@ -20,6 +20,18 @@ import threading
 from dataclasses import dataclass, field
 from types import CodeType, FrameType
 
+# Schedule coverage lives beside the scheduler it abstracts, but is
+# re-exported here: to the campaign layer, interleaving-class windows and
+# line bitmaps are the same kind of thing (a mergeable novelty signal).
+from repro.sim.coverage import ScheduleCoverageMap
+
+__all__ = [
+    "CoverageMap",
+    "CoverageTracker",
+    "FunctionCoverageTracker",
+    "ScheduleCoverageMap",
+]
+
 #: CO_OPTIMIZED distinguishes real function bodies from module/class-body
 #: code objects, which execute at import time (before tracking starts).
 CO_OPTIMIZED = inspect.CO_OPTIMIZED

@@ -40,6 +40,7 @@ CATEGORIES: dict[str, list[str]] = {
         "arch/exceptions.py",
         "sim/sched.py",
         "sim/explore.py",
+        "sim/coverage.py",
     ],
     "spec: hypercalls and traps": ["ghost/spec.py"],
     "spec: abstraction recording": [
@@ -63,6 +64,7 @@ CATEGORIES: dict[str, list[str]] = {
         "testing/synthetic.py",
         "testing/trace.py",
         "testing/campaign/findings.py",
+        "testing/campaign/concurrency.py",
         "testing/campaign/shrink.py",
         "testing/campaign/worker.py",
         "testing/campaign/scheduler.py",

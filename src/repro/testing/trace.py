@@ -9,6 +9,14 @@ errors become fixtures).
 
 A trace is a list of tuple-shaped steps, so traces serialise trivially
 (``repr``/``ast.literal_eval`` round-trip).
+
+Concurrency findings add one ingredient: steps carry the CPU that issued
+them (``hvc`` steps always did; ``write``/``read`` steps grow an optional
+trailing CPU index), and the trace's ``meta["schedule"]`` carries the
+scheduler decision script. :meth:`Trace.replay_schedule` then re-executes
+the per-CPU programs as simulated threads under the ``"script"`` policy —
+the same deterministic replay contract as sequential traces, extended to
+interleavings.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from dataclasses import dataclass, field
 from repro.arch.exceptions import HostCrash
 from repro.machine import Machine
 from repro.pkvm.bugs import Bugs
+from repro.sim.sched import Scheduler
 
 
 @dataclass
@@ -40,18 +49,26 @@ class Trace:
     bug_names: tuple[str, ...] = ()
     #: Free-form provenance (campaign seed, worker id, signature, ...).
     meta: dict = field(default_factory=dict)
-    #: steps: ("hvc", cpu, call_id, args) | ("write", addr, value)
-    #:      | ("read", addr) | ("script", handle, vcpu_idx, ops)
+    #: steps: ("hvc", cpu, call_id, args) | ("write", addr, value[, cpu])
+    #:      | ("read", addr[, cpu]) | ("script", handle, vcpu_idx, ops)
+    #: — host touches recorded on CPU 0 keep their historical 2/3-element
+    #: shape, so pre-existing serialised traces load unchanged.
     steps: list[tuple] = field(default_factory=list)
 
     def record_hvc(self, cpu_index: int, call_id: int, *args: int) -> None:
         self.steps.append(("hvc", cpu_index, int(call_id), tuple(args)))
 
-    def record_write(self, addr: int, value: int) -> None:
-        self.steps.append(("write", addr, value))
+    def record_write(self, addr: int, value: int, cpu_index: int = 0) -> None:
+        if cpu_index:
+            self.steps.append(("write", addr, value, cpu_index))
+        else:
+            self.steps.append(("write", addr, value))
 
-    def record_read(self, addr: int) -> None:
-        self.steps.append(("read", addr))
+    def record_read(self, addr: int, cpu_index: int = 0) -> None:
+        if cpu_index:
+            self.steps.append(("read", addr, cpu_index))
+        else:
+            self.steps.append(("read", addr))
 
     def record_script(self, handle: int, vcpu_idx: int, ops: list) -> None:
         self.steps.append(("script", handle, vcpu_idx, tuple(map(tuple, ops))))
@@ -124,21 +141,35 @@ class Trace:
         return machine
 
     @staticmethod
-    def _apply(machine: Machine, step: tuple, *, strict: bool = False) -> None:
+    def step_cpu(step: tuple) -> int:
+        """Which CPU a step runs on (0 for legacy cpu-less host touches
+        and guest-script installs)."""
         kind = step[0]
         if kind == "hvc":
-            _k, cpu_index, call_id, args = step
-            machine.host.hvc(call_id, *args, cpu=machine.cpu(cpu_index))
+            return step[1]
+        if kind == "write":
+            return step[3] if len(step) > 3 else 0
+        if kind == "read":
+            return step[2] if len(step) > 2 else 0
+        return 0
+
+    @staticmethod
+    def _apply(machine: Machine, step: tuple, *, strict: bool = False) -> None:
+        kind = step[0]
+        cpu = machine.cpu(Trace.step_cpu(step))
+        if kind == "hvc":
+            _k, _cpu_index, call_id, args = step
+            machine.host.hvc(call_id, *args, cpu=cpu)
         elif kind == "write":
-            _k, addr, value = step
+            addr, value = step[1], step[2]
             try:
-                machine.host.write64(addr, value)
+                machine.host.write64(addr, value, cpu=cpu)
             except HostCrash:
                 if strict:
                     raise
         elif kind == "read":
             try:
-                machine.host.read64(step[1])
+                machine.host.read64(step[1], cpu=cpu)
             except HostCrash:
                 if strict:
                     raise
@@ -151,6 +182,65 @@ class Trace:
                 vcpu.script_pos = 0
         else:
             raise ValueError(f"unknown trace step kind {kind!r}")
+
+    # -- concurrent replay ---------------------------------------------------
+
+    def per_cpu_steps(self) -> dict[int, list[tuple]]:
+        """The trace's steps grouped into per-CPU programs, preserving
+        each CPU's issue order (the order *across* CPUs is the
+        scheduler's to decide)."""
+        programs: dict[int, list[tuple]] = {}
+        for step in self.steps:
+            programs.setdefault(self.step_cpu(step), []).append(step)
+        return programs
+
+    def replay_schedule(
+        self,
+        schedule: list[str] | tuple[str, ...] | None = None,
+        *,
+        scheduler: Scheduler | None = None,
+        ghost: bool = False,
+        bugs: Bugs | None = None,
+        strict: bool = True,
+    ) -> Machine:
+        """Replay the trace's per-CPU programs as simulated threads.
+
+        ``schedule`` (default: the trace's ``meta["schedule"]``) is a
+        scheduler decision script; passing ``scheduler`` instead runs
+        under any policy — the concurrency campaign passes a ``"pct"``
+        scheduler here and *records* the script the same call replays
+        later. Thread names are ``cpu<i>``, matching what the scheduler
+        logged when the schedule was recorded.
+
+        Replays are strict by default: these traces exist to reproduce
+        concurrency findings, so a crash mid-program is the signal, not
+        noise. Exceptions from any simulated CPU propagate out of
+        ``scheduler.run()`` exactly as the original run raised them.
+        """
+        if scheduler is None:
+            if schedule is None:
+                schedule = self.meta.get("schedule", [])
+            scheduler = Scheduler(policy="script", script=list(schedule))
+        if bugs is None and self.bug_names:
+            bugs = Bugs(**{name: True for name in self.bug_names})
+        machine = Machine(
+            nr_cpus=self.nr_cpus,
+            dram_size=self.dram_size,
+            ghost=ghost,
+            bugs=bugs,
+        )
+
+        def runner(steps: list[tuple]):
+            def body() -> None:
+                for step in steps:
+                    self._apply(machine, step, strict=strict)
+
+            return body
+
+        for cpu_index, steps in sorted(self.per_cpu_steps().items()):
+            scheduler.spawn(runner(steps), f"cpu{cpu_index}")
+        scheduler.run()
+        return machine
 
 
 class TracingHost:
