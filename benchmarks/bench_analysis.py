@@ -1,5 +1,5 @@
-"""E12 — analysis-pass latency: all six passes on the real tree, under
-a CI budget.
+"""E12/E16 — analysis-pass latency: the full suite on the real tree,
+under a CI budget.
 
 The paper's pragmatics depend on the checks being cheap enough to run on
 every change (§6 argues the oracle pays its way because it rides along
@@ -8,8 +8,12 @@ near-instant; the frame pass's dynamic half replays the whole
 handwritten suite plus a short random campaign, so it dominates. The
 assertion keeps the full ``python -m repro.analysis`` wall time inside a
 budget a pre-merge CI job can absorb — the ownership pass rode in on the
-shared AST cache (PR 6), so six passes must cost no more wall time than
-five did.
+shared AST cache (PR 6) and the refinement pass on the shared symbolic
+interpreter (PR 8), so seven passes must cost no more wall time than
+five did. E16 additionally tracks the refinement pass's exploration
+counters (paths explored, symbolic timeouts) so a path blow-up in a
+handler shows up as a benchmark regression before it shows up as a
+``symbolic-timeout`` finding.
 """
 
 import time
@@ -21,11 +25,19 @@ from repro.analysis.frame import run_frame_pass
 from repro.analysis.lockorder import check_lock_discipline
 from repro.analysis.ownership import check_ownership
 from repro.analysis.purity import check_spec_purity
+from repro.analysis.refinement import check_refinement
 from repro.analysis.scenarios import DEFAULT_SCENARIO, run_lockset_scenario
 
-#: Generous CI ceiling for all six passes together (seconds). The
+#: Generous CI ceiling for all seven passes together (seconds). The
 #: observed total is a few seconds; the margin absorbs slow runners.
 BUDGET_SECONDS = 60.0
+
+#: E16: refinement-pass exploration budget. The four manifest pairs
+#: explore a few dozen paths today; the ceiling catches a handler
+#: refactor that multiplies the path count without yet timing out.
+REFINEMENT_PATHS_CEILING = 512
+
+REFINEMENT_STATS = {}
 
 PASSES = (
     ("purity", lambda: check_spec_purity(None)),
@@ -34,6 +46,7 @@ PASSES = (
     ("frame", lambda: run_frame_pass(None, dynamic=True, random_steps=200)),
     ("bitfields", lambda: check_pte_codec(None)),
     ("ownership", lambda: check_ownership(None)),
+    ("refinement", lambda: check_refinement(None, stats=REFINEMENT_STATS)),
 )
 
 
@@ -66,7 +79,28 @@ def bench_all_passes_within_ci_budget(benchmark):
     report(
         "E12",
         "checks cheap enough to ride along with ordinary pre-merge testing",
-        f"all six passes clean in {total:.1f}s ({breakdown}; ast-cache "
+        f"all seven passes clean in {total:.1f}s ({breakdown}; ast-cache "
         f"{cache['parses']} parses, {cache['hits']} hits); "
         f"budget {BUDGET_SECONDS:.0f}s",
+    )
+
+    stats = REFINEMENT_STATS
+    assert stats["functions"] >= 4, "every manifest pair must be analysed"
+    assert stats["timeouts"] == 0, (
+        f"{stats['timeouts']} handler(s) blew the symbolic budget"
+    )
+    assert stats["paths_explored"] <= REFINEMENT_PATHS_CEILING, (
+        f"refinement explored {stats['paths_explored']} paths, over the "
+        f"{REFINEMENT_PATHS_CEILING}-path regression ceiling"
+    )
+    report(
+        "E16",
+        "symbolic refinement rides the same pre-merge budget as the "
+        "other passes",
+        f"refinement clean in {timings['refinement']:.2f}s: "
+        f"{stats['functions']} handler/spec pairs, "
+        f"{stats['paths_explored']} paths explored, "
+        f"{stats['timeouts']} timeouts "
+        f"(ceiling {REFINEMENT_PATHS_CEILING} paths, budget shared "
+        f"{BUDGET_SECONDS:.0f}s)",
     )

@@ -29,6 +29,7 @@ from __future__ import annotations
 import ast
 import io
 import re
+import threading
 import tokenize
 from dataclasses import dataclass
 from pathlib import Path
@@ -53,40 +54,48 @@ class ParsedModule:
 #: resolved path -> ((mtime_ns, size), ParsedModule)
 _AST_CACHE: dict[str, tuple[tuple[int, int], ParsedModule]] = {}
 _CACHE_STATS = {"parses": 0, "hits": 0}
+#: The cache is read-mostly but the CLI's --jobs N runs passes in a
+#: thread pool; one lock keeps lookup+insert and the counters atomic.
+_CACHE_LOCK = threading.Lock()
 
 
 def load_module_ast(path: str | Path) -> ParsedModule:
     """Parse ``path`` once; later loads of the unchanged file are hits.
 
     The cache key is (resolved path, mtime, size), so an edited file is
-    re-parsed and a long-lived process (the CLI running six passes, the
-    test suite) never sees a stale tree. Syntax errors propagate to the
-    caller exactly as ``ast.parse`` raises them.
+    re-parsed and a long-lived process (the CLI running seven passes,
+    the test suite) never sees a stale tree. Syntax errors propagate to
+    the caller exactly as ``ast.parse`` raises them. Thread-safe: the
+    parallel CLI shares this cache across its pass threads.
     """
     resolved = str(Path(path).resolve())
     stat = Path(resolved).stat()
     stamp = (stat.st_mtime_ns, stat.st_size)
-    cached = _AST_CACHE.get(resolved)
-    if cached is not None and cached[0] == stamp:
-        _CACHE_STATS["hits"] += 1
-        return cached[1]
+    with _CACHE_LOCK:
+        cached = _AST_CACHE.get(resolved)
+        if cached is not None and cached[0] == stamp:
+            _CACHE_STATS["hits"] += 1
+            return cached[1]
     source = Path(resolved).read_text()
     tree = ast.parse(source, filename=resolved)
     module = ParsedModule(path=resolved, source=source, tree=tree)
-    _AST_CACHE[resolved] = (stamp, module)
-    _CACHE_STATS["parses"] += 1
+    with _CACHE_LOCK:
+        _AST_CACHE[resolved] = (stamp, module)
+        _CACHE_STATS["parses"] += 1
     return module
 
 
 def ast_cache_stats() -> dict[str, int]:
     """Parse/hit counters since start-up (or the last clear)."""
-    return dict(_CACHE_STATS)
+    with _CACHE_LOCK:
+        return dict(_CACHE_STATS)
 
 
 def clear_ast_cache() -> None:
-    _AST_CACHE.clear()
-    _CACHE_STATS["parses"] = 0
-    _CACHE_STATS["hits"] = 0
+    with _CACHE_LOCK:
+        _AST_CACHE.clear()
+        _CACHE_STATS["parses"] = 0
+        _CACHE_STATS["hits"] = 0
 
 #: Method names that mutate their receiver (shared by purity's read-only
 #: enforcement and frame's write-footprint inference).

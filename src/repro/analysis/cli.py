@@ -3,14 +3,16 @@ on any finding.
 
 Examples::
 
-    python -m repro.analysis                    # all six passes
+    python -m repro.analysis                    # all seven passes
     python -m repro.analysis purity lockorder   # static hygiene only
     python -m repro.analysis frame bitfields    # the deep passes
-    python -m repro.analysis ownership          # transition-system pass
+    python -m repro.analysis ownership refinement  # handler-vs-spec passes
+    python -m repro.analysis --jobs 4           # passes in a thread pool
     python -m repro.analysis --json             # machine-readable report
     python -m repro.analysis --sarif out.sarif  # GitHub-annotatable log
     python -m repro.analysis lockset --lockset-scenario unlocked-init-read
     python -m repro.analysis --ownership-differential   # static vs. oracle
+    python -m repro.analysis --refinement-differential  # pass 7 vs. oracle
 
 The static passes default to the installed ``repro.ghost.spec`` module,
 ``repro.pkvm`` package, and ``repro.arch.pte`` codec;
@@ -20,6 +22,15 @@ usable to vet a spec before it lands). Pointing the frame pass at
 another file skips its dynamic cross-validation — an unmerged spec has
 no machine to replay.
 
+Exit codes distinguish verdicts from analyzer health: 0 clean, 1 any
+finding, 2 a pass *crashed* (its traceback goes to stderr, and into the
+``--json`` payload under ``errors``) — so CI can tell a regression in
+the tree from a bug in the analysis.
+
+``--jobs N`` runs the selected passes in a thread pool (the shared AST
+cache is lock-protected); report order, the per-pass timing line, and
+the exit code are identical to a serial run. The default stays serial.
+
 Text output ends with a per-pass timing line::
 
     repro.analysis timing: purity 0.01s, ... (total 0.92s; ast-cache: 5 parses, 7 hits)
@@ -27,7 +38,8 @@ Text output ends with a per-pass timing line::
 All passes parse through one shared AST cache (``astutil.load_module_ast``),
 so the hit count shows the re-parses the cache saved; the same numbers
 are in the ``--json`` payload under ``timings``/``ast_cache``, and
-``benchmarks/bench_analysis.py`` (E12) tracks the full-suite wall time.
+``benchmarks/bench_analysis.py`` (E12/E16) tracks the full-suite wall
+time.
 """
 
 from __future__ import annotations
@@ -36,6 +48,8 @@ import argparse
 import json
 import sys
 import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 from repro.analysis.astutil import ast_cache_stats
@@ -44,6 +58,7 @@ from repro.analysis.frame import run_frame_pass
 from repro.analysis.lockorder import check_lock_discipline
 from repro.analysis.ownership import check_ownership
 from repro.analysis.purity import check_spec_purity
+from repro.analysis.refinement import check_refinement
 from repro.analysis.report import Report
 from repro.analysis.scenarios import (
     DEFAULT_SCENARIO,
@@ -51,14 +66,23 @@ from repro.analysis.scenarios import (
     run_lockset_scenario,
 )
 
-PASSES = ("purity", "lockorder", "lockset", "frame", "bitfields", "ownership")
+PASSES = (
+    "purity",
+    "lockorder",
+    "lockset",
+    "frame",
+    "bitfields",
+    "ownership",
+    "refinement",
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="spec-hygiene, lock-discipline, ghost-frame, "
-        "descriptor-codec, and ownership-transition analyses",
+        "descriptor-codec, ownership-transition, and spec-refinement "
+        "analyses",
     )
     parser.add_argument(
         "passes",
@@ -70,7 +94,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the findings as JSON instead of text (includes "
-        "per-pass timings and AST-cache parse/hit counters)",
+        "per-pass timings, AST-cache parse/hit counters, and any "
+        "pass crashes under 'errors')",
     )
     parser.add_argument(
         "--sarif",
@@ -86,20 +111,30 @@ def build_parser() -> argparse.ArgumentParser:
         "flag exists so CI invocations state the intent explicitly)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run independent passes concurrently in a thread pool of "
+        "this size (default: 1, serial); report ordering, timings, and "
+        "exit codes are deterministic either way",
+    )
+    parser.add_argument(
         "--spec-module",
         metavar="PATH",
         default=None,
-        help="spec source file for the purity, frame, and ownership "
-        "passes (default: the installed repro.ghost.spec)",
+        help="spec source file for the purity, frame, ownership, and "
+        "refinement passes (default: the installed repro.ghost.spec)",
     )
     parser.add_argument(
         "--pkvm-root",
         metavar="PATH",
         default=None,
-        help="directory or file for the lock-discipline and ownership "
-        "passes (default: the installed repro.pkvm package). When the "
-        "ownership pass is pointed at a single file with no "
-        "--spec-module, it parses OWNERSHIP_EDGES from that same file",
+        help="directory or file for the lock-discipline, ownership, and "
+        "refinement passes (default: the installed repro.pkvm package). "
+        "When the ownership or refinement pass is pointed at a single "
+        "file with no --spec-module, it parses its manifest from that "
+        "same file",
     )
     parser.add_argument(
         "--pte-module",
@@ -153,10 +188,29 @@ def build_parser() -> argparse.ArgumentParser:
         "bug and the clean tree is spotless",
     )
     parser.add_argument(
+        "--refinement-differential",
+        action="store_true",
+        help="instead of running passes, run the refinement differential "
+        "eval: re-run the refinement pass once per synthetic bug, "
+        "concretize every finding to a hypercall trace, and replay each "
+        "trace through the dynamic ghost oracle (CONFIRMED findings "
+        "carry the ghost diff); exit 1 unless every bug is flagged with "
+        "its designed rule, every trace confirms, and the clean tree is "
+        "spotless",
+    )
+    parser.add_argument(
+        "--refinement-corpus",
+        metavar="DIR",
+        default=None,
+        help="with --refinement-differential: also export every "
+        "concretized counterexample trace into DIR as *.trace files, "
+        "ingestible by the campaign engine's --seed-corpus",
+    )
+    parser.add_argument(
         "--differential-static-only",
         action="store_true",
-        help="with --ownership-differential: skip the dynamic oracle "
-        "replays and check only the static side",
+        help="with --ownership-differential or --refinement-differential: "
+        "skip the dynamic oracle replays and check only the static side",
     )
     return parser
 
@@ -175,61 +229,97 @@ def _run_differential(args) -> int:
     return 0 if ok else 1
 
 
+def _run_refinement_differential(args) -> int:
+    from repro.analysis.differential import (
+        format_refinement_differential,
+        refinement_differential_ok,
+        run_refinement_differential,
+    )
+
+    results = run_refinement_differential(
+        dynamic=not args.differential_static_only,
+        corpus_dir=args.refinement_corpus,
+    )
+    print(format_refinement_differential(results))
+    ok = refinement_differential_ok(results)
+    print(
+        f"repro.analysis: refinement-differential: {'ok' if ok else 'FAILED'}"
+    )
+    return 0 if ok else 1
+
+
+def _pass_thunks(args) -> dict:
+    """One zero-argument callable per pass, closed over the CLI options."""
+    return {
+        "purity": lambda: check_spec_purity(args.spec_module),
+        "lockorder": lambda: check_lock_discipline(args.pkvm_root),
+        "lockset": lambda: run_lockset_scenario(
+            args.lockset_scenario, max_schedules=args.max_schedules
+        ),
+        "frame": lambda: run_frame_pass(
+            args.spec_module,
+            dynamic=args.frame_dynamic != "off",
+            random_steps=(
+                args.frame_random_steps if args.frame_dynamic == "full" else 0
+            ),
+            seed=args.frame_seed,
+        ),
+        "bitfields": lambda: check_pte_codec(args.pte_module),
+        "ownership": lambda: check_ownership(args.pkvm_root, args.spec_module),
+        "refinement": lambda: check_refinement(
+            args.pkvm_root, args.spec_module
+        ),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.ownership_differential:
         return _run_differential(args)
+    if args.refinement_differential:
+        return _run_refinement_differential(args)
     unknown = [p for p in args.passes if p not in PASSES]
     if unknown:
         parser.error(
             f"unknown pass(es): {', '.join(unknown)} "
             f"(choose from {', '.join(PASSES)})"
         )
-    selected = tuple(args.passes) or PASSES
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    selected = tuple(p for p in PASSES if p in (args.passes or PASSES))
+
+    thunks = _pass_thunks(args)
+
+    def run_one(name: str) -> tuple[str, list, float, str | None]:
+        start = time.perf_counter()
+        try:
+            findings = list(thunks[name]())
+            error = None
+        except Exception:  # noqa: BLE001 — a crashed pass is exit-2 data
+            findings = []
+            error = traceback.format_exc()
+        return name, findings, time.perf_counter() - start, error
+
+    # Results are collected per pass and assembled in PASSES order, so a
+    # parallel run prints and exits exactly like a serial one.
+    if args.jobs == 1:
+        outcomes = [run_one(name) for name in selected]
+    else:
+        with ThreadPoolExecutor(max_workers=args.jobs) as pool:
+            outcomes = list(pool.map(run_one, selected))
 
     report = Report()
     ran: list[str] = []
     timings: dict[str, float] = {}
-
-    def run(name: str, thunk) -> None:
-        start = time.perf_counter()
-        report.extend(thunk())
-        timings[name] = time.perf_counter() - start
+    errors: dict[str, str] = {}
+    for name, findings, elapsed, error in outcomes:
         ran.append(name)
-
-    if "purity" in selected:
-        run("purity", lambda: check_spec_purity(args.spec_module))
-    if "lockorder" in selected:
-        run("lockorder", lambda: check_lock_discipline(args.pkvm_root))
-    if "lockset" in selected:
-        run(
-            "lockset",
-            lambda: run_lockset_scenario(
-                args.lockset_scenario, max_schedules=args.max_schedules
-            ),
-        )
-    if "frame" in selected:
-        run(
-            "frame",
-            lambda: run_frame_pass(
-                args.spec_module,
-                dynamic=args.frame_dynamic != "off",
-                random_steps=(
-                    args.frame_random_steps
-                    if args.frame_dynamic == "full"
-                    else 0
-                ),
-                seed=args.frame_seed,
-            ),
-        )
-    if "bitfields" in selected:
-        run("bitfields", lambda: check_pte_codec(args.pte_module))
-    if "ownership" in selected:
-        run(
-            "ownership",
-            lambda: check_ownership(args.pkvm_root, args.spec_module),
-        )
+        timings[name] = elapsed
+        if error is not None:
+            errors[name] = error
+        else:
+            report.extend(findings)
 
     if args.sarif:
         Path(args.sarif).write_text(
@@ -242,11 +332,17 @@ def main(argv: list[str] | None = None) -> int:
         payload["passes"] = ran
         payload["timings"] = {k: round(v, 4) for k, v in timings.items()}
         payload["ast_cache"] = cache
+        payload["errors"] = errors
         print(json.dumps(payload, indent=2))
     else:
         for finding in report.sorted():
             print(finding.describe())
-        status = "clean" if report.clean else f"{len(report.findings)} finding(s)"
+        if errors:
+            status = f"{len(errors)} pass(es) CRASHED"
+        elif report.clean:
+            status = "clean"
+        else:
+            status = f"{len(report.findings)} finding(s)"
         print(f"repro.analysis: {', '.join(ran)}: {status}")
         per_pass = ", ".join(f"{name} {timings[name]:.2f}s" for name in ran)
         total = sum(timings.values())
@@ -254,6 +350,11 @@ def main(argv: list[str] | None = None) -> int:
             f"repro.analysis timing: {per_pass} (total {total:.2f}s; "
             f"ast-cache: {cache['parses']} parses, {cache['hits']} hits)"
         )
+        for name, tb in errors.items():
+            print(f"repro.analysis: pass {name} crashed:", file=sys.stderr)
+            print(tb, file=sys.stderr)
+    if errors:
+        return 2
     return 0 if report.clean else 1
 
 

@@ -127,3 +127,186 @@ def format_differential(results: list[DifferentialResult]) -> str:
 def findings_for(bug: str) -> list[Finding]:
     """The static findings with ``bug`` assumed on — debugging helper."""
     return check_ownership(assume_bugs={bug})
+
+
+# ---------------------------------------------------------------------------
+# Refinement differential: pass 7 vs. the oracle, via concretized traces
+# ---------------------------------------------------------------------------
+
+#: The registry bugs the refinement pass must flag — the same path-shaped
+#: set as the ownership pass (both analyse the gated control-flow arms),
+#: judged against the ``compute_post`` specs instead of OWNERSHIP_EDGES.
+REFINEMENT_BUGS = OWNERSHIP_BUGS
+
+#: bug -> the refinement rule designed to catch it. A flagged bug whose
+#: designed rule is absent still fails the differential: catching the
+#: right bug for the wrong reason is a coincidence, not coverage.
+DESIGNED_RULES = {
+    "synth_share_skip_check": "spec-path-unreachable",
+    "synth_share_skip_hyp_map": "post-mismatch",
+    "synth_share_wrong_state": "post-mismatch",
+    "synth_unshare_leak": "post-mismatch",
+    "synth_donate_wrong_owner": "post-mismatch",
+    "synth_missing_ret_write": "post-mismatch",
+}
+
+#: Synthetic bugs no static pass is expected to flag, with the reason.
+#: The bug-coverage matrix test enforces that every registry bug is
+#: either statically flagged or listed here.
+DYNAMIC_ONLY = {
+    "synth_teardown_page_leak": (
+        "data-dependent: which reclaim iteration skips a page is a "
+        "runtime set-membership fact, not a control-flow arm"
+    ),
+    "synth_fault_off_by_one": (
+        "data-dependent: an off-by-one in computed fault addresses is "
+        "arithmetic on inputs, invisible to path-shape analysis"
+    ),
+    "synth_vttbr_not_restored": (
+        "data-dependent: a stale VTTBR value is register state the "
+        "path-sensitive interpreter does not model"
+    ),
+}
+
+
+@dataclass(frozen=True)
+class RefinementResult:
+    """One bug's refinement verdict (plus the clean row, bug='<clean>').
+
+    ``confirmed`` is the oracle's word on the concretized traces: True
+    when every trace replays to a dynamic violation (verdict CONFIRMED),
+    False when some replayed clean (PLAUSIBLE), None when replay was
+    skipped or no trace could be built.
+    """
+
+    bug: str
+    static_flagged: bool
+    static_rules: tuple[str, ...]
+    designed_rule: str
+    confirmed: bool | None
+    ghost_diff: str
+    trace_count: int
+
+    @property
+    def verdict(self) -> str:
+        if self.bug == "<clean>":
+            return "clean" if not self.static_flagged else "FINDINGS"
+        if self.confirmed is None:
+            return "PLAUSIBLE"
+        return "CONFIRMED" if self.confirmed else "PLAUSIBLE"
+
+    @property
+    def agree(self) -> bool:
+        if self.bug == "<clean>":
+            return not self.static_flagged
+        if not (self.static_flagged and self.designed_rule in self.static_rules):
+            return False
+        return self.confirmed is not False  # skipped replay trusts statics
+
+
+def _replay_refinement_trace(trace) -> tuple[bool, str]:
+    """Replay one concretized trace; (detected, how/ghost-diff)."""
+    from repro.arch.exceptions import HostCrash, HypervisorPanic
+    from repro.ghost.checker import SpecViolation
+
+    try:
+        machine = trace.replay(ghost=True)
+    except SpecViolation as exc:
+        return True, f"spec-violation:{exc.kind}: {exc.detail}"
+    except HypervisorPanic as exc:
+        return True, f"hyp-panic: {exc}"
+    except HostCrash as exc:
+        return True, f"host-crash: {exc}"
+    violations = getattr(machine.checker, "violations", None) or []
+    if violations:
+        v = violations[0]
+        return True, f"spec-violation:{v.kind}: {v.detail}"
+    return False, "clean"
+
+
+def run_refinement_differential(
+    *, dynamic: bool = True, corpus_dir=None
+) -> list[RefinementResult]:
+    """The refinement differential matrix.
+
+    For each bug: run the refinement pass with the flag assumed,
+    concretize its findings to traces, and (unless ``dynamic=False``)
+    replay each through the ghost oracle. ``corpus_dir`` additionally
+    writes every concretized trace as a ``.trace`` file a campaign can
+    ingest via ``--seed-corpus``. The clean row comes first.
+    """
+    from pathlib import Path
+
+    from repro.analysis.refinement import check_refinement, concretize_findings
+
+    results: list[RefinementResult] = []
+    clean = check_refinement()
+    results.append(
+        RefinementResult(
+            bug="<clean>",
+            static_flagged=bool(clean),
+            static_rules=tuple(sorted({f.rule for f in clean})),
+            designed_rule="-",
+            confirmed=None,
+            ghost_diff="",
+            trace_count=0,
+        )
+    )
+    if corpus_dir is not None:
+        corpus_dir = Path(corpus_dir)
+        corpus_dir.mkdir(parents=True, exist_ok=True)
+    for bug in REFINEMENT_BUGS:
+        findings = check_refinement(assume_bugs={bug})
+        rules = tuple(sorted({f.rule for f in findings}))
+        traces = concretize_findings(findings, assume_bugs={bug})
+        if corpus_dir is not None:
+            for trace in traces:
+                function = trace.meta["refinement"]["function"]
+                (corpus_dir / f"{bug}__{function}.trace").write_text(
+                    trace.dumps()
+                )
+        confirmed: bool | None = None
+        ghost_diff = ""
+        if dynamic and traces:
+            verdicts = [_replay_refinement_trace(t) for t in traces]
+            confirmed = all(d for d, _how in verdicts)
+            ghost_diff = "; ".join(
+                how for detected, how in verdicts if detected
+            )
+        results.append(
+            RefinementResult(
+                bug=bug,
+                static_flagged=bool(findings),
+                static_rules=rules,
+                designed_rule=DESIGNED_RULES[bug],
+                confirmed=confirmed,
+                ghost_diff=ghost_diff,
+                trace_count=len(traces),
+            )
+        )
+    return results
+
+
+def refinement_differential_ok(results: list[RefinementResult]) -> bool:
+    return all(r.agree for r in results)
+
+
+def format_refinement_differential(results: list[RefinementResult]) -> str:
+    lines = [
+        f"{'bug':<28} {'static':<10} {'rules':<44} "
+        f"{'traces':<7} {'verdict':<10} {'agree'}"
+    ]
+    for r in results:
+        if r.bug == "<clean>":
+            static = "clean" if not r.static_flagged else "FINDINGS"
+        else:
+            static = "FLAGGED" if r.static_flagged else "missed"
+        lines.append(
+            f"{r.bug:<28} {static:<10} "
+            f"{', '.join(r.static_rules) or '-':<44} "
+            f"{r.trace_count:<7} {r.verdict:<10} "
+            f"{'YES' if r.agree else 'NO'}"
+        )
+        if r.ghost_diff:
+            lines.append(f"    ghost diff: {r.ghost_diff}")
+    return "\n".join(lines)

@@ -5,24 +5,11 @@ this pass judges the *code*, all paths at once. It abstractly interprets
 the AST of the handlers in ``repro.pkvm.mem_protect`` / ``repro.pkvm.hyp``
 and checks every path against the declared transition system
 (:data:`repro.ghost.spec.OWNERSHIP_EDGES`, parsed from the AST and never
-imported, like the frame manifests). Three abstract facts are tracked per
-path:
-
-- the page-state **effect** applied to each touched table
-  (``map:<STATE>``, ``unmap``, ``set_owner:<WHO>``), with the set of
-  permission checks that dominated it;
-- the set of **locks** held (via the lock-discipline pass's
-  classifier);
-- the path's **outcome**: success (returns 0), error (returns a
-  negative code), maybe-success (tail-returns a write's result), or
-  panic (raises — exempt: a panicking hypervisor makes no claims).
-
-Bug-flag conditions (``self.bugs.synth_*``) are resolved against an
-``assume_bugs`` set instead of being forked: the default (empty) set
-analyses the fixed hypervisor, and the differential eval
-(:mod:`repro.analysis.differential`) re-runs the pass once per synthetic
-bug with that flag assumed true, so the statically-analysed arms match
-what the dynamic oracle executes.
+imported, like the frame manifests). The path enumeration itself — env
+bindings, dominating checks, write effects, held locks, outcome
+classification, bug-flag resolution via ``assume_bugs`` — lives in the
+shared :mod:`repro.analysis.symexec` interpreter (also the base of the
+refinement pass); this module supplies the ownership judgement on top.
 
 Rules (SARIF ids ``ownership/<rule>``):
 
@@ -53,43 +40,25 @@ path explosion rather than analyse imprecisely.
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from pathlib import Path
 
-from repro.analysis.astutil import access_path, apply_pragmas, load_module_ast
-from repro.analysis.lockorder import _functions, classify_lock_op, pkvm_root
+from repro.analysis.astutil import apply_pragmas, load_module_ast
+from repro.analysis.lockorder import _functions, pkvm_root
 from repro.analysis.purity import spec_module_path
 from repro.analysis.report import Finding
-
-#: Page-table write primitives (repro.pkvm.pgtable) -> effect kind.
-WRITE_CALLS = {
-    "map_range": "map",
-    "unmap_range": "unmap",
-    "set_owner_range": "set_owner",
-}
-
-CHECK_CALL = "check_page_state"
-
-#: Constructors whose result carries a PageState (MapAttrs and friends).
-ATTR_CTORS = frozenset(
-    {"host_memory_attrs", "hyp_memory_attrs", "guest_memory_attrs", "MapAttrs"}
+from repro.analysis.symexec import (  # noqa: F401 — re-exported API
+    ATTR_CTORS,
+    CHECK_CALL,
+    PARAM_OWNERS,
+    PARAM_TABLES,
+    TABLE_ATTRS,
+    WRITE_CALLS,
+    PathInterp,
+    PathState,
+    Write,
+    resolve_condition,
 )
-
-#: Attribute spellings of the two tables MemProtect owns.
-TABLE_ATTRS = {"host_mmu": "host_mmu", "pkvm_pgd": "pkvm_pgd"}
-
-#: Parameter-name conventions: a guest stage 2 arrives as ``guest_pgt``
-#: and the guest's owner id as ``guest_owner`` (manifest spelling
-#: ``caller``). Fixtures use the same names.
-PARAM_TABLES = {"guest_pgt": "guest"}
-PARAM_OWNERS = {"guest_owner": "caller"}
-
-#: Path-state cap per function, as in the lock-discipline pass.
-_MAX_STATES = 256
-
-# Abstract value tags (values are small tuples; None means unknown).
-_ZERO = ("zero",)
-_ERR = ("err",)
 
 
 # ---------------------------------------------------------------------------
@@ -246,100 +215,11 @@ def parse_ownership_edges(
 
 
 # ---------------------------------------------------------------------------
-# Bug-flag condition resolution
+# The ownership judgement over the shared interpreter
 # ---------------------------------------------------------------------------
 
 
-def _flag_of(node: ast.expr) -> str | None:
-    """The bug-flag name if ``node`` spells ``<...>.bugs.<flag>``."""
-    resolved = access_path(node)
-    if resolved is None:
-        return None
-    root, segs = resolved
-    if len(segs) >= 2 and segs[-2] == "bugs":
-        return segs[-1]
-    if root == "bugs" and len(segs) == 1:
-        return segs[0]
-    return None
-
-
-def resolve_condition(test: ast.expr, assume: frozenset) -> bool | None:
-    """Evaluate a condition made of bug flags to True/False, else None.
-
-    ``self.bugs.<flag>`` is True iff the flag is in ``assume`` — the
-    default empty set analyses the fixed hypervisor. ``not``, ``and``
-    and ``or`` propagate with short-circuit semantics, so a partially
-    resolved ``flag and <unknown>`` collapses to False when the flag is
-    off and stays unknown (fork both arms) when it is assumed on.
-    """
-    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
-        inner = resolve_condition(test.operand, assume)
-        return None if inner is None else (not inner)
-    flag = _flag_of(test)
-    if flag is not None:
-        return flag in assume
-    if isinstance(test, ast.BoolOp):
-        parts = [resolve_condition(v, assume) for v in test.values]
-        if isinstance(test.op, ast.And):
-            if any(p is False for p in parts):
-                return False
-            if all(p is True for p in parts):
-                return True
-            return None
-        if any(p is True for p in parts):
-            return True
-        if all(p is False for p in parts):
-            return False
-        return None
-    if isinstance(test, ast.Constant):
-        return bool(test.value)
-    return None
-
-
-# ---------------------------------------------------------------------------
-# The path interpreter
-# ---------------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class _Write:
-    """One page-table write evaluated along a path."""
-
-    table: str
-    effect: str
-    line: int
-    column: int
-    #: permission checks that dominated the write: ((table, state), ...)
-    checks: tuple
-    #: False once the path refined this write's return code as failing.
-    happened: bool = True
-
-
-class _PathState:
-    """Mutable per-path state; forked by cloning."""
-
-    __slots__ = ("env", "checks", "writes", "held", "finished", "wrote_regs")
-
-    def __init__(self) -> None:
-        self.env: dict[str, tuple | None] = {}
-        self.checks: frozenset = frozenset()
-        self.writes: tuple[_Write, ...] = ()
-        self.held: tuple[str, ...] = ()
-        self.finished = False
-        self.wrote_regs = False
-
-    def clone(self) -> "_PathState":
-        out = _PathState.__new__(_PathState)
-        out.env = dict(self.env)
-        out.checks = self.checks
-        out.writes = self.writes
-        out.held = self.held
-        out.finished = self.finished
-        out.wrote_regs = self.wrote_regs
-        return out
-
-
-class _FnInterp:
+class _FnInterp(PathInterp):
     """Interpret one function's paths, applying every ownership rule.
 
     Functions named in the manifest get the transition-system rules;
@@ -347,6 +227,8 @@ class _FnInterp:
     write-back rule (``_hcall_*`` / ``_finish_hcall``), and the
     unmanifested-write rule for page-table primitives outside ops.
     """
+
+    analysis = "ownership"
 
     def __init__(
         self,
@@ -356,351 +238,24 @@ class _FnInterp:
         rules: dict[str, ParsedRule],
         assume: frozenset,
     ):
-        self.filename = filename
-        self.fn = fn
-        self.class_name = class_name
+        super().__init__(filename, fn, class_name, assume)
         self.rules = rules
         self.rule = rules.get(fn.name)
-        self.assume = assume
-        self.findings: list[Finding] = []
-        self.finally_stack: list[list[ast.stmt]] = []
-        self.bailed = False
 
-    def run(self) -> None:
-        entry = _PathState()
-        if self.rule is not None:
-            for arg in self.fn.args.posonlyargs + self.fn.args.args:
-                if arg.arg in PARAM_TABLES:
-                    entry.env[arg.arg] = ("table", PARAM_TABLES[arg.arg])
-                elif arg.arg in PARAM_OWNERS:
-                    entry.env[arg.arg] = ("owner", PARAM_OWNERS[arg.arg])
-        fallthrough = self.exec_block(self.fn.body, [entry])
-        if self.bailed:
-            self.findings.clear()
-            return
-        for path in fallthrough:
-            self._classify_exit(self.fn, path, value=None, implicit=True)
+    def on_bail(self) -> None:
+        self.findings.clear()
 
-    # -- reporting ---------------------------------------------------------
-
-    def _report(self, rule: str, message: str, node) -> None:
-        if isinstance(node, _Write):
-            line, column = node.line, node.column
-        else:
-            line = getattr(node, "lineno", 0)
-            column = getattr(node, "col_offset", -1) + 1
-        self.findings.append(
-            Finding(
-                analysis="ownership",
-                rule=rule,
-                message=message,
-                file=self.filename,
-                line=line,
-                function=self.fn.name,
-                column=column,
-            )
-        )
-
-    # -- block/statement execution ----------------------------------------
-
-    def exec_block(
-        self, stmts: list[ast.stmt], paths: list[_PathState]
-    ) -> list[_PathState]:
-        current = paths
-        for stmt in stmts:
-            nxt: list[_PathState] = []
-            for path in current:
-                nxt.extend(self.exec_stmt(stmt, path))
-            if len(nxt) > _MAX_STATES:
-                self.bailed = True
-                return []
-            current = nxt
-            if not current:
-                break
-        return current
-
-    def exec_stmt(self, stmt: ast.stmt, path: _PathState) -> list[_PathState]:
-        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-            return [path]  # analysed separately; defining isn't executing
-        if isinstance(stmt, ast.Assign):
-            value = self.eval(stmt.value, path)
-            for target in stmt.targets:
-                self._bind(target, value, path)
-            return [path]
-        if isinstance(stmt, ast.AnnAssign):
-            if stmt.value is not None:
-                self._bind(stmt.target, self.eval(stmt.value, path), path)
-            return [path]
-        if isinstance(stmt, ast.AugAssign):
-            self.eval(stmt.value, path)
-            if isinstance(stmt.target, ast.Name):
-                path.env[stmt.target.id] = None
-            return [path]
-        if isinstance(stmt, ast.Expr):
-            self.eval(stmt.value, path)
-            return [path]
-        if isinstance(stmt, ast.Return):
-            self._exit(stmt, path, value=stmt.value)
-            return []
-        if isinstance(stmt, ast.Raise):
-            self._exit(stmt, path, value=None, panic=True)
-            return []
-        if isinstance(stmt, ast.If):
-            return self._exec_if(stmt, path)
-        if isinstance(stmt, (ast.For, ast.While)):
-            if isinstance(stmt, ast.For):
-                self.eval(stmt.iter, path)
-            else:
-                self.eval(stmt.test, path)
-            # Zero or one iterations: one pass records any effects and
-            # exits; the effect set does not change per iteration.
-            body_path = path.clone()
-            if isinstance(stmt, ast.For):
-                for name_node in ast.walk(stmt.target):
-                    if isinstance(name_node, ast.Name):
-                        body_path.env[name_node.id] = None
-            outs = [path] + self.exec_block(stmt.body, [body_path])
-            if stmt.orelse:
-                return self.exec_block(stmt.orelse, outs)
-            return outs
-        if isinstance(stmt, ast.With):
-            for item in stmt.items:
-                self.eval(item.context_expr, path)
-            return self.exec_block(stmt.body, [path])
-        if isinstance(stmt, ast.Try):
-            return self._exec_try(stmt, path)
-        if isinstance(stmt, ast.Assert):
-            self.eval(stmt.test, path)
-            return [path]
-        if isinstance(stmt, (ast.Break, ast.Continue)):
-            return [path]  # approximate: falls through past the loop
-        return [path]
-
-    def _exec_if(self, stmt: ast.If, path: _PathState) -> list[_PathState]:
-        resolved = resolve_condition(stmt.test, self.assume)
-        if resolved is True:
-            return self.exec_block(stmt.body, [path])
-        if resolved is False:
-            return self.exec_block(stmt.orelse, [path])
-        true_path, false_path = self._refine(stmt.test, path)
-        outs = self.exec_block(stmt.body, [true_path])
-        outs.extend(self.exec_block(stmt.orelse, [false_path]))
-        return outs
-
-    def _refine(
-        self, test: ast.expr, path: _PathState
-    ) -> tuple[_PathState, _PathState]:
-        """Fork on ``test``; refine ``if ret:``-shaped checks on a bound
-        check/write result: the true arm means the call failed, the false
-        arm means it succeeded (checks count, writes took effect)."""
-        negate = False
-        node = test
-        while isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
-            negate = not negate
-            node = node.operand
-        true_path, false_path = path.clone(), path.clone()
-        if isinstance(node, ast.Name):
-            value = path.env.get(node.id)
-            fail_path, ok_path = (
-                (false_path, true_path) if negate else (true_path, false_path)
-            )
-            if value is not None and value[0] == "check":
-                _tag, table, state = value
-                fail_path.env[node.id] = _ERR
-                ok_path.env[node.id] = _ZERO
-                ok_path.checks = ok_path.checks | {(table, state)}
-            elif value is not None and value[0] == "wref":
-                index = value[1]
-                fail_path.env[node.id] = _ERR
-                ok_path.env[node.id] = _ZERO
-                writes = list(fail_path.writes)
-                if 0 <= index < len(writes):
-                    writes[index] = replace(writes[index], happened=False)
-                    fail_path.writes = tuple(writes)
-        else:
-            self.eval(node, true_path)  # effects evaluate once; reuse state
-            false_path = true_path.clone()
-        return true_path, false_path
-
-    def _exec_try(self, stmt: ast.Try, path: _PathState) -> list[_PathState]:
-        self.finally_stack.append(stmt.finalbody)
-        entry = path.clone()
-        outs = self.exec_block(stmt.body, [path])
-        if stmt.orelse:
-            outs = self.exec_block(stmt.orelse, outs)
-        for handler in stmt.handlers:
-            outs.extend(self.exec_block(handler.body, [entry.clone()]))
-        self.finally_stack.pop()
-        final_outs: list[_PathState] = []
-        for out in outs:
-            final_outs.extend(self.exec_block(stmt.finalbody, [out]))
-        return final_outs
-
-    # -- expression evaluation ---------------------------------------------
-
-    def eval(self, node: ast.expr | None, path: _PathState) -> tuple | None:
-        """Evaluate an expression abstractly, recording page-table
-        effects, lock transitions, and op call sites as side effects."""
-        if node is None:
-            return None
-        if isinstance(node, ast.Constant):
-            if node.value == 0 and not isinstance(node.value, bool):
-                return _ZERO
-            if isinstance(node.value, int) and node.value < 0:
-                return _ERR
-            return None
-        if isinstance(node, ast.Name):
-            return path.env.get(node.id)
-        if isinstance(node, ast.UnaryOp):
-            inner = self.eval(node.operand, path)
-            if isinstance(node.op, ast.USub):
-                return _ZERO if inner == _ZERO else _ERR
-            return None
-        if isinstance(node, ast.Attribute):
-            resolved = access_path(node)
-            if resolved is not None:
-                root, segs = resolved
-                if root == "PageState" and len(segs) == 1:
-                    return ("state", segs[0])
-                if root == "OwnerId" and len(segs) == 1:
-                    return ("owner", segs[0])
-            return None
-        if isinstance(node, ast.IfExp):
-            resolved = resolve_condition(node.test, self.assume)
-            if resolved is True:
-                return self.eval(node.body, path)
-            if resolved is False:
-                return self.eval(node.orelse, path)
-            self.eval(node.body, path)
-            self.eval(node.orelse, path)
-            return None
-        if isinstance(node, ast.BoolOp):
-            for value in node.values:
-                self.eval(value, path)
-            return None
-        if isinstance(node, ast.Call):
-            return self._eval_call(node, path)
-        for child in ast.iter_child_nodes(node):
-            if isinstance(child, ast.expr):
-                self.eval(child, path)
-            elif isinstance(child, ast.comprehension):
-                self.eval(child.iter, path)
-                for cond in child.ifs:
-                    self.eval(cond, path)
-        return None
-
-    def _call_name(self, node: ast.Call) -> str | None:
-        if isinstance(node.func, ast.Name):
-            return node.func.id
-        if isinstance(node.func, ast.Attribute):
-            return node.func.attr
-        return None
-
-    def _eval_call(self, node: ast.Call, path: _PathState) -> tuple | None:
-        lock_op = classify_lock_op(node, self.class_name)
-        if lock_op is not None:
-            kind, name = lock_op
-            if kind == "acquire":
-                path.held = path.held + (name,)
-            elif name in path.held:
-                index = len(path.held) - 1 - path.held[::-1].index(name)
-                path.held = path.held[:index] + path.held[index + 1 :]
-            return None
-        name = self._call_name(node)
-        arg_values = [self.eval(arg, path) for arg in node.args]
-        for kw in node.keywords:
-            self.eval(kw.value, path)
-        if name is None:
-            return None
-        if name in self.rules and not (
-            isinstance(node.func, ast.Name) and name == self.fn.name
-        ):
-            self._check_op_call(name, node, path)
-            return None
-        if name == "_finish_hcall":
-            path.finished = True
-            return None
-        if name == CHECK_CALL:
-            table = self._resolve_table(node.args[0], path) if node.args else "?"
-            state = next(
-                (v[1] for v in arg_values if v is not None and v[0] == "state"),
-                None,
-            )
-            return ("check", table, state)
-        if name in WRITE_CALLS:
-            return self._record_write(name, node, arg_values, path)
-        if name in ATTR_CTORS:
-            state = next(
-                (v[1] for v in arg_values if v is not None and v[0] == "state"),
-                None,
-            )
-            return ("attrs", state)
-        if name == "int" and len(arg_values) == 1:
-            return arg_values[0]
-        return None
-
-    def _resolve_table(self, node: ast.expr, path: _PathState) -> str:
-        if isinstance(node, ast.Name):
-            value = path.env.get(node.id)
-            if value is not None and value[0] == "table":
-                return value[1]
-            if node.id in PARAM_TABLES:
-                return PARAM_TABLES[node.id]
-            return node.id
-        resolved = access_path(node)
-        if resolved is not None and resolved[1]:
-            last = resolved[1][-1]
-            if last in TABLE_ATTRS:
-                return TABLE_ATTRS[last]
-        try:
-            return ast.unparse(node)
-        except Exception:  # noqa: BLE001 — a label, not a computation
-            return "?"
-
-    def _record_write(
-        self,
-        name: str,
-        node: ast.Call,
-        arg_values: list,
-        path: _PathState,
-    ) -> tuple | None:
-        kind = WRITE_CALLS[name]
-        table = self._resolve_table(node.args[0], path) if node.args else "?"
-        if self.rule is None:
-            self._report(
-                "unmanifested-write",
-                f"{name}() on {table!r} outside any OWNERSHIP_EDGES op "
-                f"(page-table writes belong to declared operations)",
-                node,
-            )
-            return None
-        if kind == "map":
-            state = next(
-                (v[1] for v in arg_values if v is not None and v[0] == "attrs"),
-                None,
-            )
-            effect = f"map:{state or '?'}"
-        elif kind == "set_owner":
-            owner = next(
-                (v[1] for v in arg_values if v is not None and v[0] == "owner"),
-                None,
-            )
-            effect = f"set_owner:{owner or '?'}"
-        else:
-            effect = "unmap"
-        write = _Write(
-            table=table,
-            effect=effect,
-            line=node.lineno,
-            column=node.col_offset + 1,
-            checks=tuple(sorted(path.checks)),
-        )
-        path.writes = path.writes + (write,)
-        return ("wref", len(path.writes) - 1)
-
-    def _check_op_call(
-        self, op: str, node: ast.Call, path: _PathState
+    def on_unmanifested_write(
+        self, name: str, table: str, node: ast.Call
     ) -> None:
+        self._report(
+            "unmanifested-write",
+            f"{name}() on {table!r} outside any OWNERSHIP_EDGES op "
+            f"(page-table writes belong to declared operations)",
+            node,
+        )
+
+    def on_op_call(self, op: str, node: ast.Call, path: PathState) -> None:
         rule = self.rules[op]
         missing = sorted(set(rule.locks) - set(path.held))
         if missing:
@@ -712,44 +267,7 @@ class _FnInterp:
                 node,
             )
 
-    # -- path exits --------------------------------------------------------
-
-    def _exit(
-        self,
-        stmt: ast.stmt,
-        path: _PathState,
-        *,
-        value: ast.expr | None,
-        panic: bool = False,
-    ) -> None:
-        # Evaluate the returned expression first (tail writes), then run
-        # pending finally bodies innermost-first before the frame exits.
-        returned = None if panic else self.eval(value, path)
-        paths = [path]
-        for finalbody in reversed(self.finally_stack):
-            paths = self.exec_block(finalbody, paths)
-        for out in paths:
-            if panic:
-                continue  # a panicking path asserts nothing
-            self._classify_exit(stmt, out, value=value, returned=returned)
-
-    def _classify_exit(
-        self,
-        node: ast.AST,
-        path: _PathState,
-        *,
-        value: ast.expr | None,
-        returned: tuple | None = None,
-        implicit: bool = False,
-    ) -> None:
-        if returned is None and value is not None:
-            returned = path.env.get(value.id) if isinstance(value, ast.Name) else None
-        if returned == _ZERO:
-            outcome = "success"
-        elif returned == _ERR:
-            outcome = "error"
-        else:
-            outcome = "maybe"
+    def on_exit(self, node: ast.AST, path: PathState, outcome: str) -> None:
         if self.rule is not None:
             self._check_op_path(node, path, outcome)
         if self.fn.name.startswith("_hcall_") and not path.finished:
@@ -766,10 +284,9 @@ class _FnInterp:
                 "registers (the write-back must happen on all paths)",
                 node,
             )
-        del implicit
 
     def _check_op_path(
-        self, node: ast.AST, path: _PathState, outcome: str
+        self, node: ast.AST, path: PathState, outcome: str
     ) -> None:
         rule = self.rule
         assert rule is not None
@@ -823,24 +340,6 @@ class _FnInterp:
                     "(both halves must land together)",
                     anchor,
                 )
-
-    def _bind(
-        self, target: ast.expr, value: tuple | None, path: _PathState
-    ) -> None:
-        if isinstance(target, ast.Name):
-            path.env[target.id] = value
-            return
-        if isinstance(target, (ast.Tuple, ast.List)):
-            for name_node in ast.walk(target):
-                if isinstance(name_node, ast.Name):
-                    path.env[name_node.id] = None
-            return
-        if (
-            isinstance(target, ast.Subscript)
-            and isinstance(target.value, ast.Attribute)
-            and target.value.attr == "regs"
-        ):
-            path.wrote_regs = True
 
 
 # ---------------------------------------------------------------------------

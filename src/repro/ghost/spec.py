@@ -1246,3 +1246,21 @@ OWNERSHIP_EDGES = {
         locks=("host_mmu",),
     ),
 }
+
+
+#: Handler -> spec pairing for the symbolic refinement pass
+#: (``python -m repro.analysis refinement``): each key names a handler
+#: function in ``repro.pkvm``; the value names the ghost function in this
+#: module whose return codes and ``g_post`` effects that handler must
+#: refine. The pass extracts the spec summary *statically* (return-code
+#: ladder via ``_result(...)``'s ret argument or plain returns, success
+#: effects via ``g_post.<ghost path>.insert/remove(...)`` calls, a direct
+#: ``.regs`` store as the write-back obligation) — keep both sides
+#: literal so the pairing is parseable without importing this module.
+#: See docs/SPEC_GUIDE.md, "What the refinement pass assumes".
+REFINEMENT_SPECS = {
+    "do_share_hyp": "compute_post__pkvm_host_share_hyp",
+    "do_unshare_hyp": "compute_post__pkvm_host_unshare_hyp",
+    "do_donate_hyp": "_spec_donate_hyp",
+    "_finish_hcall": "_epilogue",
+}

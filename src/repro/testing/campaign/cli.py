@@ -158,6 +158,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="directory for flight-recorder dump artifacts",
     )
+    parser.add_argument(
+        "--seed-corpus",
+        default=None,
+        metavar="DIR",
+        help="replay every *.trace file in DIR through the oracle before "
+        "the random batches (e.g. the refinement pass's concretized "
+        "counterexamples from --refinement-corpus); detections join the "
+        "campaign's deduplicated findings",
+    )
     return parser
 
 
@@ -179,6 +188,8 @@ def format_report(report: CampaignReport) -> str:
             f"schedule coverage: {report.coverage_windows} "
             "interleaving windows",
         )
+    if report.corpus_traces:
+        lines.insert(-1, f"corpus seeds:     {report.corpus_traces} replayed")
     for finding in report.findings:
         label = finding.klass + (f"/{finding.kind}" if finding.kind else "")
         shrunk = (
@@ -237,6 +248,7 @@ def main(argv: list[str] | None = None) -> int:
             metrics_out=args.metrics_out,
             flight_buffer=args.flight_buffer,
             flight_dir=args.flight_dir,
+            seed_corpus=args.seed_corpus,
         )
         engine = CampaignEngine(config, out=args.out)
     report = engine.run()

@@ -87,6 +87,10 @@ class CampaignConfig:
     metrics_out: str | None = None
     flight_buffer: int = 0
     flight_dir: str = "."
+    #: Directory of ``*.trace`` seed files (e.g. the refinement pass's
+    #: concretized counterexamples, ``--refinement-corpus``) replayed
+    #: through the oracle before any random batches run.
+    seed_corpus: str | None = None
 
     @property
     def tracing(self) -> bool:
@@ -134,6 +138,7 @@ class CampaignConfig:
             "metrics_out": self.metrics_out,
             "flight_buffer": self.flight_buffer,
             "flight_dir": self.flight_dir,
+            "seed_corpus": self.seed_corpus,
         }
 
     @staticmethod
@@ -157,6 +162,8 @@ class CampaignReport:
     resumed: bool = False
     #: Concurrency mode: distinct interleaving-class windows explored.
     coverage_windows: int = 0
+    #: Seed-corpus traces replayed before the random batches.
+    corpus_traces: int = 0
 
     @property
     def hypercalls_per_hour(self) -> float:
@@ -174,6 +181,7 @@ class CampaignReport:
             "coverage_lines": self.coverage_lines,
             "coverage_functions": self.coverage_functions,
             "coverage_windows": self.coverage_windows,
+            "corpus_traces": self.corpus_traces,
             "findings": [f.to_jsonable() for f in self.findings],
         }
 
@@ -216,6 +224,7 @@ class CampaignEngine:
         self.total_rejected = 0
         self.resumed = False
         self._started = 0.0
+        self._corpus_traces = 0
 
     # -- resume ----------------------------------------------------------
 
@@ -319,11 +328,44 @@ class CampaignEngine:
 
     def run(self) -> CampaignReport:
         self._started = time.perf_counter()
+        self._corpus_traces = 0
+        if self.config.seed_corpus is not None:
+            self._replay_corpus()
         if self.config.inline or self.config.workers <= 1:
             self._run_inline()
         else:
             self._run_pool()
         return self._finalize()
+
+    def _replay_corpus(self) -> None:
+        """Replay every ``*.trace`` seed through the campaign's oracle.
+
+        Seeds come from the refinement pass's concretized counterexamples
+        (``--refinement-corpus``) or any saved finding trace; each runs
+        ghost-on against the campaign's *configured* hypervisor (the
+        campaign's bug flags, not the ones recorded in the trace), so a
+        clean-tree campaign with a seeded-run corpus stays clean, while a
+        seeded campaign turns each static counterexample into a finding
+        before a single random batch runs. Detections dedupe through the
+        same index as random findings.
+        """
+        from pathlib import Path
+
+        from repro.arch.exceptions import HostCrash, HypervisorPanic
+        from repro.ghost.checker import SpecViolation
+        from repro.pkvm.bugs import Bugs
+        from repro.testing.campaign.findings import make_finding
+        from repro.testing.trace import Trace
+
+        bugs = Bugs(**{name: True for name in self.config.bug_names})
+        for path in sorted(Path(self.config.seed_corpus).glob("*.trace")):
+            trace = Trace.loads(path.read_text())
+            trace.bug_names = tuple(self.config.bug_names)
+            self._corpus_traces += 1
+            try:
+                trace.replay(ghost=True, bugs=bugs)
+            except (SpecViolation, HypervisorPanic, HostCrash) as exc:
+                self.dedup.add(make_finding(exc, trace))
 
     def _run_inline(self) -> None:
         while self._should_issue():
@@ -421,6 +463,7 @@ class CampaignEngine:
             coverage_lines=self.coverage.line_count(),
             coverage_functions=self.coverage.function_count(),
             coverage_windows=self.schedule_coverage.window_count(),
+            corpus_traces=self._corpus_traces,
             seconds=time.perf_counter() - self._started,
             resumed=self.resumed,
         )
@@ -438,6 +481,7 @@ class CampaignEngine:
         m.gauge("campaign_coverage_lines").set(report.coverage_lines)
         m.gauge("campaign_coverage_functions").set(report.coverage_functions)
         m.gauge("campaign_coverage_windows").set(report.coverage_windows)
+        m.gauge("campaign_corpus_traces").set(report.corpus_traces)
         m.gauge("campaign_batches").set(report.batches)
         m.gauge("campaign_steps_total").set(report.total_steps)
         m.gauge("campaign_hypercalls_total").set(report.total_hypercalls)

@@ -83,6 +83,8 @@ CATEGORIES: dict[str, list[str]] = {
         "analysis/frame.py",
         "analysis/bitfields.py",
         "analysis/ownership.py",
+        "analysis/symexec.py",
+        "analysis/refinement.py",
         "analysis/differential.py",
         "analysis/scenarios.py",
         "analysis/cli.py",

@@ -1,0 +1,99 @@
+"""Deliberately spec-divergent handlers — negative fixture for the
+refinement pass. Parsed by AST only, never imported; the pass reads the
+REFINEMENT_SPECS literal below and the spec functions from this same
+file (single-file mode). Each handler trips one designed rule:
+
+- ``share_page_wrongly``: drops the spec's ``-EPERM`` check
+  (``spec-path-unreachable``), grows a ``-EBUSY`` exit the spec never
+  declares (``handler-path-unspecified``), and never maps the hyp half
+  of the share (``post-mismatch``, missing effect);
+- ``recolor_page``: maps the page into the hyp table on top of the
+  declared annotation (``post-mismatch``, extra effect);
+- ``maze``: branches on nine data bits, blowing the symbolic path
+  budget (``symbolic-timeout``) — and carries a reasonless suppression
+  pragma, which is itself rejected as ``suppression/bad-pragma``.
+"""
+
+from repro.arch.defs import PAGE_SIZE
+from repro.arch.pte import PageState
+from repro.pkvm.defs import EBUSY, EINVAL, EPERM, OwnerId
+
+REFINEMENT_SPECS = {
+    "share_page_wrongly": "spec_share_page",
+    "recolor_page": "spec_recolor_page",
+    "maze": "spec_maze",
+}
+
+
+def spec_share_page(g_pre, g_post, call):
+    if call.size != PAGE_SIZE:
+        return -EINVAL
+    if g_pre.host.shared.get(call.pfn) is not None:
+        return -EPERM
+    g_post.host.shared.insert(call.pfn, PageState.SHARED_OWNED)
+    g_post.pkvm.pgt.mapping.insert(call.pfn, PageState.SHARED_BORROWED)
+    return 0
+
+
+def spec_recolor_page(g_pre, g_post, call):
+    g_post.host.annot.insert(call.pfn, OwnerId.HYP)
+    return 0
+
+
+def spec_maze(g_pre, g_post, call):
+    return 0
+
+
+class DemoRefinement:
+    def share_page_wrongly(self, phys, size):
+        # The spec's already-shared -EPERM check is gone, a transient
+        # -EBUSY exit appeared, and the pkvm half is never mapped.
+        if size != PAGE_SIZE:
+            return -EINVAL
+        if self.transient_busy(phys):
+            return -EBUSY
+        ret = map_range(
+            self.host_mmu,
+            phys,
+            PAGE_SIZE,
+            phys,
+            host_memory_attrs(True, PageState.SHARED_OWNED),
+        )
+        if ret:
+            return ret
+        return 0
+
+    def recolor_page(self, phys):
+        # The annotation matches the spec; the hyp mapping is extra.
+        set_owner_range(self.host_mmu, phys, PAGE_SIZE, OwnerId.HYP)
+        map_range(
+            self.pkvm_pgd,
+            phys,
+            PAGE_SIZE,
+            phys,
+            hyp_memory_attrs(PageState.OWNED),
+        )
+        return 0
+
+    # analysis: allow[symbolic-timeout]
+    def maze(self, phys):
+        # 2^9 paths: past the MAX_STATES=256 symbolic budget.
+        if phys & 1:
+            phys += 1
+        if phys & 2:
+            phys += 2
+        if phys & 4:
+            phys += 4
+        if phys & 8:
+            phys += 8
+        if phys & 16:
+            phys += 16
+        if phys & 32:
+            phys += 32
+        if phys & 64:
+            phys += 64
+        if phys & 128:
+            phys += 128
+        if phys & 256:
+            phys += 256
+        return 0

@@ -277,3 +277,108 @@ class TestOwnershipDifferential:
         assert "<clean>" in out
         assert "synth_missing_ret_write" in out
         assert "ownership-differential: ok" in out
+
+
+class TestRefinementPass:
+    def test_refinement_pass_exits_zero_on_the_repo(self, capsys):
+        assert main(["refinement"]) == 0
+        assert "refinement: clean" in capsys.readouterr().out
+
+    def test_bad_refinement_fixture_fails_the_build(self, capsys):
+        rc = main(
+            ["refinement", "--pkvm-root", str(FIXTURES / "bad_refinement.py")]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "[refinement/post-mismatch]" in out
+        assert "[refinement/spec-path-unreachable]" in out
+        assert "[refinement/handler-path-unspecified]" in out
+        assert "[refinement/symbolic-timeout]" in out
+        assert "[suppression/bad-pragma]" in out
+
+    def test_static_only_refinement_differential_is_green(self, capsys):
+        rc = main(["--refinement-differential", "--differential-static-only"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "<clean>" in out and "PLAUSIBLE" in out
+        assert "refinement-differential: ok" in out
+
+    def test_refinement_corpus_export_flag(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        rc = main(
+            [
+                "--refinement-differential",
+                "--differential-static-only",
+                "--refinement-corpus",
+                str(corpus),
+            ]
+        )
+        assert rc == 0
+        assert list(corpus.glob("*.trace"))
+
+
+class TestParallelJobs:
+    ARGS = [
+        "purity",
+        "ownership",
+        "refinement",
+        "--spec-module",
+        str(FIXTURES / "bad_spec.py"),
+    ]
+
+    def test_parallel_run_matches_serial_output(self, capsys):
+        """Findings, their order, and the exit code are identical with a
+        thread pool; only the timing line may differ."""
+        rc_serial = main(self.ARGS)
+        serial = capsys.readouterr().out.splitlines()
+        rc_parallel = main(self.ARGS + ["--jobs", "3"])
+        parallel = capsys.readouterr().out.splitlines()
+        assert rc_serial == rc_parallel == 1
+        strip = lambda lines: [  # noqa: E731
+            ln for ln in lines if not ln.startswith("repro.analysis timing:")
+        ]
+        assert strip(serial) == strip(parallel)
+
+    def test_jobs_must_be_positive(self):
+        import pytest
+
+        with pytest.raises(SystemExit) as exc:
+            main(["purity", "--jobs", "0"])
+        assert exc.value.code == 2
+
+
+class TestCrashedPass:
+    BAD = ["purity", "--spec-module", "/nonexistent/spec_module.py"]
+
+    def test_a_crashed_pass_exits_two_with_traceback(self, capsys):
+        rc = main(self.BAD)
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert "1 pass(es) CRASHED" in captured.out
+        assert "pass purity crashed" in captured.err
+        assert "Traceback" in captured.err
+
+    def test_json_payload_carries_the_error(self, capsys):
+        rc = main(self.BAD + ["--json"])
+        assert rc == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert "purity" in payload["errors"]
+        assert "Traceback" in payload["errors"]["purity"]
+        assert payload["findings"] == []
+
+    def test_findings_from_healthy_passes_still_reported(self, capsys):
+        rc = main(
+            [
+                "purity",
+                "lockorder",
+                "--json",
+                "--spec-module",
+                "/nonexistent/spec_module.py",
+                "--pkvm-root",
+                str(FIXTURES / "bad_locking.py"),
+            ]
+        )
+        assert rc == 2  # a crash outranks findings
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["lock-discipline"] >= 1
+        assert set(payload["errors"]) == {"purity"}

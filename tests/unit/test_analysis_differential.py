@@ -1,13 +1,21 @@
 """Tests for the static-vs-dynamic differential eval
 (repro.analysis.differential). The unit tier runs the static side only;
 the dynamic replays are covered by the detection-matrix integration
-tests and the CI ``--ownership-differential`` step."""
+tests and the CI ``--ownership-differential`` /
+``--refinement-differential`` steps."""
 
 from repro.analysis.differential import (
+    DESIGNED_RULES,
+    DYNAMIC_ONLY,
     OWNERSHIP_BUGS,
+    REFINEMENT_BUGS,
+    RefinementResult,
     differential_ok,
     format_differential,
+    format_refinement_differential,
+    refinement_differential_ok,
     run_differential,
+    run_refinement_differential,
 )
 
 
@@ -40,12 +48,7 @@ class TestStaticSide:
             for f in dataclasses.fields(Bugs)
             if f.name.startswith("synth_")
         }
-        dynamic_only = {
-            "synth_teardown_page_leak",
-            "synth_fault_off_by_one",
-            "synth_vttbr_not_restored",
-        }
-        assert synth == set(OWNERSHIP_BUGS) | dynamic_only
+        assert synth == set(OWNERSHIP_BUGS) | set(DYNAMIC_ONLY)
 
     def test_formatting_marks_agreement(self):
         results = run_differential(dynamic=False)
@@ -79,3 +82,72 @@ class TestDisagreementDetection:
             dynamic_how="n/a",
         )
         assert not polluted.agree
+
+
+class TestRefinementStaticSide:
+    def test_matrix_is_green(self):
+        results = run_refinement_differential(dynamic=False)
+        assert refinement_differential_ok(
+            results
+        ), format_refinement_differential(results)
+
+    def test_every_bug_is_flagged_with_its_designed_rule(self):
+        results = {
+            r.bug: r for r in run_refinement_differential(dynamic=False)
+        }
+        for bug in REFINEMENT_BUGS:
+            assert results[bug].static_flagged, bug
+            assert DESIGNED_RULES[bug] in results[bug].static_rules, bug
+
+    def test_static_only_results_stay_plausible(self):
+        results = run_refinement_differential(dynamic=False)
+        for result in results[1:]:
+            assert result.confirmed is None
+            assert result.verdict == "PLAUSIBLE"
+
+    def test_corpus_export_writes_one_trace_per_handler(self, tmp_path):
+        from repro.testing.trace import Trace
+
+        run_refinement_differential(dynamic=False, corpus_dir=tmp_path)
+        files = sorted(tmp_path.glob("*.trace"))
+        assert len(files) == len(REFINEMENT_BUGS)
+        for path in files:
+            bug, _, function = path.stem.partition("__")
+            trace = Trace.loads(path.read_text())
+            assert trace.bug_names == (bug,)
+            assert trace.meta["refinement"]["function"] == function
+
+    def test_formatting_carries_verdicts(self):
+        text = format_refinement_differential(
+            run_refinement_differential(dynamic=False)
+        )
+        assert "<clean>" in text and "PLAUSIBLE" in text
+        assert "synth_share_skip_check" in text
+
+
+class TestRefinementDisagreement:
+    def row(self, **overrides):
+        base = dict(
+            bug="synth_unshare_leak",
+            static_flagged=True,
+            static_rules=("post-mismatch",),
+            designed_rule="post-mismatch",
+            confirmed=True,
+            ghost_diff="spec-violation:post-mismatch",
+            trace_count=1,
+        )
+        base.update(overrides)
+        return RefinementResult(**base)
+
+    def test_confirmed_row_agrees(self):
+        row = self.row()
+        assert row.verdict == "CONFIRMED" and row.agree
+
+    def test_wrong_rule_fails_even_when_flagged(self):
+        row = self.row(static_rules=("symbolic-timeout",))
+        assert not row.agree
+
+    def test_refuted_replay_fails_the_matrix(self):
+        row = self.row(confirmed=False)
+        assert row.verdict == "PLAUSIBLE"
+        assert not refinement_differential_ok([row])
