@@ -199,6 +199,16 @@ def build_parser() -> argparse.ArgumentParser:
         "spotless",
     )
     parser.add_argument(
+        "--iommu-differential",
+        action="store_true",
+        help="instead of running passes, run the IOMMU differential eval: "
+        "check the clean tree is statically spotless over both registered "
+        "subsystems, assert the seeded domain-refcount bug has a stance "
+        "(statically flagged or documented dynamic-only), and replay the "
+        "concrete alloc_domain/attach_dev/map_pages trace under the ghost "
+        "oracle and bare; exit 1 unless every row agrees",
+    )
+    parser.add_argument(
         "--refinement-corpus",
         metavar="DIR",
         default=None,
@@ -248,6 +258,22 @@ def _run_refinement_differential(args) -> int:
     return 0 if ok else 1
 
 
+def _run_iommu_differential(args) -> int:
+    from repro.analysis.differential import (
+        format_iommu_differential,
+        iommu_differential_ok,
+        run_iommu_differential,
+    )
+
+    results = run_iommu_differential(
+        dynamic=not args.differential_static_only
+    )
+    print(format_iommu_differential(results))
+    ok = iommu_differential_ok(results)
+    print(f"repro.analysis: iommu-differential: {'ok' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
 def _pass_thunks(args) -> dict:
     """One zero-argument callable per pass, closed over the CLI options."""
     return {
@@ -279,6 +305,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_differential(args)
     if args.refinement_differential:
         return _run_refinement_differential(args)
+    if args.iommu_differential:
+        return _run_iommu_differential(args)
     unknown = [p for p in args.passes if p not in PASSES]
     if unknown:
         parser.error(

@@ -166,6 +166,14 @@ DYNAMIC_ONLY = {
         "data-dependent: a stale VTTBR value is register state the "
         "path-sensitive interpreter does not model"
     ),
+    "synth_iommu_refcount_init": (
+        "init-ordering: alloc_domain publishes the domain before its "
+        "refcount is initialised — the divergence is a missing data "
+        "write, not a control-flow arm or page-table op, so neither the "
+        "ownership nor the refinement pass sees it; the oracle catches "
+        "the refcount post-mismatch at alloc, and the bare machine hits "
+        "BUG_ON(!old) at the first domain_get"
+    ),
 }
 
 
@@ -289,6 +297,155 @@ def run_refinement_differential(
 
 def refinement_differential_ok(results: list[RefinementResult]) -> bool:
     return all(r.agree for r in results)
+
+
+# ---------------------------------------------------------------------------
+# IOMMU differential: the second boundary's seeded bug vs. both sides
+# ---------------------------------------------------------------------------
+
+#: The seeded IOMMU bug (the jetson-pkvm domain-refcount/init-ordering
+#: crash). Documented dynamic-only in :data:`DYNAMIC_ONLY`; the harness
+#: asserts that stance and confirms the oracle's verdict on a concrete
+#: alloc_domain/attach_dev/map_pages trace.
+IOMMU_BUG = "synth_iommu_refcount_init"
+
+
+@dataclass(frozen=True)
+class IommuDifferentialResult:
+    """One row of the IOMMU matrix (plus the clean row, bug='<clean>').
+
+    ``confirmed`` is the oracle's word on the concrete trace: True when
+    the ghost replay flags the buggy run AND the bare replay panics at
+    the real ``BUG_ON(!old)`` site; None when replay was skipped.
+    """
+
+    bug: str
+    static_flagged: bool
+    static_rules: tuple[str, ...]
+    documented_dynamic_only: bool
+    confirmed: bool | None
+    ghost_diff: str
+
+    @property
+    def verdict(self) -> str:
+        if self.bug == "<clean>":
+            return "clean" if not self.static_flagged else "FINDINGS"
+        if self.confirmed is None:
+            return "PLAUSIBLE"
+        return "CONFIRMED" if self.confirmed else "PLAUSIBLE"
+
+    @property
+    def agree(self) -> bool:
+        if self.bug == "<clean>":
+            return not self.static_flagged
+        covered = self.static_flagged or self.documented_dynamic_only
+        return covered and self.confirmed is not False
+
+
+def _replay_iommu_trace(*, ghost: bool) -> tuple[bool, str]:
+    """Drive the concrete alloc_domain/attach_dev/map_pages trace with the
+    refcount bug seeded; (detected, how)."""
+    from repro.arch.defs import PAGE_SIZE
+    from repro.arch.exceptions import HostCrash, HypervisorPanic
+    from repro.ghost.checker import SpecViolation
+    from repro.machine import Machine
+    from repro.pkvm.bugs import Bugs
+    from repro.testing.proxy import HypProxy
+
+    machine = Machine(ghost=ghost, bugs=Bugs.single(IOMMU_BUG))
+    proxy = HypProxy(machine)
+    try:
+        proxy.iommu_alloc_domain(3)
+        proxy.iommu_attach_dev(3, 5)
+        proxy.iommu_map_page(3, 0x80 * PAGE_SIZE, proxy.alloc_page())
+    except SpecViolation as exc:
+        return True, f"spec-violation:{exc.kind}: {exc.detail.splitlines()[0]}"
+    except HypervisorPanic as exc:
+        return True, f"hyp-panic: {exc}"
+    except HostCrash as exc:
+        return True, f"host-crash: {exc}"
+    if ghost and machine.checker is not None and machine.checker.violations:
+        v = machine.checker.violations[0]
+        return True, f"spec-violation:{v.kind}"
+    return False, "clean"
+
+
+def run_iommu_differential(*, dynamic: bool = True) -> list[IommuDifferentialResult]:
+    """The IOMMU differential matrix.
+
+    The clean row runs the registry-mode ownership and refinement passes
+    (both subsystems) and must be spotless. The bug row asserts the
+    seeded refcount bug has a stance — statically flagged or documented
+    dynamic-only — and, unless ``dynamic=False``, replays the concrete
+    trace twice: under the oracle (which must flag it) and bare (which
+    must hit the real panic).
+    """
+    results: list[IommuDifferentialResult] = []
+    clean = check_ownership() + _refinement_findings()
+    results.append(
+        IommuDifferentialResult(
+            bug="<clean>",
+            static_flagged=bool(clean),
+            static_rules=tuple(sorted({f.rule for f in clean})),
+            documented_dynamic_only=False,
+            confirmed=None,
+            ghost_diff="",
+        )
+    )
+    findings = check_ownership(assume_bugs={IOMMU_BUG}) + _refinement_findings(
+        assume_bugs={IOMMU_BUG}
+    )
+    confirmed: bool | None = None
+    ghost_diff = ""
+    if dynamic:
+        oracle_hit, oracle_how = _replay_iommu_trace(ghost=True)
+        bare_hit, bare_how = _replay_iommu_trace(ghost=False)
+        confirmed = oracle_hit and bare_hit
+        ghost_diff = f"oracle: {oracle_how}; bare: {bare_how}"
+    results.append(
+        IommuDifferentialResult(
+            bug=IOMMU_BUG,
+            static_flagged=bool(findings),
+            static_rules=tuple(sorted({f.rule for f in findings})),
+            documented_dynamic_only=IOMMU_BUG in DYNAMIC_ONLY,
+            confirmed=confirmed,
+            ghost_diff=ghost_diff,
+        )
+    )
+    return results
+
+
+def _refinement_findings(*, assume_bugs: frozenset | set = frozenset()):
+    from repro.analysis.refinement import check_refinement
+
+    return check_refinement(assume_bugs=assume_bugs)
+
+
+def iommu_differential_ok(results: list[IommuDifferentialResult]) -> bool:
+    return all(r.agree for r in results)
+
+
+def format_iommu_differential(results: list[IommuDifferentialResult]) -> str:
+    lines = [
+        f"{'bug':<28} {'static':<14} {'rules':<24} {'verdict':<10} {'agree'}"
+    ]
+    for r in results:
+        if r.bug == "<clean>":
+            static = "clean" if not r.static_flagged else "FINDINGS"
+        elif r.static_flagged:
+            static = "FLAGGED"
+        elif r.documented_dynamic_only:
+            static = "dynamic-only"
+        else:
+            static = "missed"
+        lines.append(
+            f"{r.bug:<28} {static:<14} "
+            f"{', '.join(r.static_rules) or '-':<24} "
+            f"{r.verdict:<10} {'YES' if r.agree else 'NO'}"
+        )
+        if r.ghost_diff:
+            lines.append(f"    {r.ghost_diff}")
+    return "\n".join(lines)
 
 
 def format_refinement_differential(results: list[RefinementResult]) -> str:

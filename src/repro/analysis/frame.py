@@ -59,7 +59,6 @@ from repro.analysis.astutil import (
     is_prefix,
     load_module_ast,
 )
-from repro.analysis.purity import spec_module_path
 from repro.analysis.report import Finding
 
 SPEC_PREFIX = "compute_post__"
@@ -78,6 +77,7 @@ _STATE_METHODS = {
     "copy_abstraction_pkvm": (("pkvm",), "copy"),
     "copy_abstraction_vms": (("vms",), "copy"),
     "copy_abstraction_vm_pgt": (("vm_pgts", "*"), "copy"),
+    "copy_abstraction_iommu": (("iommu",), "copy"),
     "copy_abstraction_local": (("local",), "copy"),
 }
 
@@ -577,8 +577,23 @@ def _post_param(params: list[str]) -> str | None:
 
 def check_frames(source_path: str | Path | None = None) -> list[Finding]:
     """Statically check every spec's inferred footprint against its
-    declared frame manifest."""
-    path = Path(source_path) if source_path else spec_module_path()
+    declared frame manifest.
+
+    With no explicit ``source_path``, every registered subsystem's spec
+    module is checked (``repro.ghost.registry``)."""
+    if source_path is not None:
+        paths = [Path(source_path)]
+    else:
+        from repro.ghost.registry import spec_module_paths
+
+        paths = list(spec_module_paths())
+    findings: list[Finding] = []
+    for path in paths:
+        findings.extend(_check_frames_one(path))
+    return findings
+
+
+def _check_frames_one(path: Path) -> list[Finding]:
     module = load_module_ast(path)
     source = module.source
     tree = module.tree
@@ -743,7 +758,9 @@ def cross_validate_frames(
     with the checker's frame hook attached; every observed ghost diff and
     every ``SpecResult.touched`` claim must stay inside the declared
     write frame of the spec that ran."""
-    from repro.ghost.spec import FRAME_MANIFESTS
+    from repro.ghost.registry import merged_frame_manifests
+
+    FRAME_MANIFESTS = merged_frame_manifests()
 
     observations = _collect_observations(
         suite=suite, random_steps=random_steps, seed=seed

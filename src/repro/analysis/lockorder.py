@@ -44,8 +44,10 @@ from pathlib import Path
 from repro.analysis.astutil import apply_pragmas, load_module_ast
 from repro.analysis.report import Finding
 
-#: The global acquisition order (outermost first).
-LOCK_ORDER = ("vm_table", "vm", "host_mmu", "pkvm_pgd", "hyp_pool")
+#: The global acquisition order (outermost first). The iommu lock nests
+#: inside the host lock (map/unmap flip host page states) and outside the
+#: pool lock (shadow table pages come from the hyp pool).
+LOCK_ORDER = ("vm_table", "vm", "host_mmu", "pkvm_pgd", "iommu", "hyp_pool")
 
 _RANK = {name: i for i, name in enumerate(LOCK_ORDER)}
 
@@ -55,10 +57,16 @@ _COMPONENT_OPS = {
     "host_unlock_component": ("release", "host_mmu"),
     "hyp_lock_component": ("acquire", "pkvm_pgd"),
     "hyp_unlock_component": ("release", "pkvm_pgd"),
+    "iommu_lock_component": ("acquire", "iommu"),
+    "iommu_unlock_component": ("release", "iommu"),
 }
 
 #: Attribute names that denote a specific lock object.
-_LOCK_ATTRS = {"host_lock": "host_mmu", "pkvm_lock": "pkvm_pgd"}
+_LOCK_ATTRS = {
+    "host_lock": "host_mmu",
+    "pkvm_lock": "pkvm_pgd",
+    "iommu_lock": "iommu",
+}
 
 #: Cap on simultaneously tracked path states per function; beyond this
 #: the function is skipped rather than analysed imprecisely.
@@ -99,12 +107,19 @@ def pkvm_root() -> Path:
 
 
 def check_lock_discipline(root: str | Path | None = None) -> list[Finding]:
-    """Check every module under ``root`` (default: the repro.pkvm package)."""
-    base = Path(root) if root else pkvm_root()
-    paths = sorted(base.glob("*.py")) if base.is_dir() else [base]
+    """Check every module under ``root``; with no root, every package
+    directory containing a registered subsystem's handlers."""
+    if root is None:
+        from repro.ghost.registry import handler_package_roots
+
+        bases = handler_package_roots()
+    else:
+        bases = [Path(root)]
     findings: list[Finding] = []
-    for path in paths:
-        findings.extend(check_file(path))
+    for base in bases:
+        paths = sorted(base.glob("*.py")) if base.is_dir() else [base]
+        for path in paths:
+            findings.extend(check_file(path))
     return findings
 
 

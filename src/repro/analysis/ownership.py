@@ -374,8 +374,26 @@ def check_ownership(
     (and unmerged handler modules) can be vetted without importing them.
     ``assume_bugs`` names the ``Bugs`` flags taken as true when
     resolving gate conditions — the differential harness's lever.
+
+    With no explicit paths, every registered subsystem is analysed: its
+    handler modules against its own spec module's manifest.
     """
     assume = frozenset(assume_bugs)
+    if pkvm_root_path is None and spec_path is None:
+        from repro.ghost.registry import (
+            SUBSYSTEMS,
+            handler_module_paths,
+            spec_module_paths,
+        )
+
+        findings: list[Finding] = []
+        for sub, manifest_file in zip(SUBSYSTEMS, spec_module_paths()):
+            findings.extend(
+                _check_ownership_files(
+                    handler_module_paths(sub), manifest_file, assume
+                )
+            )
+        return findings
     base = Path(pkvm_root_path) if pkvm_root_path else pkvm_root()
     files = _analysis_targets(base)
     if spec_path is not None:
@@ -384,6 +402,12 @@ def check_ownership(
         manifest_file = base
     else:
         manifest_file = spec_module_path()
+    return _check_ownership_files(files, manifest_file, assume)
+
+
+def _check_ownership_files(
+    files: list[Path], manifest_file: Path, assume: frozenset
+) -> list[Finding]:
     manifest_module = load_module_ast(manifest_file)
     rules, findings = parse_ownership_edges(
         manifest_module.tree, manifest_module.path

@@ -60,6 +60,7 @@ FORBIDDEN_MODULES = (
     "repro.pkvm.allocator",
     "repro.pkvm.spinlock",
     "repro.pkvm.bugs",
+    "repro.pkvm.iommu",
     "repro.arch.cpu",
     "repro.arch.memory",
     "repro.arch.translate",
@@ -71,7 +72,9 @@ FORBIDDEN_MODULES = (
 )
 
 #: Pure constants importable from otherwise-forbidden modules.
-CONSTANT_ALLOWLIST = frozenset({"HANDLE_OFFSET", "MAX_VCPUS", "MAX_VMS"})
+CONSTANT_ALLOWLIST = frozenset(
+    {"HANDLE_OFFSET", "MAX_VCPUS", "MAX_VMS", "MAX_DOMAINS", "MAX_DEVICES"}
+)
 
 #: Modules whose presence means I/O, wall-clock time, or randomness.
 IMPURE_MODULES = (
@@ -136,12 +139,24 @@ def check_spec_purity(
     *,
     constant_allowlist: frozenset[str] = CONSTANT_ALLOWLIST,
 ) -> list[Finding]:
-    """Lint one spec module; return the (possibly empty) findings."""
-    path = Path(source_path) if source_path else spec_module_path()
-    module = load_module_ast(path)
-    linter = _PurityLinter(module.path, constant_allowlist)
-    linter.run(module.tree)
-    return apply_pragmas(linter.findings, module.path, module.source)
+    """Lint a spec module — or, with no explicit target, every spec
+    module in the subsystem registry; return the (possibly empty)
+    findings."""
+    if source_path is None:
+        from repro.ghost.registry import spec_module_paths
+
+        paths = spec_module_paths()
+    else:
+        paths = [Path(source_path)]
+    findings: list[Finding] = []
+    for path in paths:
+        module = load_module_ast(path)
+        linter = _PurityLinter(module.path, constant_allowlist)
+        linter.run(module.tree)
+        findings.extend(
+            apply_pragmas(linter.findings, module.path, module.source)
+        )
+    return findings
 
 
 class _PurityLinter:

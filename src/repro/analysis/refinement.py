@@ -99,6 +99,10 @@ GHOST_OF: dict[tuple[str, str], tuple[str, str, str | None]] = {
         "pkvm.pgt.mapping", "insert", "SHARED_BORROWED",
     ),
     ("pkvm_pgd", "unmap"): ("pkvm.pgt.mapping", "remove", None),
+    ("iommu", "map:SHARED_BORROWED"): (
+        "iommu.domains.*.pgt.mapping", "insert", "SHARED_BORROWED",
+    ),
+    ("iommu", "unmap"): ("iommu.domains.*.pgt.mapping", "remove", None),
 }
 
 
@@ -618,6 +622,24 @@ def check_refinement(
     if stats is None:
         stats = {}
     stats.update({"functions": 0, "paths_explored": 0, "timeouts": 0})
+    if pkvm_root_path is None and spec_path is None:
+        # Registry mode: every subsystem's handlers against its own spec
+        # module's REFINEMENT_SPECS manifest.
+        from repro.ghost.registry import (
+            SUBSYSTEMS,
+            handler_module_paths,
+            spec_module_paths,
+        )
+
+        findings: list[Finding] = []
+        for sub, manifest_file in zip(SUBSYSTEMS, spec_module_paths()):
+            findings.extend(
+                _check_refinement_files(
+                    handler_module_paths(sub), manifest_file, assume, stats
+                )
+            )
+        findings.extend(_check_codec_agreement())
+        return findings
     base = Path(pkvm_root_path) if pkvm_root_path else pkvm_root()
     files = _analysis_targets(base)
     if spec_path is not None:
@@ -626,6 +648,19 @@ def check_refinement(
         manifest_file = base
     else:
         manifest_file = spec_module_path()
+    findings = _check_refinement_files(files, manifest_file, assume, stats)
+    if base.is_file():
+        return findings  # fixture mode: the installed codec is not at issue
+    findings.extend(_check_codec_agreement())
+    return findings
+
+
+def _check_refinement_files(
+    files: list[Path],
+    manifest_file: Path,
+    assume: frozenset,
+    stats: dict,
+) -> list[Finding]:
     manifest_module = load_module_ast(manifest_file)
     specs, manifest_findings = parse_refinement_specs(
         manifest_module.tree, manifest_module.path
@@ -698,9 +733,6 @@ def check_refinement(
     # Manifest hygiene findings bypass the pragma filter, like the
     # ownership pass's: a broken manifest is not suppressible.
     findings.extend(sorted(set(manifest_findings), key=Finding.sort_key))
-    if base.is_file():
-        return findings  # fixture mode: the installed codec is not at issue
-    findings.extend(_check_codec_agreement())
     return findings
 
 

@@ -43,11 +43,20 @@ CHECK_CALL = "check_page_state"
 
 #: Constructors whose result carries a PageState (MapAttrs and friends).
 ATTR_CTORS = frozenset(
-    {"host_memory_attrs", "hyp_memory_attrs", "guest_memory_attrs", "MapAttrs"}
+    {
+        "host_memory_attrs",
+        "hyp_memory_attrs",
+        "guest_memory_attrs",
+        "dma_host_attrs",
+        "dma_shadow_attrs",
+        "MapAttrs",
+    }
 )
 
-#: Attribute spellings of the two tables MemProtect owns.
-TABLE_ATTRS = {"host_mmu": "host_mmu", "pkvm_pgd": "pkvm_pgd"}
+#: Attribute spellings of the tables the registered subsystems own. A
+#: domain's shadow stage 2 is spelled ``domain.s2`` in the iommu handlers
+#: and ``iommu`` in its manifest.
+TABLE_ATTRS = {"host_mmu": "host_mmu", "pkvm_pgd": "pkvm_pgd", "s2": "iommu"}
 
 #: Parameter-name conventions: a guest stage 2 arrives as ``guest_pgt``
 #: and the guest's owner id as ``guest_owner`` (manifest spelling

@@ -30,6 +30,7 @@ from repro.arch.cpu import Cpu
 from repro.arch.exceptions import Syndrome
 from repro.ghost.abstraction import (
     AbstractionError,
+    interpret_pgtable,
     record_abstraction_host,
     record_abstraction_pkvm,
     record_abstraction_vm_pgt,
@@ -37,12 +38,19 @@ from repro.ghost.abstraction import (
     record_cpu_local,
     record_globals,
 )
+from repro.arch.defs import Stage
 from repro.ghost.arena import arena
 from repro.ghost.cache import AbstractionCache
 from repro.ghost.calldata import GhostCallData
 from repro.ghost.diff import diff_components
 from repro.ghost.spec import SpecAccessError, compute_post_trap, spec_name_for
-from repro.ghost.state import GhostState, local_key, vm_pgt_key
+from repro.ghost.state import (
+    GhostIommu,
+    GhostIommuDomain,
+    GhostState,
+    local_key,
+    vm_pgt_key,
+)
 from repro.obs import Observability
 from repro.obs.metrics import LATENCY_BUCKETS_US
 from repro.pkvm.defs import s64
@@ -218,10 +226,12 @@ class GhostChecker:
             "vms",
             lambda: record_abstraction_vms(pkvm.vm_table),
         )
+        self._hook(pkvm.iommu.iommu_lock, "iommu", self._record_iommu)
         # Baseline for non-interference, as if each lock had been released.
         self.committed["host"] = self._record_host()
         self.committed["pkvm"] = self._record_pkvm()
         self.committed["vms"] = record_abstraction_vms(pkvm.vm_table)
+        self.committed["iommu"] = self._record_iommu()
         self._check_init_invariants()
 
     # -- cached recorders -------------------------------------------------
@@ -260,6 +270,31 @@ class GhostChecker:
 
         return self.cache.record(vm_pgt_key(vm.handle), vm.pgt.root, compute)
 
+    def _record_iommu(self):
+        # The refcounts and device sets are live Python objects (always
+        # recomputed, cheap); only each domain's shadow stage-2 traversal
+        # goes through the cache, keyed per domain like the guest pgts.
+        iommu = self.machine.pkvm.iommu
+        domains: dict[int, GhostIommuDomain] = {}
+        for domain_id in sorted(iommu.domains):
+            domain = iommu.domains[domain_id]
+
+            def compute(memo, domain=domain):
+                pgt = interpret_pgtable(
+                    self.machine.mem, domain.s2.root, Stage.STAGE2, memo=memo
+                )
+                return pgt, pgt.footprint
+
+            pgt = self.cache.record(
+                f"iommu:{domain_id}", domain.s2.root, compute
+            )
+            domains[domain_id] = GhostIommuDomain(
+                refcount=domain.refcount,
+                devices=tuple(sorted(domain.devices)),
+                pgt=pgt,
+            )
+        return GhostIommu(present=True, domains=domains)
+
     def _hook(self, lock, key: str, recorder) -> None:
         lock.on_acquire.append(
             lambda _lock, cpu_index: self._on_acquire(key, recorder, cpu_index)
@@ -283,6 +318,14 @@ class GhostChecker:
 
     def on_vm_destroyed(self, vm) -> None:
         """The dead VM's pgt lock stays hooked: reclaim still takes it."""
+
+    def on_iommu_domain_freed(self, domain_id: int) -> None:
+        """Called (under the iommu lock) after ``free_domain`` succeeds:
+        drop the domain's cached shadow abstraction — its root page went
+        back to the pool and a later domain with the same id gets a new
+        tree."""
+        self.cache.drop(f"iommu:{domain_id}")
+        self._isolation_clean = False
 
     # -- init-time invariants (catches paper bug 5) --------------------------
 
@@ -579,7 +622,10 @@ class GhostChecker:
         - a page annotated away to pKVM is mapped (owned) at its hyp VA;
         - a page annotated to a guest is in that guest's stage 2 (owned)
           or awaiting reclaim after its VM's teardown;
-        - the host's annotation and sharing domains are disjoint.
+        - the host's annotation and sharing domains are disjoint;
+        - every page a DMA domain's shadow stage 2 can reach is borrowed
+          (SHARED_BORROWED) from a host page that is shared-and-owned and
+          not annotated away — no device reaches a page the host donated.
         """
         from repro.arch.defs import PAGE_SIZE
         from repro.arch.pte import PageState
@@ -618,6 +664,41 @@ class GhostChecker:
                         maplet.target.page_state
                     )
 
+        # Index DMA-reachable pages and check the DMA-isolation invariant:
+        # every page a device can translate to must be borrowed from a
+        # host page that is still shared-and-owned (never donated away).
+        iommu = self.committed.get("iommu")
+        dma_borrowed: set[int] = set()
+        if iommu is not None:
+            for domain_id, domain in iommu.domains.items():
+                for maplet in domain.pgt.mapping:
+                    if maplet.target.kind != "mapped":
+                        continue
+                    for i in range(maplet.nr_pages):
+                        phys = maplet.target.oa + i * PAGE_SIZE
+                        if (
+                            maplet.target.page_state
+                            is PageState.SHARED_BORROWED
+                        ):
+                            dma_borrowed.add(phys)
+                        host_side = host.shared.lookup(phys)
+                        lent = (
+                            maplet.target.page_state
+                            is PageState.SHARED_BORROWED
+                            and host_side is not None
+                            and host_side.page_state
+                            is PageState.SHARED_OWNED
+                            and host.annot.lookup(phys) is None
+                        )
+                        if not lent:
+                            self._report(
+                                "isolation",
+                                f"device in iommu domain {domain_id} can "
+                                f"DMA to {phys:#x}, which the host does "
+                                "not share-and-own",
+                                component="iommu",
+                            )
+
         for maplet in host.shared:
             for i in range(maplet.nr_pages):
                 phys = maplet.va + i * PAGE_SIZE
@@ -636,7 +717,10 @@ class GhostChecker:
                         for pages in guest_phys.values()
                     )
                     pending = phys in vms.reclaimable
-                    if not (hyp_borrows or guest_borrows or pending):
+                    iommu_borrows = phys in dma_borrowed
+                    if not (
+                        hyp_borrows or guest_borrows or iommu_borrows or pending
+                    ):
                         self._report(
                             "isolation",
                             f"host shares {phys:#x} but no one borrows it",

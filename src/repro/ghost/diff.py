@@ -18,6 +18,7 @@ from repro.ghost.state import (
     AbstractPgtable,
     GhostCpuLocal,
     GhostHost,
+    GhostIommu,
     GhostPkvm,
     GhostState,
     GhostVms,
@@ -109,6 +110,27 @@ def diff_components(key: str, pre, post) -> list[str]:
         if pre.nr_created != post.nr_created:
             lines.append(f"nr_created {pre.nr_created} -> {post.nr_created}")
         return lines
+    if isinstance(post, GhostIommu) or isinstance(pre, GhostIommu):
+        pre = pre or GhostIommu()
+        post = post or GhostIommu()
+        lines = []
+        for d in sorted(set(pre.domains) | set(post.domains)):
+            a, b = pre.domains.get(d), post.domains.get(d)
+            if a is None or b is None or (
+                a.refcount != b.refcount or a.devices != b.devices
+            ):
+                fmt = lambda dom: (  # noqa: E731
+                    "absent"
+                    if dom is None
+                    else f"refcount={dom.refcount} devices={dom.devices}"
+                )
+                lines.append(f"iommu[{d}] -{fmt(a)}")
+                lines.append(f"iommu[{d}] +{fmt(b)}")
+            if a is not None and b is not None and a.pgt != b.pgt:
+                lines += diff_mappings(
+                    f"iommu[{d}].s2", a.pgt.mapping, b.pgt.mapping, "iova"
+                )
+        return lines
     if isinstance(post, GhostCpuLocal) or isinstance(pre, GhostCpuLocal):
         return diff_locals(pre, post)
     return [f"{key}: {pre!r} -> {post!r}"]
@@ -120,6 +142,7 @@ def diff_states(pre: GhostState, post: GhostState) -> str:
     lines += diff_components("host", pre.host, post.host)
     lines += diff_components("pkvm", pre.pkvm, post.pkvm)
     lines += diff_components("vms", pre.vms, post.vms)
+    lines += diff_components("iommu", pre.iommu, post.iommu)
     for h in sorted(set(pre.vm_pgts) | set(post.vm_pgts)):
         lines += diff_components(
             f"vm[{h:#x}].pgt", pre.vm_pgts.get(h), post.vm_pgts.get(h)
@@ -151,6 +174,13 @@ def format_state(state: GhostState) -> str:
             )
         if state.vms.reclaimable:
             lines.append(f"  reclaimable: {len(state.vms.reclaimable)} pages")
+    if state.iommu.present:
+        lines.append(f"iommu ({len(state.iommu.domains)} domains):")
+        for d, dom in sorted(state.iommu.domains.items()):
+            lines.append(
+                f"  [{d}] refcount={dom.refcount} devices={dom.devices}"
+            )
+            lines += [f"    {_fmt_maplet(m, 'iova')}" for m in dom.pgt.mapping]
     for h, pgt in sorted(state.vm_pgts.items()):
         lines.append(f"vm[{h:#x}].pgt:")
         lines += [f"  {_fmt_maplet(m, 'ipa ')}" for m in pgt.mapping]

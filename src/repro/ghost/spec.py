@@ -30,6 +30,7 @@ from repro.arch.exceptions import EsrEc
 from repro.arch.pte import PageState
 from repro.ghost.calldata import GhostCallData
 from repro.ghost.maplets import MapletTarget
+from repro.ghost.registry import spec_for_hypercall
 from repro.ghost.state import (
     AbstractPgtable,
     GhostLoadedVcpu,
@@ -256,6 +257,10 @@ def _compute_post_hcall(
         spec = HYPERCALL_SPECS.get(HypercallId(call_id))
     except ValueError:
         spec = None
+    if spec is None:
+        # Another registered subsystem's hypercall? (repro.ghost.registry
+        # merges every subsystem's HYPERCALL_SPECS.)
+        spec = spec_for_hypercall(call_id)
     if spec is None:
         # Unknown hypercall numbers fail cleanly with -EINVAL.
         return _result(g_post, g_pre, cpu, call, -EINVAL, set())
@@ -1073,9 +1078,12 @@ def spec_name_for(g_pre: GhostState, call: GhostCallData, cpu: int) -> str:
     dispatch to, or "" when no spec applies (unknown hypercall/EC)."""
     if call.ec is EsrEc.HVC64:
         try:
-            spec = HYPERCALL_SPECS.get(HypercallId(g_pre.read_gpr(cpu, 0)))
+            call_id = g_pre.read_gpr(cpu, 0)
+            spec = HYPERCALL_SPECS.get(HypercallId(call_id))
         except (ValueError, KeyError, IndexError):
             return ""
+        if spec is None:
+            spec = spec_for_hypercall(call_id)
         return spec.__name__ if spec is not None else ""
     if call.ec in (EsrEc.DATA_ABORT_LOWER, EsrEc.INSTR_ABORT_LOWER):
         return "compute_post__host_mem_abort"

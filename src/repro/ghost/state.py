@@ -16,6 +16,8 @@ The components and their owners:
 - ``vms``     — guest *metadata* and the post-teardown
   reclaim set                                               [vm_table lock]
 - ``vm_pgts`` — each guest's stage 2 extension               [that VM's lock]
+- ``iommu``   — DMA domains: refcounts, attached devices,
+  and each shadow stage 2's extension                        [iommu lock]
 - ``globals`` — init-time constants, copied (not read from the
   implementation) to preserve spec/impl hygiene
 - ``locals``  — per-hardware-thread state: saved EL1 registers
@@ -193,6 +195,56 @@ class GhostVms:
 
 
 @dataclass(frozen=True)
+class GhostIommuDomain:
+    """One DMA domain's abstract state: refcount, attached devices, and
+    the extension of its shadow stage 2."""
+
+    refcount: int
+    devices: tuple[int, ...]
+    pgt: AbstractPgtable
+
+    def copy(self) -> "GhostIommuDomain":
+        return GhostIommuDomain(self.refcount, self.devices, self.pgt.copy())
+
+
+@dataclass
+class GhostIommu:
+    """Everything the iommu lock protects (option type)."""
+
+    present: bool = False
+    domains: dict[int, GhostIommuDomain] = field(default_factory=dict)
+
+    def copy(self) -> "GhostIommu":
+        return GhostIommu(
+            self.present,
+            {i: d.copy() for i, d in self.domains.items()},
+        )
+
+    def freeze(self) -> "GhostIommu":
+        for domain in self.domains.values():
+            domain.pgt.freeze()
+        return self
+
+    @property
+    def footprint(self) -> frozenset[int]:
+        """Union of the shadow stage-2 footprints (for the §4.4
+        separation check against every other page table)."""
+        fp: frozenset[int] = frozenset()
+        for domain in self.domains.values():
+            fp |= domain.pgt.footprint
+        return fp
+
+    def __eq__(self, other: object) -> bool:
+        # As for the other components: footprints are internal memory
+        # management, excluded via AbstractPgtable's extensional __eq__.
+        if self is other:
+            return True
+        if not isinstance(other, GhostIommu):
+            return NotImplemented
+        return self.present == other.present and self.domains == other.domains
+
+
+@dataclass(frozen=True)
 class GhostGlobals:
     """Constants established at pKVM initialisation (paper §3.1).
 
@@ -273,6 +325,7 @@ class GhostState:
     host: GhostHost = field(default_factory=GhostHost)
     vms: GhostVms = field(default_factory=GhostVms)
     vm_pgts: dict[int, AbstractPgtable] = field(default_factory=dict)
+    iommu: GhostIommu = field(default_factory=GhostIommu)
     globals_: GhostGlobals = field(default_factory=GhostGlobals)
     locals_: dict[int, GhostCpuLocal] = field(default_factory=dict)
 
@@ -293,6 +346,7 @@ class GhostState:
             host=self.host.copy(),
             vms=self.vms.copy(),
             vm_pgts={h: p.copy() for h, p in self.vm_pgts.items()},
+            iommu=self.iommu.copy(),
             globals_=self.globals_,
             locals_={i: l.copy() for i, l in self.locals_.items()},
         )
@@ -323,6 +377,9 @@ class GhostState:
     def copy_abstraction_vms(self, source: "GhostState") -> None:
         self.vms = source.vms.copy()
 
+    def copy_abstraction_iommu(self, source: "GhostState") -> None:
+        self.iommu = source.iommu.copy()
+
     def copy_abstraction_vm_pgt(self, source: "GhostState", handle: int) -> None:
         self.vm_pgts[handle] = source.vm_pgts[handle].copy()
 
@@ -340,6 +397,8 @@ class GhostState:
             return self.host if self.host.present else None
         if key == "vms":
             return self.vms if self.vms.present else None
+        if key == "iommu":
+            return self.iommu if self.iommu.present else None
         if key.startswith("vm_pgt:"):
             return self.vm_pgts.get(int(key.split(":")[1]))
         if key.startswith("local:"):
@@ -354,6 +413,8 @@ class GhostState:
             self.host = value
         elif key == "vms":
             self.vms = value
+        elif key == "iommu":
+            self.iommu = value
         elif key.startswith("vm_pgt:"):
             self.vm_pgts[int(key.split(":")[1])] = value
         elif key.startswith("local:"):

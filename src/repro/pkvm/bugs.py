@@ -80,6 +80,12 @@ class Bugs:
     #: exits — the host would resume in the guest's address space.
     synth_vttbr_not_restored: bool = False
 
+    #: iommu alloc_domain returns success without finishing domain
+    #: initialisation (the refcount stays 0), so the first domain_get on
+    #: attach/map trips ``BUG_ON(!old)`` — the jetson-pkvm SMMU
+    #: domain-refcount/init-ordering crash.
+    synth_iommu_refcount_init: bool = False
+
     def enabled(self) -> list[str]:
         """Names of all currently enabled bugs."""
         return [f.name for f in fields(self) if getattr(self, f.name)]

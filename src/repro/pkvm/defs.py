@@ -55,6 +55,14 @@ class HypercallId(enum.IntEnum):
     HOST_UNSHARE_GUEST = 0xC600_000D
     #: The hypercall number the paper's diff shows (0x...c600000d) is the
     #: share call in their tree; numbering is per-tree and arbitrary.
+    #: IOMMU domain lifecycle and DMA mapping (the second oracle-checked
+    #: security boundary; see repro.pkvm.iommu).
+    IOMMU_ALLOC_DOMAIN = 0xC600_000E
+    IOMMU_FREE_DOMAIN = 0xC600_000F
+    IOMMU_ATTACH_DEV = 0xC600_0010
+    IOMMU_DETACH_DEV = 0xC600_0011
+    IOMMU_MAP_PAGES = 0xC600_0012
+    IOMMU_UNMAP_PAGES = 0xC600_0013
 
 
 class GuestHypercallId(enum.IntEnum):

@@ -45,6 +45,7 @@ from repro.pkvm.defs import (
 )
 from repro.obs import NULL_OBS
 from repro.obs.metrics import LATENCY_BUCKETS_US
+from repro.pkvm.iommu import Iommu
 from repro.pkvm.mem_protect import (
     HostAbortResult,
     MemProtect,
@@ -116,6 +117,7 @@ class PKvm:
             mem, carveout_base, (dram.end - carveout_base) // PAGE_SIZE
         )
         self.mp = MemProtect(mem, self.pool, self.bugs)
+        self.iommu = Iommu(mem, self.pool, self.bugs, self.mp)
         self.vm_table = VmTable()
 
         #: pKVM's private VA cursor for non-linear (IO) mappings.
@@ -289,6 +291,12 @@ class PKvm:
             HypercallId.MEMCACHE_TOPUP: self._hcall_memcache_topup,
             HypercallId.HOST_SHARE_GUEST: self._hcall_share_guest,
             HypercallId.HOST_UNSHARE_GUEST: self._hcall_unshare_guest,
+            HypercallId.IOMMU_ALLOC_DOMAIN: self._hcall_iommu_alloc_domain,
+            HypercallId.IOMMU_FREE_DOMAIN: self._hcall_iommu_free_domain,
+            HypercallId.IOMMU_ATTACH_DEV: self._hcall_iommu_attach_dev,
+            HypercallId.IOMMU_DETACH_DEV: self._hcall_iommu_detach_dev,
+            HypercallId.IOMMU_MAP_PAGES: self._hcall_iommu_map_pages,
+            HypercallId.IOMMU_UNMAP_PAGES: self._hcall_iommu_unmap_pages,
         }
         try:
             handler = handlers.get(HypercallId(call_id))
@@ -779,6 +787,86 @@ class PKvm:
         finally:
             self.mp.host_unlock_component(cpu.index)
             vm.lock.release(cpu.index)
+        self._finish_hcall(cpu, ret)
+
+    # -- IOMMU hypercalls ----------------------------------------------------
+
+    def _hcall_iommu_alloc_domain(
+        self, cpu: Cpu, domain_id: int, _a2: int, _a3: int
+    ) -> None:
+        """``__pkvm_iommu_alloc_domain``: create a DMA domain (its shadow
+        stage 2 root comes from the hyp pool)."""
+        self.iommu.iommu_lock_component(cpu.index)
+        try:
+            ret = self.iommu.alloc_domain(domain_id)
+        except OutOfMemory:
+            ret = -ENOMEM
+        finally:
+            self.iommu.iommu_unlock_component(cpu.index)
+        self._finish_hcall(cpu, ret)
+
+    def _hcall_iommu_free_domain(
+        self, cpu: Cpu, domain_id: int, _a2: int, _a3: int
+    ) -> None:
+        self.iommu.iommu_lock_component(cpu.index)
+        try:
+            ret = self.iommu.free_domain(domain_id)
+        finally:
+            self.iommu.iommu_unlock_component(cpu.index)
+        if ret == 0 and self.ghost is not None:
+            self.ghost.on_iommu_domain_freed(domain_id)
+        self._finish_hcall(cpu, ret)
+
+    def _hcall_iommu_attach_dev(
+        self, cpu: Cpu, domain_id: int, dev: int, _a3: int
+    ) -> None:
+        self.iommu.iommu_lock_component(cpu.index)
+        try:
+            ret = self.iommu.attach_dev(domain_id, dev)
+        finally:
+            self.iommu.iommu_unlock_component(cpu.index)
+        self._finish_hcall(cpu, ret)
+
+    def _hcall_iommu_detach_dev(
+        self, cpu: Cpu, domain_id: int, dev: int, _a3: int
+    ) -> None:
+        self.iommu.iommu_lock_component(cpu.index)
+        try:
+            ret = self.iommu.detach_dev(domain_id, dev)
+        finally:
+            self.iommu.iommu_unlock_component(cpu.index)
+        self._finish_hcall(cpu, ret)
+
+    def _hcall_iommu_map_pages(
+        self, cpu: Cpu, domain_id: int, iova_pfn: int, pfn: int
+    ) -> None:
+        """``__pkvm_iommu_map_pages``: flip the host page OWNED ->
+        SHARED_OWNED and install the SHARED_BORROWED shadow entry; lock
+        order is host, then iommu (matching map's two-table write)."""
+        iova = pfn_to_phys(iova_pfn)
+        phys = pfn_to_phys(pfn)
+        self.mp.host_lock_component(cpu.index)
+        self.iommu.iommu_lock_component(cpu.index)
+        try:
+            ret = self.iommu.do_map_pages(domain_id, iova, phys)
+        except OutOfMemory:
+            ret = -ENOMEM
+        finally:
+            self.iommu.iommu_unlock_component(cpu.index)
+            self.mp.host_unlock_component(cpu.index)
+        self._finish_hcall(cpu, ret)
+
+    def _hcall_iommu_unmap_pages(
+        self, cpu: Cpu, domain_id: int, iova_pfn: int, _a3: int
+    ) -> None:
+        iova = pfn_to_phys(iova_pfn)
+        self.mp.host_lock_component(cpu.index)
+        self.iommu.iommu_lock_component(cpu.index)
+        try:
+            ret = self.iommu.do_unmap_pages(domain_id, iova)
+        finally:
+            self.iommu.iommu_unlock_component(cpu.index)
+            self.mp.host_unlock_component(cpu.index)
         self._finish_hcall(cpu, ret)
 
     # -- memcache topup (paper bugs 1 and 2) -----------------------------------

@@ -1,0 +1,296 @@
+"""IOMMU domain management: the second oracle-checked security boundary.
+
+This is the pKVM SMMU-driver analogue (the ``kvm_iommu_*`` ops of the
+Android pKVM trees): the host manages DMA *domains*, attaches devices to
+them, and maps host pages for DMA — but the hypervisor owns the *shadow*
+stage 2 the devices actually translate through, so a compromised host can
+never program a device to reach memory it does not own.
+
+The ownership story deliberately reuses the host page-state machine:
+
+- ``map_pages`` flips the host stage 2 entry OWNED -> SHARED_OWNED (the
+  same transition as ``share_hyp``) and installs the page SHARED_BORROWED
+  in the domain's shadow stage 2;
+- ``unmap_pages`` reverses both.
+
+A page in any DMA domain is therefore *shared*, never exclusively owned,
+so every donation path (``check_page_state(..., OWNED)``) refuses it for
+free, and a donated page can never be DMA-mapped — the DMA-isolation
+invariant falls out of the existing state machine and is cross-checked by
+the ghost oracle's isolation sweep.
+
+Domains are refcounted like the real driver: the allocation holds one
+reference, each attached device holds one, and map/unmap take a transient
+one. ``domain_get`` is the ``BUG_ON(!old)`` site of the jetson-pkvm SMMU
+init-ordering crash, reproduced by the ``synth_iommu_refcount_init``
+synthetic bug (``alloc_domain`` publishes the domain before its refcount
+is initialised).
+"""
+
+from __future__ import annotations
+
+from repro.arch.defs import PAGE_SIZE, MemType, Perms, Stage
+from repro.arch.exceptions import HypervisorPanic
+from repro.arch.memory import PhysicalMemory
+from repro.arch.pte import PageState
+from repro.pkvm.allocator import HypPool, OutOfMemory
+from repro.pkvm.bugs import Bugs
+from repro.pkvm.defs import EBUSY, EINVAL, ENOENT, EPERM
+from repro.pkvm.pgtable import (
+    KvmPgtable,
+    MapAttrs,
+    PoolMmOps,
+    check_page_state,
+    lookup,
+    map_range,
+    unmap_range,
+)
+from repro.pkvm.spinlock import HypSpinLock
+
+#: Fixed capacity of the domain table (the real driver sizes this from
+#: firmware; a small fixed bound keeps traces short).
+MAX_DOMAINS = 16
+
+#: Device stream ids the host may attach (dense 0..MAX_DEVICES-1).
+MAX_DEVICES = 16
+
+
+def dma_shadow_attrs(state: PageState) -> MapAttrs:
+    """Shadow stage 2 attributes for a DMA mapping.
+
+    Devices get RW normal memory; the SHARED_BORROWED state records that
+    the domain borrows the page from the host (which keeps access).
+    """
+    return MapAttrs(Perms.rw(), MemType.NORMAL, state)
+
+
+def dma_host_attrs(state: PageState) -> MapAttrs:
+    """Host stage 2 attributes for a DMA-affected page (always memory)."""
+    return MapAttrs(Perms.rwx(), MemType.NORMAL, state)
+
+
+class IommuDomain:
+    """One DMA domain: a refcounted shadow stage 2 plus attached devices."""
+
+    def __init__(self, mem: PhysicalMemory, pool: HypPool, domain_id: int):
+        self.domain_id = domain_id
+        #: The shadow stage 2 the devices translate through. Table pages
+        #: come from the hyp pool, like the host stage 2.
+        self.s2 = KvmPgtable(
+            mem, Stage.STAGE2, PoolMmOps(pool), f"iommu{domain_id}_s2"
+        )
+        #: One reference for the allocation, one per attached device, one
+        #: transiently per in-flight map/unmap.
+        self.refcount = 0
+        self.devices: set[int] = set()
+        #: Live DMA mappings (for the free-domain busy check).
+        self.nr_mapped = 0
+
+
+class Iommu:
+    """Owner of the domain table and the iommu lock."""
+
+    def __init__(
+        self,
+        mem: PhysicalMemory,
+        pool: HypPool,
+        bugs: Bugs,
+        mp,
+    ):
+        self.mem = mem
+        self.pool = pool
+        self.bugs = bugs
+        #: The host stage 2 (shared with mem_protect): map/unmap flip the
+        #: page state here, under the host lock taken by the caller.
+        self.host_mmu = mp.host_mmu
+        self.iommu_lock = HypSpinLock("iommu")
+        self.domains: dict[int, IommuDomain] = {}
+        #: device stream id -> domain id, while attached.
+        self.dev_owner: dict[int, int] = {}
+
+    # -- lock component (instrumented like mem_protect's) ------------------
+
+    def iommu_lock_component(self, cpu_index: int) -> None:
+        self.iommu_lock.acquire(cpu_index)
+
+    def iommu_unlock_component(self, cpu_index: int) -> None:
+        self.iommu_lock.release(cpu_index)
+
+    # -- refcounting (the jetson-pkvm BUG_ON site) -------------------------
+
+    def domain_get(self, domain: IommuDomain) -> None:
+        old = domain.refcount
+        if not old:
+            # The real driver's BUG_ON(!old): taking a reference on a
+            # domain that holds none means initialisation never ran.
+            raise HypervisorPanic(
+                f"BUG_ON(!old): iommu domain {domain.domain_id} refcount "
+                "is 0 (alloc_domain never initialised it)"
+            )
+        domain.refcount = old + 1
+
+    def domain_put(self, domain: IommuDomain) -> None:
+        if domain.refcount <= 0:
+            raise HypervisorPanic(
+                f"iommu domain {domain.domain_id} refcount underflow"
+            )
+        domain.refcount -= 1
+
+    # -- domain lifecycle (caller holds the iommu lock) --------------------
+
+    def alloc_domain(self, domain_id: int) -> int:
+        if not 0 <= domain_id < MAX_DOMAINS:
+            return -EINVAL
+        if domain_id in self.domains:
+            return -EBUSY
+        domain = IommuDomain(self.mem, self.pool, domain_id)
+        # Publish first, initialise after — the order is the point: the
+        # buggy driver returned with the refcount still 0.
+        self.domains[domain_id] = domain
+        if not self.bugs.synth_iommu_refcount_init:
+            domain.refcount = 1
+        return 0
+
+    def free_domain(self, domain_id: int) -> int:
+        domain = self.domains.get(domain_id)
+        if domain is None:
+            return -ENOENT
+        if domain.refcount != 1 or domain.devices or domain.nr_mapped:
+            return -EBUSY
+        # Return the shadow table pages to the pool.
+        for table_pa in list(domain.s2.table_pages):
+            domain.s2.disown_table(table_pa)
+            domain.s2.mm_ops.free_table(table_pa)
+        del self.domains[domain_id]
+        return 0
+
+    # -- device attach/detach (caller holds the iommu lock) ----------------
+
+    def attach_dev(self, domain_id: int, dev: int) -> int:
+        if not 0 <= dev < MAX_DEVICES:
+            return -EINVAL
+        domain = self.domains.get(domain_id)
+        if domain is None:
+            return -ENOENT
+        if dev in self.dev_owner:
+            return -EBUSY
+        self.domain_get(domain)
+        self.dev_owner[dev] = domain_id
+        domain.devices.add(dev)
+        return 0
+
+    def detach_dev(self, domain_id: int, dev: int) -> int:
+        domain = self.domains.get(domain_id)
+        if domain is None:
+            return -ENOENT
+        if self.dev_owner.get(dev) != domain_id:
+            return -ENOENT
+        del self.dev_owner[dev]
+        domain.devices.discard(dev)
+        self.domain_put(domain)
+        return 0
+
+    # -- DMA map/unmap (caller holds host lock, then the iommu lock) -------
+
+    def do_map_pages(self, domain_id: int, iova: int, phys: int) -> int:
+        """Map one host page for DMA at ``iova`` in the domain.
+
+        check: the host must own the page exclusively and the iova must be
+        vacant; update: shadow first (the fallible half — it allocates
+        tables), then the host-side state flip, so a failure never leaves
+        a shared page with no borrower.
+        """
+        domain = self.domains.get(domain_id)
+        if domain is None:
+            return -ENOENT
+        if not self.mem.is_memory(phys):
+            return -EINVAL  # devices never DMA into MMIO through us
+        self.domain_get(domain)
+        try:
+            ret = check_page_state(
+                self.host_mmu,
+                phys,
+                PAGE_SIZE,
+                PageState.OWNED,
+                allow_default_host=True,
+            )
+            if ret:
+                return ret
+            if lookup(domain.s2, iova).kind.is_leaf:
+                return -EBUSY
+            ret = map_range(
+                domain.s2,
+                iova,
+                PAGE_SIZE,
+                phys,
+                dma_shadow_attrs(PageState.SHARED_BORROWED),
+            )
+            if ret:
+                return ret
+            try:
+                ret = map_range(
+                    self.host_mmu,
+                    phys,
+                    PAGE_SIZE,
+                    phys,
+                    dma_host_attrs(PageState.SHARED_OWNED),
+                )
+            except OutOfMemory:
+                # Undo the shadow entry before the -ENOMEM propagates, or
+                # the domain would hold a borrow with no host-side share.
+                rollback = unmap_range(domain.s2, iova, PAGE_SIZE)
+                if rollback:
+                    raise HypervisorPanic(
+                        f"iommu map rollback failed at {iova:#x}: {rollback}"
+                    )
+                raise
+            if ret:
+                rollback = unmap_range(domain.s2, iova, PAGE_SIZE)
+                if rollback:
+                    raise HypervisorPanic(
+                        f"iommu map rollback failed at {iova:#x}: {rollback}"
+                    )
+                return ret
+            domain.nr_mapped += 1
+            return 0
+        finally:
+            self.domain_put(domain)
+
+    def do_unmap_pages(self, domain_id: int, iova: int) -> int:
+        """Withdraw one DMA mapping, returning the page to the host."""
+        domain = self.domains.get(domain_id)
+        if domain is None:
+            return -ENOENT
+        self.domain_get(domain)
+        try:
+            pte = lookup(domain.s2, iova)
+            if not (
+                pte.kind.is_leaf
+                and pte.page_state is PageState.SHARED_BORROWED
+            ):
+                return -ENOENT
+            phys = pte.oa
+            hpte = lookup(self.host_mmu, phys)
+            if not (
+                hpte.kind.is_leaf
+                and hpte.page_state is PageState.SHARED_OWNED
+            ):
+                return -EPERM
+            ret = unmap_range(domain.s2, iova, PAGE_SIZE)
+            if ret:
+                return ret
+            ret = map_range(
+                self.host_mmu,
+                phys,
+                PAGE_SIZE,
+                phys,
+                dma_host_attrs(PageState.OWNED),
+            )
+            if ret:
+                raise HypervisorPanic(
+                    f"iommu unmap host restore failed at {phys:#x}: {ret}"
+                )
+            domain.nr_mapped -= 1
+            return 0
+        finally:
+            self.domain_put(domain)

@@ -72,10 +72,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--mode",
-        choices=["random", "concurrency"],
+        choices=["random", "iommu", "concurrency"],
         default="random",
-        help="random input fuzzing (default) or PCT schedule fuzzing of "
-        "a fixed multi-CPU scenario (--budget counts schedules)",
+        help="random input fuzzing (default), the IOMMU-focused action "
+        "profile (DMA-domain lifecycle plus host-share interplay), or "
+        "PCT schedule fuzzing of a fixed multi-CPU scenario (--budget "
+        "counts schedules)",
     )
     parser.add_argument(
         "--scenario",

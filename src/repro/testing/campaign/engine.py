@@ -58,7 +58,8 @@ class CampaignConfig:
     dram_size: int = 256 * 1024 * 1024
     inline: bool = False
     shrink: bool = True
-    #: "random" (the model-guided tester) or "concurrency" (PCT schedule
+    #: "random" (the model-guided tester), "iommu" (the tester under its
+    #: IOMMU-focused action profile), or "concurrency" (PCT schedule
     #: fuzzing of a fixed multi-CPU scenario).
     mode: str = "random"
     #: Concurrency mode: which scenario trace to fuzz, the PCT depth

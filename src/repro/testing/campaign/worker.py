@@ -127,6 +127,11 @@ def run_batch(
     ``task.steps`` PCT schedules of ``scenario`` rather than random
     tester steps (see :mod:`repro.testing.campaign.concurrency`).
 
+    ``mode="iommu"`` is random mode under the tester's IOMMU-focused
+    action profile: the DMA-domain boundary gets the bulk of the step
+    budget, with enough host share/unshare traffic to exercise the
+    cross-boundary error paths.
+
     When ``tracing``/``flight_buffer`` are on, the batch runs under its
     own :class:`Observability` bundle (pid = worker id, so a merged
     trace renders workers as parallel tracks) and ships spans, a
@@ -164,7 +169,12 @@ def run_batch(
             "seed": task.seed,
         },
     )
-    tester = RandomTester(machine, seed=task.seed, trace=trace)
+    tester = RandomTester(
+        machine,
+        seed=task.seed,
+        trace=trace,
+        profile="iommu" if mode == "iommu" else "all",
+    )
     finding = None
     steps_run = 0
     tracker = _make_tracker(coverage)

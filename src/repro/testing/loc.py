@@ -26,6 +26,7 @@ CATEGORIES: dict[str, list[str]] = {
         "pkvm/allocator.py",
         "pkvm/pgtable.py",
         "pkvm/mem_protect.py",
+        "pkvm/iommu.py",
         "pkvm/vm.py",
         "pkvm/hyp.py",
         "pkvm/host.py",
@@ -41,8 +42,9 @@ CATEGORIES: dict[str, list[str]] = {
         "sim/sched.py",
         "sim/explore.py",
         "sim/coverage.py",
+        "machine.py",
     ],
-    "spec: hypercalls and traps": ["ghost/spec.py"],
+    "spec: hypercalls and traps": ["ghost/spec.py", "ghost/iommu_spec.py"],
     "spec: abstraction recording": [
         "ghost/abstraction.py",
         "ghost/checker.py",
@@ -54,6 +56,7 @@ CATEGORIES: dict[str, list[str]] = {
         "ghost/arena.py",
         "ghost/calldata.py",
         "ghost/console.py",
+        "ghost/registry.py",
     ],
     "test infrastructure": [
         "testing/proxy.py",
@@ -72,6 +75,7 @@ CATEGORIES: dict[str, list[str]] = {
         "testing/campaign/engine.py",
         "testing/campaign/cli.py",
         "testing/campaign/__main__.py",
+        "testing/loc.py",
         "pkvm/bugs.py",  # the bug-injection registry is test apparatus
     ],
     "analysis (hygiene checkers)": [

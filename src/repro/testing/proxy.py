@@ -235,6 +235,55 @@ class HypProxy:
             if not progressed:
                 raise RuntimeError("reclaim made no progress over a sweep")
 
+    # -- DMA domains (the IOMMU boundary) -----------------------------------
+
+    def iommu_alloc_domain(self, domain_id: int, cpu_index: int = 0) -> int:
+        return self.hvc(
+            HypercallId.IOMMU_ALLOC_DOMAIN, domain_id, cpu_index=cpu_index
+        )
+
+    def iommu_free_domain(self, domain_id: int, cpu_index: int = 0) -> int:
+        return self.hvc(
+            HypercallId.IOMMU_FREE_DOMAIN, domain_id, cpu_index=cpu_index
+        )
+
+    def iommu_attach_dev(
+        self, domain_id: int, dev: int, cpu_index: int = 0
+    ) -> int:
+        return self.hvc(
+            HypercallId.IOMMU_ATTACH_DEV, domain_id, dev, cpu_index=cpu_index
+        )
+
+    def iommu_detach_dev(
+        self, domain_id: int, dev: int, cpu_index: int = 0
+    ) -> int:
+        return self.hvc(
+            HypercallId.IOMMU_DETACH_DEV, domain_id, dev, cpu_index=cpu_index
+        )
+
+    def iommu_map_page(
+        self, domain_id: int, iova: int, phys: int, cpu_index: int = 0
+    ) -> int:
+        """Map one host page for DMA at ``iova`` (byte addresses, like
+        ``share_page``; the hypercall ABI carries pfns)."""
+        return self.hvc(
+            HypercallId.IOMMU_MAP_PAGES,
+            domain_id,
+            phys_to_pfn(iova),
+            phys_to_pfn(phys),
+            cpu_index=cpu_index,
+        )
+
+    def iommu_unmap_page(
+        self, domain_id: int, iova: int, cpu_index: int = 0
+    ) -> int:
+        return self.hvc(
+            HypercallId.IOMMU_UNMAP_PAGES,
+            domain_id,
+            phys_to_pfn(iova),
+            cpu_index=cpu_index,
+        )
+
     # -- composite flows -------------------------------------------------------
 
     def create_running_guest(

@@ -25,6 +25,7 @@ from repro.arch.exceptions import HostCrash, HypervisorPanic
 from repro.ghost.checker import SpecViolation
 from repro.machine import Machine
 from repro.pkvm.defs import HypercallId
+from repro.pkvm.iommu import MAX_DEVICES, MAX_DOMAINS
 from repro.testing.proxy import HypProxy
 
 
@@ -44,6 +45,16 @@ class ModelVm:
 
 
 @dataclass
+class ModelDomain:
+    """The generator's model of one DMA domain."""
+
+    domain_id: int
+    devices: set[int] = field(default_factory=set)
+    #: iova pfn -> phys for live DMA mappings.
+    dma: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
 class ModelState:
     """The generator's abstraction of the abstract state (paper §5)."""
 
@@ -56,6 +67,10 @@ class ModelState:
     vms: dict[int, ModelVm] = field(default_factory=dict)
     #: Physical pages awaiting reclaim after teardowns.
     reclaimable: list[int] = field(default_factory=list)
+    #: Live DMA domains (the IOMMU boundary). DMA-mapped pages stay in
+    #: ``host_pages``: the host keeps access, and re-sharing/donating
+    #: them is a rejected error path, not a crash.
+    domains: dict[int, ModelDomain] = field(default_factory=dict)
 
 
 @dataclass
@@ -100,8 +115,32 @@ class RandomTester:
         ("topup", 5),
         ("teardown", 2),
         ("reclaim", 6),
+        ("iommu_domain", 4),
+        ("iommu_attach", 4),
+        ("iommu_map", 6),
+        ("iommu_unmap", 4),
         ("garbage_hvc", 2),
     )
+
+    #: The IOMMU-focused profile (campaign ``--mode iommu``): heavy on
+    #: the DMA-domain lifecycle, with just enough share/unshare/touch
+    #: traffic to exercise the host-side interplay (sharing a DMA-mapped
+    #: page, DMA-mapping a shared page) and reclaim pressure.
+    IOMMU_ACTIONS = (
+        ("iommu_domain", 10),
+        ("iommu_attach", 10),
+        ("iommu_map", 14),
+        ("iommu_unmap", 10),
+        ("share", 6),
+        ("unshare", 4),
+        ("touch", 4),
+        ("create_vm", 2),
+        ("teardown", 1),
+        ("reclaim", 2),
+        ("garbage_hvc", 1),
+    )
+
+    ACTION_PROFILES = {"all": ACTIONS, "iommu": IOMMU_ACTIONS}
 
     def __init__(
         self,
@@ -111,6 +150,7 @@ class RandomTester:
         guided: bool = True,
         rng: random.Random | None = None,
         trace: "Trace | None" = None,
+        profile: str = "all",
     ):
         self.machine = machine
         self.proxy = HypProxy(machine)
@@ -128,7 +168,14 @@ class RandomTester:
         #: host touches, params-page writes, guest scripts) is recorded
         #: before execution, so the trace replays the faulting step too.
         self.trace = trace
-        self._actions = [name for name, weight in self.ACTIONS for _ in range(weight)]
+        if profile not in self.ACTION_PROFILES:
+            raise ValueError(f"unknown action profile {profile!r}")
+        self.profile = profile
+        self._actions = [
+            name
+            for name, weight in self.ACTION_PROFILES[profile]
+            for _ in range(weight)
+        ]
 
     # -- the abstract-model guidance ---------------------------------------
 
@@ -434,6 +481,75 @@ class RandomTester:
                 self.model.reclaimable.remove(page)
             self.model.donated_pages.discard(page)
             self.model.host_pages.append(page)
+
+    def _pick_domain(self) -> ModelDomain | None:
+        if not self.model.domains:
+            return None
+        return self.rng.choice(list(self.model.domains.values()))
+
+    def _do_iommu_domain(self) -> None:
+        # Free an existing domain sometimes (busy -EBUSY paths when it
+        # still holds devices or mappings), otherwise allocate — with ids
+        # occasionally past MAX_DOMAINS for the -EINVAL path.
+        if self.guided and self.model.domains and self.rng.random() < 0.4:
+            dom = self._pick_domain()
+            ret = self._hvc(HypercallId.IOMMU_FREE_DOMAIN, dom.domain_id)
+            if ret == 0:
+                del self.model.domains[dom.domain_id]
+            return
+        domain_id = self.rng.randrange(0, MAX_DOMAINS + 2)
+        ret = self._hvc(HypercallId.IOMMU_ALLOC_DOMAIN, domain_id)
+        if ret == 0:
+            self.model.domains[domain_id] = ModelDomain(domain_id)
+
+    def _do_iommu_attach(self) -> None:
+        dom = self._pick_domain()
+        if dom is None:
+            self._hvc(HypercallId.IOMMU_ATTACH_DEV, 0xBAD, 0)
+            return
+        if dom.devices and self.rng.random() < 0.4:
+            dev = self.rng.choice(sorted(dom.devices))
+            ret = self._hvc(HypercallId.IOMMU_DETACH_DEV, dom.domain_id, dev)
+            if ret == 0:
+                dom.devices.discard(dev)
+            return
+        dev = self.rng.randrange(0, MAX_DEVICES + 2)
+        ret = self._hvc(HypercallId.IOMMU_ATTACH_DEV, dom.domain_id, dev)
+        if ret == 0:
+            dom.devices.add(dev)
+
+    def _do_iommu_map(self) -> None:
+        dom = self._pick_domain()
+        if dom is None:
+            self._hvc(HypercallId.IOMMU_MAP_PAGES, 0xBAD, 0x100, 0x100)
+            return
+        # _pick_host_page sometimes returns shared or already-DMA-mapped
+        # pages — exactly the -EPERM ownership-check error paths.
+        page = self._pick_host_page()
+        iova_pfn = self.rng.randrange(0x100, 0x140)
+        ret = self._hvc(
+            HypercallId.IOMMU_MAP_PAGES,
+            dom.domain_id,
+            iova_pfn,
+            phys_to_pfn(page),
+        )
+        if ret == 0:
+            dom.dma[iova_pfn] = page
+
+    def _do_iommu_unmap(self) -> None:
+        dom = self._pick_domain()
+        if dom is None:
+            self._hvc(HypercallId.IOMMU_UNMAP_PAGES, 0xBAD, 0x100)
+            return
+        if dom.dma and self.rng.random() > 0.2:
+            iova_pfn = self.rng.choice(sorted(dom.dma))
+        else:
+            iova_pfn = self.rng.randrange(0x100, 0x140)
+        ret = self._hvc(
+            HypercallId.IOMMU_UNMAP_PAGES, dom.domain_id, iova_pfn
+        )
+        if ret == 0:
+            dom.dma.pop(iova_pfn, None)
 
     def _do_garbage_hvc(self) -> None:
         self._hvc(

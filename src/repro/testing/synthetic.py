@@ -146,6 +146,20 @@ def _scenario_vcpu_race(p: HypProxy) -> None:
     sched.run()
 
 
+def _scenario_iommu_lifecycle(p: HypProxy) -> None:
+    """The full DMA-domain lifecycle. With ``synth_iommu_refcount_init``
+    the oracle flags the refcount post-mismatch at alloc_domain; without
+    the oracle, attach_dev hits the jetson-pkvm ``BUG_ON(!old)`` panic."""
+    iova = 0x80 * PAGE_SIZE
+    p.iommu_alloc_domain(3)
+    p.iommu_attach_dev(3, 5)
+    page = p.alloc_page()
+    p.iommu_map_page(3, iova, page)
+    p.iommu_unmap_page(3, iova)
+    p.iommu_detach_dev(3, 5)
+    p.iommu_free_domain(3)
+
+
 def _scenario_boot_big_dram(_p: HypProxy) -> None:
     """Handled specially: the bug manifests at machine construction."""
 
@@ -171,6 +185,7 @@ SCENARIOS: dict[str, tuple[str, Callable[[HypProxy], None], dict]] = {
     "synth_teardown_page_leak": ("synthetic", _scenario_teardown, {}),
     "synth_fault_off_by_one": ("synthetic", _scenario_fault_adjacent, {}),
     "synth_vttbr_not_restored": ("synthetic", _scenario_guest_run, {}),
+    "synth_iommu_refcount_init": ("synthetic", _scenario_iommu_lifecycle, {}),
 }
 
 

@@ -1,0 +1,184 @@
+"""Property-based tests for the IOMMU shadow stage-2.
+
+Two contracts, mirroring the PTE codec and page-table properties that
+already pin the host/guest stage-2:
+
+1. **Codec round-trip vs. the layout algebra.** A shadow stage-2 leaf
+   encodes through the same Arm descriptor codec as every other stage-2;
+   encode -> decode -> encode must be the identity, and every bit the
+   encoder sets must lie inside a field the bitfields pass's symbolic
+   layout claims (so the pass's algebra and the runtime codec describe
+   the same word).
+
+2. **Abstraction agreement.** For any map/unmap sequence through the
+   DMA attrs constructors, the interpreted shadow tree equals a simple
+   page-level model — the walkers and the oracle's abstraction agree on
+   what a DMA domain maps.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.defs import PAGE_SIZE, MemType, Perms, Stage
+from repro.arch.memory import PhysicalMemory, default_memory_map
+from repro.arch.pte import (
+    OA_MASK,
+    PTE_AF,
+    PTE_VALID,
+    PTE_TYPE,
+    PTE_XN,
+    S2AP_R,
+    S2AP_W,
+    S2_MEMATTR_MASK,
+    SW_PAGE_STATE_MASK,
+    PageState,
+    decode_descriptor,
+    make_page_descriptor,
+)
+from repro.ghost.abstraction import interpret_pgtable
+from repro.ghost.maplets import MapletTarget
+from repro.pkvm.allocator import HypPool
+from repro.pkvm.iommu import dma_host_attrs, dma_shadow_attrs
+from repro.pkvm.pgtable import KvmPgtable, PoolMmOps, map_range, unmap_range
+
+OA_PAGES = st.integers(min_value=0, max_value=(1 << 36) - 1)
+STATES = st.sampled_from(list(PageState))
+MEMTYPES = st.sampled_from(list(MemType))
+PERMS = st.builds(
+    Perms,
+    r=st.booleans(),
+    w=st.booleans(),
+    x=st.booleans(),
+)
+
+#: Every bit the stage-2 leaf encoder may set, per the same field
+#: constants the bitfields pass's symbolic layout claims. Disjointness
+#: of these masks is the pass's field-overlap check; here we pin the
+#: complementary property: the encoder never strays outside them.
+S2_LEAF_FIELDS = (
+    PTE_VALID
+    | PTE_TYPE
+    | PTE_AF
+    | PTE_XN
+    | S2AP_R
+    | S2AP_W
+    | S2_MEMATTR_MASK
+    | OA_MASK
+    | SW_PAGE_STATE_MASK
+)
+
+
+@given(OA_PAGES, PERMS, MEMTYPES, STATES)
+@settings(max_examples=200, deadline=None)
+def test_shadow_leaf_roundtrip(oa_page, perms, memtype, state):
+    """encode -> decode -> encode is the identity for any shadow leaf."""
+    oa = oa_page * PAGE_SIZE
+    raw = make_page_descriptor(oa, Stage.STAGE2, perms, memtype, state)
+    decoded = decode_descriptor(raw, level=3, stage=Stage.STAGE2)
+    assert decoded.oa == oa
+    assert decoded.perms == perms
+    assert decoded.memtype is memtype
+    assert decoded.page_state is state
+    again = make_page_descriptor(
+        decoded.oa,
+        Stage.STAGE2,
+        decoded.perms,
+        decoded.memtype,
+        decoded.page_state,
+    )
+    assert again == raw
+
+
+@given(OA_PAGES, PERMS, MEMTYPES, STATES)
+@settings(max_examples=200, deadline=None)
+def test_encoder_stays_inside_claimed_fields(oa_page, perms, memtype, state):
+    raw = make_page_descriptor(
+        oa_page * PAGE_SIZE, Stage.STAGE2, perms, memtype, state
+    )
+    assert raw & ~S2_LEAF_FIELDS == 0
+
+
+def test_claimed_fields_are_disjoint():
+    """The masks above partition the word — the same algebra the
+    bitfields pass checks symbolically over the codec source."""
+    from repro.analysis.bitfields import SymbolicLayout
+
+    layout = SymbolicLayout("s2-leaf")
+    collisions = []
+    for symbol, mask in (
+        ("PTE_VALID", PTE_VALID),
+        ("PTE_TYPE", PTE_TYPE),
+        ("PTE_AF", PTE_AF),
+        ("PTE_XN", PTE_XN),
+        ("S2AP_R", S2AP_R),
+        ("S2AP_W", S2AP_W),
+        ("S2_MEMATTR_MASK", S2_MEMATTR_MASK),
+        ("OA_MASK", OA_MASK),
+        ("SW_PAGE_STATE_MASK", SW_PAGE_STATE_MASK),
+    ):
+        collisions += layout.claim(symbol, mask)
+    assert collisions == []
+
+
+# -- abstraction agreement over DMA map/unmap sequences ----------------------
+
+IOVA_PAGES = st.integers(min_value=0, max_value=1100)
+PHYS_PAGES = st.integers(min_value=0, max_value=1 << 20)
+DMA_STATES = st.sampled_from(
+    [PageState.SHARED_BORROWED, PageState.SHARED_OWNED]
+)
+
+dma_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("map"), IOVA_PAGES, PHYS_PAGES, DMA_STATES),
+        st.tuples(st.just("unmap"), IOVA_PAGES),
+    ),
+    max_size=25,
+)
+
+
+def fresh_shadow():
+    mem = PhysicalMemory(default_memory_map())
+    pool = HypPool(mem, 0x4800_0000, 1024)
+    return KvmPgtable(mem, Stage.STAGE2, PoolMmOps(pool), "iommu-prop")
+
+
+@given(dma_ops)
+@settings(max_examples=60, deadline=None)
+def test_shadow_abstraction_equals_model(op_list):
+    pgt = fresh_shadow()
+    model: dict[int, MapletTarget] = {}
+    for op in op_list:
+        if op[0] == "map":
+            _n, iova_page, phys_page, state = op
+            iova = iova_page * PAGE_SIZE
+            phys = phys_page * PAGE_SIZE
+            attrs = dma_shadow_attrs(state)
+            assert map_range(pgt, iova, PAGE_SIZE, phys, attrs) == 0
+            model[iova] = MapletTarget.mapped(
+                phys, attrs.perms, attrs.memtype, state
+            )
+        else:
+            _n, iova_page = op
+            iova = iova_page * PAGE_SIZE
+            assert unmap_range(pgt, iova, PAGE_SIZE) == 0
+            model.pop(iova, None)
+    mapping = interpret_pgtable(pgt.mem, pgt.root, Stage.STAGE2).mapping
+    assert mapping.nr_pages() == len(model)
+    for iova, target in model.items():
+        assert mapping.lookup(iova) == target
+
+
+@given(DMA_STATES)
+@settings(max_examples=10, deadline=None)
+def test_dma_attrs_constructors_roundtrip(state):
+    """The two attrs constructors produce leaves whose decoded view is
+    exactly what the iommu spec's targets declare."""
+    shadow = dma_shadow_attrs(state)
+    host = dma_host_attrs(state)
+    assert shadow.perms == Perms.rw() and shadow.page_state is state
+    assert host.perms == Perms.rwx() and host.page_state is state
+    raw = make_page_descriptor(
+        0x8000_0000, Stage.STAGE2, shadow.perms, shadow.memtype, state
+    )
+    decoded = decode_descriptor(raw, level=3, stage=Stage.STAGE2)
+    assert decoded.page_state is state and decoded.perms == Perms.rw()

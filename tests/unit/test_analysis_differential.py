@@ -7,14 +7,19 @@ tests and the CI ``--ownership-differential`` /
 from repro.analysis.differential import (
     DESIGNED_RULES,
     DYNAMIC_ONLY,
+    IOMMU_BUG,
     OWNERSHIP_BUGS,
     REFINEMENT_BUGS,
+    IommuDifferentialResult,
     RefinementResult,
     differential_ok,
     format_differential,
+    format_iommu_differential,
     format_refinement_differential,
+    iommu_differential_ok,
     refinement_differential_ok,
     run_differential,
+    run_iommu_differential,
     run_refinement_differential,
 )
 
@@ -49,6 +54,13 @@ class TestStaticSide:
             if f.name.startswith("synth_")
         }
         assert synth == set(OWNERSHIP_BUGS) | set(DYNAMIC_ONLY)
+
+    def test_iommu_bug_is_documented_dynamic_only(self):
+        """The jetson-pkvm refcount/init-ordering bug is a missing data
+        write, invisible to the transition-focused static passes — its
+        stance must be an explicit dynamic-only entry with a rationale."""
+        assert IOMMU_BUG in DYNAMIC_ONLY
+        assert "init" in DYNAMIC_ONLY[IOMMU_BUG]
 
     def test_formatting_marks_agreement(self):
         results = run_differential(dynamic=False)
@@ -123,6 +135,45 @@ class TestRefinementStaticSide:
         )
         assert "<clean>" in text and "PLAUSIBLE" in text
         assert "synth_share_skip_check" in text
+
+
+class TestIommuStaticSide:
+    """Static side of the IOMMU differential; the ghost-oracle replay
+    and bare-machine panic are pinned by the detection-matrix tests and
+    the CI ``--iommu-differential`` step."""
+
+    def test_matrix_is_green(self):
+        results = run_iommu_differential(dynamic=False)
+        assert iommu_differential_ok(results), format_iommu_differential(
+            results
+        )
+
+    def test_clean_row_is_spotless(self):
+        results = run_iommu_differential(dynamic=False)
+        assert results[0].bug == "<clean>"
+        assert not results[0].static_flagged
+        assert results[0].static_rules == ()
+
+    def test_refcount_bug_has_a_stance(self):
+        results = {r.bug: r for r in run_iommu_differential(dynamic=False)}
+        row = results[IOMMU_BUG]
+        assert row.static_flagged or row.documented_dynamic_only
+
+    def test_formatting_names_the_bug(self):
+        text = format_iommu_differential(run_iommu_differential(dynamic=False))
+        assert IOMMU_BUG in text and "<clean>" in text
+
+    def test_unconfirmed_replay_fails_the_matrix(self):
+        row = IommuDifferentialResult(
+            bug=IOMMU_BUG,
+            static_flagged=False,
+            static_rules=(),
+            documented_dynamic_only=True,
+            confirmed=False,
+            ghost_diff="clean",
+        )
+        assert not row.agree
+        assert not iommu_differential_ok([row])
 
 
 class TestRefinementDisagreement:

@@ -28,7 +28,9 @@ class TestOnRealImplementation:
         assert "vm_table.lock.acquire" in hyp
 
     def test_order_matches_the_implementation(self):
-        assert LOCK_ORDER == ("vm_table", "vm", "host_mmu", "pkvm_pgd", "hyp_pool")
+        assert LOCK_ORDER == (
+            "vm_table", "vm", "host_mmu", "pkvm_pgd", "iommu", "hyp_pool"
+        )
 
 
 class TestOnBadFixture:

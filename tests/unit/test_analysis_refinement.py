@@ -28,7 +28,8 @@ class TestOnRealTree:
     def test_clean_tree_has_zero_findings_and_fills_stats(self):
         stats = {}
         assert check_refinement(stats=stats) == []
-        assert stats["functions"] == 4
+        # 4 mem_protect pairs + the 2 IOMMU map/unmap pairs from the registry.
+        assert stats["functions"] == 6
         assert stats["paths_explored"] > 0
         assert stats["timeouts"] == 0
 

@@ -1,0 +1,193 @@
+"""Unit tests for the IOMMU subsystem: the DMA-domain lifecycle, its
+error ladders, the shadow stage-2, and the oracle-checked DMA-isolation
+boundary (no device may reach a page the host did not share-and-own)."""
+
+import pytest
+
+from repro.arch.defs import PAGE_SIZE, phys_to_pfn
+from repro.arch.exceptions import HypervisorPanic
+from repro.arch.pte import PageState
+from repro.machine import Machine
+from repro.pkvm.bugs import Bugs
+from repro.pkvm.defs import EBUSY, EINVAL, ENOENT, EPERM, HypercallId
+from repro.pkvm.iommu import MAX_DOMAINS
+from repro.testing.proxy import HypProxy
+
+IOVA = 0x80 * PAGE_SIZE
+
+
+@pytest.fixture
+def proxy():
+    return HypProxy(Machine(ghost=True))
+
+
+class TestDomainLifecycle:
+    def test_full_lifecycle_is_clean(self, proxy):
+        page = proxy.alloc_page()
+        assert proxy.iommu_alloc_domain(1) == 0
+        assert proxy.iommu_attach_dev(1, 4) == 0
+        assert proxy.iommu_map_page(1, IOVA, page) == 0
+        assert proxy.iommu_unmap_page(1, IOVA) == 0
+        assert proxy.iommu_detach_dev(1, 4) == 0
+        assert proxy.iommu_free_domain(1) == 0
+        assert proxy.machine.checker.violations == []
+
+    def test_alloc_rejects_bad_and_duplicate_ids(self, proxy):
+        assert proxy.iommu_alloc_domain(MAX_DOMAINS) == -EINVAL
+        assert proxy.iommu_alloc_domain(-1) == -EINVAL
+        assert proxy.iommu_alloc_domain(2) == 0
+        assert proxy.iommu_alloc_domain(2) == -EBUSY
+
+    def test_free_refuses_busy_domains(self, proxy):
+        assert proxy.iommu_free_domain(7) == -ENOENT
+        proxy.iommu_alloc_domain(7)
+        proxy.iommu_attach_dev(7, 0)
+        assert proxy.iommu_free_domain(7) == -EBUSY  # device attached
+        proxy.iommu_detach_dev(7, 0)
+        proxy.iommu_map_page(7, IOVA, proxy.alloc_page())
+        assert proxy.iommu_free_domain(7) == -EBUSY  # live mapping
+        proxy.iommu_unmap_page(7, IOVA)
+        assert proxy.iommu_free_domain(7) == 0
+
+    def test_attach_detach_ladders(self, proxy):
+        assert proxy.iommu_attach_dev(3, 1) == -ENOENT
+        proxy.iommu_alloc_domain(3)
+        assert proxy.iommu_attach_dev(3, 1) == 0
+        # A device belongs to one domain at a time.
+        proxy.iommu_alloc_domain(4)
+        assert proxy.iommu_attach_dev(4, 1) == -EBUSY
+        assert proxy.iommu_detach_dev(4, 1) == -ENOENT
+        assert proxy.iommu_detach_dev(3, 1) == 0
+        assert proxy.iommu_attach_dev(4, 1) == 0
+
+
+class TestMapUnmap:
+    def test_map_requires_host_owned_memory(self, proxy):
+        proxy.iommu_alloc_domain(1)
+        assert proxy.iommu_map_page(9, IOVA, proxy.alloc_page()) == -ENOENT
+        mmio = 0x0900_0000  # not DRAM
+        assert proxy.iommu_map_page(1, IOVA, mmio) == -EINVAL
+        shared = proxy.alloc_page()
+        proxy.share_page(shared)
+        assert proxy.iommu_map_page(1, IOVA, shared) == -EPERM
+
+    def test_iova_reuse_is_refused(self, proxy):
+        proxy.iommu_alloc_domain(1)
+        assert proxy.iommu_map_page(1, IOVA, proxy.alloc_page()) == 0
+        assert proxy.iommu_map_page(1, IOVA, proxy.alloc_page()) == -EBUSY
+
+    def test_unmap_ladders(self, proxy):
+        assert proxy.iommu_unmap_page(1, IOVA) == -ENOENT
+        proxy.iommu_alloc_domain(1)
+        assert proxy.iommu_unmap_page(1, IOVA) == -ENOENT
+
+    def test_shadow_walk_sees_the_mapping(self, proxy):
+        from repro.arch.pte import EntryKind
+        from repro.pkvm.pgtable import lookup
+
+        page = proxy.alloc_page()
+        proxy.iommu_alloc_domain(1)
+        proxy.iommu_map_page(1, IOVA, page)
+        domain = proxy.machine.pkvm.iommu.domains[1]
+        pte = lookup(domain.s2, IOVA)
+        assert pte.kind is EntryKind.PAGE
+        assert pte.oa == page
+        assert pte.page_state is PageState.SHARED_BORROWED
+
+
+class TestDmaIsolationBoundary:
+    def test_dma_page_cannot_be_shared_again(self, proxy):
+        """The central design point: map_pages moves the host entry
+        OWNED -> SHARED_OWNED, so mem_protect's existing ownership
+        checks refuse to share/donate the page with no new code."""
+        page = proxy.alloc_page()
+        proxy.iommu_alloc_domain(1)
+        proxy.iommu_map_page(1, IOVA, page)
+        assert proxy.share_page(page) == -EPERM
+        proxy.iommu_unmap_page(1, IOVA)
+        assert proxy.share_page(page) == 0
+
+    def test_host_keeps_access_to_dma_pages(self, proxy):
+        page = proxy.alloc_page()
+        proxy.iommu_alloc_domain(1)
+        proxy.iommu_map_page(1, IOVA, page)
+        proxy.machine.host.write64(page, 0xD0A)
+        assert proxy.machine.host.read64(page) == 0xD0A
+        assert proxy.machine.checker.violations == []
+
+    def test_oracle_trips_on_smuggled_dma_mapping(self, proxy):
+        """Hand-editing a domain's shadow stage-2 to reach a page the
+        host never shared must trip the quiescent isolation sweep."""
+        from repro.pkvm.iommu import dma_shadow_attrs
+        from repro.pkvm.pgtable import map_range
+
+        machine = proxy.machine
+        machine.checker.fail_fast = False
+        victim = proxy.alloc_page()
+        proxy.machine.host.read64(victim)  # fault it in, host-owned
+        proxy.iommu_alloc_domain(1)
+        domain = machine.pkvm.iommu.domains[1]
+        map_range(
+            domain.s2,
+            IOVA,
+            PAGE_SIZE,
+            victim,
+            dma_shadow_attrs(PageState.SHARED_BORROWED),
+        )
+        # An iommu-lock-taking hypercall re-records the component; the
+        # quiescent isolation sweep then sees the smuggled maplet.
+        proxy.iommu_attach_dev(1, 0)
+        kinds = [v.kind for v in machine.checker.violations]
+        assert "isolation" in kinds
+
+
+class TestRefcountBug:
+    def test_bare_machine_hits_the_bug_on(self):
+        proxy = HypProxy(
+            Machine(ghost=False, bugs=Bugs.single("synth_iommu_refcount_init"))
+        )
+        proxy.iommu_alloc_domain(1)
+        with pytest.raises(HypervisorPanic, match="BUG_ON"):
+            proxy.iommu_attach_dev(1, 2)
+
+    def test_oracle_flags_it_at_alloc(self):
+        from repro.ghost.checker import SpecViolation
+
+        proxy = HypProxy(
+            Machine(ghost=True, bugs=Bugs.single("synth_iommu_refcount_init"))
+        )
+        with pytest.raises(SpecViolation, match="post-mismatch"):
+            proxy.iommu_alloc_domain(1)
+
+
+class TestCheckerIntegration:
+    def test_freed_domain_drops_its_cache_entry(self, proxy):
+        machine = proxy.machine
+        proxy.iommu_alloc_domain(5)
+        proxy.iommu_map_page(5, IOVA, proxy.alloc_page())
+        # Peeking at the private entry map: the drop contract has no
+        # public probe, and a leak here would pin dead shadow trees.
+        assert "iommu:5" in machine.checker.cache._entries
+        proxy.iommu_unmap_page(5, IOVA)
+        proxy.iommu_free_domain(5)
+        assert "iommu:5" not in machine.checker.cache._entries
+        assert machine.checker.violations == []
+
+    def test_committed_view_tracks_domains(self, proxy):
+        proxy.iommu_alloc_domain(2)
+        proxy.iommu_attach_dev(2, 6)
+        committed = proxy.machine.checker.committed["iommu"]
+        assert committed.domains[2].refcount == 2  # alloc ref + device
+        assert committed.domains[2].devices == (6,)
+
+    def test_diff_renders_iommu_component(self, proxy):
+        from repro.ghost.diff import diff_components
+        from repro.ghost.state import GhostIommu
+
+        proxy.iommu_alloc_domain(2)
+        proxy.iommu_attach_dev(2, 6)
+        blank = GhostIommu(present=True, domains={})
+        lines = diff_components(
+            "iommu", blank, proxy.machine.checker.committed["iommu"]
+        )
+        assert any("refcount" in line for line in lines)

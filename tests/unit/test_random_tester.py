@@ -161,3 +161,39 @@ class TestDeterminism:
         first = finding(3)
         assert first is not None
         assert finding(3) == first
+
+
+class TestIommuActions:
+    def test_iommu_actions_update_the_model(self):
+        tester = RandomTester(Machine(), seed=1)
+        for _ in range(400):
+            tester.step()
+        assert any(
+            action.startswith("iommu") for action in tester.stats.by_action
+        )
+        # The model mirrored at least one successful allocation at some
+        # point; domains may since have been freed again.
+        assert tester.stats.by_action.get("iommu_domain", 0) > 0
+
+    def test_iommu_profile_focuses_the_stream(self):
+        tester = RandomTester(Machine(), seed=2, profile="iommu")
+        for _ in range(300):
+            tester.step()
+        by_action = tester.stats.by_action
+        iommu_steps = sum(
+            n for a, n in by_action.items() if a.startswith("iommu")
+        )
+        assert iommu_steps > tester.stats.steps // 3
+        assert "vcpu_run" not in by_action  # profile excludes VM-heavy ops
+        assert tester.machine.checker.violations == []
+
+    def test_unknown_profile_is_rejected(self):
+        with pytest.raises(ValueError):
+            RandomTester(Machine(ghost=False), profile="smmu")
+
+    def test_profiles_share_the_handler_namespace(self):
+        """Every action named by any profile has a _do_ handler."""
+        for profile, actions in RandomTester.ACTION_PROFILES.items():
+            for name, weight in actions:
+                assert hasattr(RandomTester, f"_do_{name}"), (profile, name)
+                assert weight > 0

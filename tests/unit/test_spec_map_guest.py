@@ -18,6 +18,7 @@ from repro.ghost.state import (
     GhostCpuLocal,
     GhostGlobals,
     GhostHost,
+    GhostIommu,
     GhostLoadedVcpu,
     GhostPkvm,
     GhostState,
@@ -53,6 +54,7 @@ def pre(pfn=PAGE >> 12, gfn=0x40, loaded=True):
     )
     g.host = GhostHost(present=True)
     g.pkvm = GhostPkvm(present=True)
+    g.iommu = GhostIommu(present=True)
     ref = GhostVcpuRef(0, True, CPU, None)
     g.vms = GhostVms(
         present=True, vms={HANDLE: GhostVm(HANDLE, 0, True, 1, vcpus=(ref,))}
@@ -146,11 +148,12 @@ class TestDispatchTable:
         accepts has a spec function registered in the dispatch table,
         and running each on a well-formed pre-state never crashes the
         spec layer."""
-        from repro.ghost.spec import HYPERCALL_SPECS
+        from repro.ghost.registry import merged_hypercall_specs
 
+        specs = merged_hypercall_specs()
         for hc in HypercallId:
-            assert hc in HYPERCALL_SPECS, (
-                f"{hc.name} missing from the spec dispatch table"
+            assert hc in specs, (
+                f"{hc.name} missing from every subsystem's spec dispatch table"
             )
         g_pre = pre()
         for hc in HypercallId:
