@@ -48,26 +48,38 @@ class Machine:
         #: modules (memory journal, spinlocks, the abstraction traversal)
         #: trace into the same sink; it is a no-op when tracing is off.
         self.obs = (obs if obs is not None else Observability()).install()
-        self.mem = PhysicalMemory(memory_map or default_memory_map(dram_size))
-        self.cpus = [Cpu(i) for i in range(nr_cpus)]
-        self.bugs = bugs or Bugs()
-        self.pkvm = PKvm(
-            self.mem,
-            self.cpus,
-            self.bugs,
-            carveout_pages=carveout_pages,
-            obs=self.obs,
-        )
-        self.host = Host(self.mem, self.cpus, self.pkvm)
-        self.checker = None
-        if ghost:
-            from repro.ghost.checker import GhostChecker
-
-            self.checker = GhostChecker(
-                self, oracle_cache=oracle_cache, paranoid=paranoid
+        # Boot runs under its own span so profiler samples taken during
+        # machine construction (pKVM init, carveout setup, the first
+        # abstraction recording) attribute to a named phase instead of
+        # falling into the (no-span) bucket.
+        with self.obs.tracer.span("machine:boot", "machine", cpus=nr_cpus):
+            self.mem = PhysicalMemory(
+                memory_map or default_memory_map(dram_size)
             )
-            self.checker.attach()
+            self.cpus = [Cpu(i) for i in range(nr_cpus)]
+            self.bugs = bugs or Bugs()
+            self.pkvm = PKvm(
+                self.mem,
+                self.cpus,
+                self.bugs,
+                carveout_pages=carveout_pages,
+                obs=self.obs,
+            )
+            self.host = Host(self.mem, self.cpus, self.pkvm)
+            self.checker = None
+            if ghost:
+                from repro.ghost.checker import GhostChecker
+
+                self.checker = GhostChecker(
+                    self, oracle_cache=oracle_cache, paranoid=paranoid
+                )
+                self.checker.attach()
         self.boot_seconds = time.perf_counter() - started
+        # "last" merge mode: the fleet-level value is the most recent
+        # boot, not the slowest one ever seen.
+        self.obs.metrics.gauge("machine_boot_seconds", mode="last").set(
+            round(self.boot_seconds, 6)
+        )
 
     @classmethod
     def boot(cls, **kwargs) -> "Machine":

@@ -1,22 +1,30 @@
 """repro.obs — observability for the oracle, simulator, and campaigns.
 
-Three zero-dependency pieces, bundled per machine by
+Five zero-dependency pieces, bundled per machine by
 :class:`Observability`:
 
 - :mod:`repro.obs.trace` — hierarchical span tracer with Chrome
-  ``trace_event`` (Perfetto) export and a human-readable tree dump;
-- :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket
-  histograms with JSON and Prometheus exporters, mergeable across
-  campaign workers;
+  ``trace_event`` (Perfetto) export, trace/span correlation ids, and a
+  human-readable tree dump;
+- :mod:`repro.obs.metrics` — counters, gauges (with per-gauge merge
+  modes), and fixed-bucket histograms with JSON and Prometheus
+  exporters, mergeable across campaign workers;
 - :mod:`repro.obs.flight` — a bounded ring of recent events the oracle
-  dumps to a timestamped artifact on any mismatch.
+  dumps to a timestamped artifact on any mismatch;
+- :mod:`repro.obs.profile` — a statistical sampling profiler that
+  attributes stack samples to the enclosing span and merges across
+  workers into one fleet flamegraph;
+- :mod:`repro.obs.server` — an HTTP telemetry endpoint serving the
+  live state of all of the above (``/metrics``, ``/spans``,
+  ``/flight``, ``/profile``, ``/campaign``, ``/healthz``).
 
 The default bundle (what ``Machine()`` builds when none is passed) keeps
 metrics live — they are single integer updates and are the source of
 truth behind ``GhostChecker.stats()`` — but puts tracing behind a
-:class:`~repro.obs.trace.NullSink` and leaves the flight recorder at
-capacity 0, so the disabled paths cost one attribute check each
-(``benchmarks/bench_obs.py`` holds the line at no measurable overhead).
+:class:`~repro.obs.trace.NullSink`, leaves the flight recorder at
+capacity 0, and attaches no profiler or server, so the disabled paths
+cost one attribute check each (``benchmarks/bench_obs.py`` holds the
+line at no measurable overhead).
 
 Observability must never leak into the pure specification:
 ``repro.analysis.purity`` forbids any ``repro.obs`` import inside
@@ -29,6 +37,8 @@ from pathlib import Path
 
 from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import Profile, SamplingProfiler
+from repro.obs.server import TelemetryRing, TelemetryServer
 from repro.obs.trace import (
     MemorySink,
     NullSink,
@@ -42,6 +52,10 @@ __all__ = [
     "NULL_OBS",
     "FlightRecorder",
     "MetricsRegistry",
+    "Profile",
+    "SamplingProfiler",
+    "TelemetryRing",
+    "TelemetryServer",
     "Tracer",
     "MemorySink",
     "NullSink",
@@ -51,13 +65,17 @@ __all__ = [
 
 
 class Observability:
-    """One machine's observability bundle: tracer + metrics + flight.
+    """One machine's observability bundle: tracer + metrics + flight,
+    optionally a sampling profiler and a live telemetry server.
 
-    >>> obs = Observability(tracing=True, flight_buffer=4096)
+    >>> obs = Observability(tracing=True, flight_buffer=4096, profile_hz=100)
     >>> machine = Machine(obs=obs)
+    >>> server = obs.serve("127.0.0.1", 0)   # live /metrics, /spans, ...
     >>> ...
     >>> obs.tracer.write_chrome("trace.json")   # open in ui.perfetto.dev
     >>> obs.metrics.write_json("metrics.json")
+    >>> print(obs.profiler.collapsed())         # flamegraph text
+    >>> server.close()
     """
 
     def __init__(
@@ -65,16 +83,28 @@ class Observability:
         *,
         tracing: bool = False,
         trace_max_events: int = 1_000_000,
+        trace_id: str = "",
         flight_buffer: int = 0,
         flight_dir: str | Path = ".",
+        profile_hz: int = 0,
         worker_id: int = 0,
     ):
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(
             MemorySink(trace_max_events) if tracing else NullSink(),
             pid=worker_id,
+            trace_id=trace_id,
         )
         self.flight = FlightRecorder(flight_buffer, out_dir=flight_dir)
+        #: Sampling profiler, built (not started) when ``profile_hz`` >
+        #: 0; span attribution comes from this bundle's tracer whether
+        #: or not tracing records spans.
+        self.profiler = (
+            SamplingProfiler(profile_hz, tracer=self.tracer)
+            if profile_hz > 0
+            else None
+        )
+        self.server: TelemetryServer | None = None
         self.worker_id = worker_id
 
     @property
@@ -87,11 +117,27 @@ class Observability:
         Modules with no machine reference (the abstraction traversal,
         ``repro.arch.memory``, ``repro.pkvm.spinlock``) trace through
         :func:`repro.obs.trace.active_tracer`; installing is only needed
-        (and only has an effect) when tracing is enabled.
+        (and only has an effect) when tracing or span tracking for the
+        profiler is enabled.
         """
-        if self.tracer.enabled:
+        if self.tracer.enabled or self.profiler is not None:
             set_active_tracer(self.tracer)
         return self
+
+    def serve(self, host: str = "127.0.0.1", port: int = 0) -> TelemetryServer:
+        """Start (and remember) a telemetry server over this bundle."""
+        if self.server is not None and self.server.running:
+            raise RuntimeError("bundle already serving telemetry")
+        self.server = TelemetryServer.for_bundle(self, host, port).start()
+        return self.server
+
+    def close(self) -> None:
+        """Stop the profiler thread and telemetry server, if running."""
+        if self.profiler is not None:
+            self.profiler.stop()
+        if self.server is not None:
+            self.server.close()
+            self.server = None
 
 
 #: Shared disabled bundle for call sites that need an ``obs`` attribute

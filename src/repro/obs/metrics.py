@@ -36,6 +36,7 @@ from bisect import bisect_left
 __all__ = [
     "Counter",
     "Gauge",
+    "GAUGE_MODES",
     "Histogram",
     "MetricsRegistry",
     "LATENCY_BUCKETS_US",
@@ -73,15 +74,38 @@ class Counter:
         self.value += amount
 
 
+#: Valid gauge merge modes (see :class:`Gauge`).
+GAUGE_MODES = ("max", "last", "sum")
+
+
 class Gauge:
-    """A value that goes up and down (or tracks a high-water mark)."""
+    """A value that goes up and down (or tracks a high-water mark).
 
-    __slots__ = ("name", "labels", "value")
+    ``mode`` declares how worker snapshots fold into a parent registry:
 
-    def __init__(self, name: str, labels: dict | None = None):
+    - ``"max"`` (default): high-water gauges — peak ghost memory, peak
+      cache entries. The fleet value is the biggest worker value.
+    - ``"last"``: point-in-time gauges — per-worker liveness
+      timestamps, the most recent batch rate. The incoming snapshot
+      wins (it is newer than whatever the parent holds).
+    - ``"sum"``: additive gauges — campaign throughput, step totals.
+      Fleet value is the sum of the shards.
+
+    Before modes existed every gauge max-merged, which silently
+    misreported fleet-level sums and liveness timestamps.
+    """
+
+    __slots__ = ("name", "labels", "value", "mode")
+
+    def __init__(self, name: str, labels: dict | None = None, mode: str = "max"):
+        if mode not in GAUGE_MODES:
+            raise ValueError(
+                f"gauge {name} mode {mode!r} not one of {GAUGE_MODES}"
+            )
         self.name = name
         self.labels = dict(labels) if labels else {}
         self.value = 0
+        self.mode = mode
 
     def set(self, value) -> None:
         self.value = value
@@ -91,6 +115,15 @@ class Gauge:
 
     def dec(self, amount=1) -> None:
         self.value -= amount
+
+    def fold(self, incoming) -> None:
+        """Merge one snapshot value in, per this gauge's mode."""
+        if self.mode == "max":
+            self.value = max(self.value, incoming)
+        elif self.mode == "last":
+            self.value = incoming
+        else:
+            self.value += incoming
 
 
 class Histogram:
@@ -169,8 +202,33 @@ class MetricsRegistry:
     def counter(self, name: str, labels: dict | None = None) -> Counter:
         return self._get(Counter, name, labels)
 
-    def gauge(self, name: str, labels: dict | None = None) -> Gauge:
-        return self._get(Gauge, name, labels)
+    def gauge(
+        self, name: str, labels: dict | None = None, *, mode: str | None = None
+    ) -> Gauge:
+        """Get or create a gauge; ``mode`` fixes its merge semantics.
+
+        ``mode=None`` accepts whatever mode the gauge already has (or
+        "max" on creation); passing a mode that contradicts an existing
+        gauge's is an error — merge semantics are part of the metric's
+        identity, not per-call-site.
+        """
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = Gauge(name, labels, mode or "max")
+            self._metrics[key] = metric
+            return metric
+        if not isinstance(metric, Gauge):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not Gauge"
+            )
+        if mode is not None and metric.mode != mode:
+            raise ValueError(
+                f"gauge {name!r} re-registered with mode {mode!r}, "
+                f"already {metric.mode!r}"
+            )
+        return metric
 
     def histogram(self, name: str, bounds, labels: dict | None = None) -> Histogram:
         key = (name, _label_key(labels))
@@ -219,7 +277,7 @@ class MetricsRegistry:
             elif isinstance(metric, Gauge):
                 gauges.append(
                     {"name": metric.name, "labels": metric.labels,
-                     "value": metric.value}
+                     "value": metric.value, "mode": metric.mode}
                 )
             else:
                 histograms.append(
@@ -235,12 +293,17 @@ class MetricsRegistry:
         return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
     def merge(self, snapshot: dict) -> None:
-        """Fold a worker snapshot in: counters/buckets add, gauges max."""
+        """Fold a worker snapshot in: counters/buckets add, gauges fold
+        per their declared mode (max/last/sum; pre-mode snapshots merge
+        as max, the historical behavior)."""
         for data in snapshot.get("counters", ()):
             self.counter(data["name"], data["labels"] or None).inc(data["value"])
         for data in snapshot.get("gauges", ()):
-            gauge = self.gauge(data["name"], data["labels"] or None)
-            gauge.value = max(gauge.value, data["value"])
+            gauge = self.gauge(
+                data["name"], data["labels"] or None,
+                mode=data.get("mode"),
+            )
+            gauge.fold(data["value"])
         for data in snapshot.get("histograms", ()):
             hist = self.histogram(
                 data["name"], data["bounds"], data["labels"] or None
@@ -265,14 +328,28 @@ class MetricsRegistry:
         return re.sub(r"[^a-zA-Z0-9_:]", "_", name)
 
     @staticmethod
-    def _prom_labels(labels: dict, extra: dict | None = None) -> str:
+    def _prom_label_value(value) -> str:
+        """Escape a label value per the Prometheus exposition spec:
+        backslash, double-quote, and line-feed — in that order, so the
+        escape character itself is escaped first. An unescaped newline
+        (e.g. from a hypercall arg repr) would otherwise split the
+        sample line and corrupt the whole scrape."""
+        return (
+            str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+        )
+
+    @classmethod
+    def _prom_labels(cls, labels: dict, extra: dict | None = None) -> str:
         merged = dict(labels)
         if extra:
             merged.update(extra)
         if not merged:
             return ""
         body = ",".join(
-            '{}="{}"'.format(k, str(v).replace("\\", "\\\\").replace('"', '\\"'))
+            f'{k}="{cls._prom_label_value(v)}"'
             for k, v in sorted(merged.items())
         )
         return "{" + body + "}"

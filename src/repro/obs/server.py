@@ -1,0 +1,261 @@
+"""Live telemetry over HTTP: the first running slice of oracle-as-a-service.
+
+Until now ``repro.obs`` was purely passive — spans accumulated in
+memory, metrics were dumped at end-of-run, flight rings hit disk only on
+a violation. This module adds the live half: a stdlib
+``ThreadingHTTPServer`` that serves the *current* state of a run while
+it is still running, so a campaign fleet is scrapeable (Prometheus),
+watchable (Perfetto), and debuggable (flight ring) without waiting for
+the checkpoint.
+
+Endpoints (all GET):
+
+- ``/healthz``       — liveness probe, ``200 ok``.
+- ``/metrics``       — the metrics registry, Prometheus text exposition.
+- ``/spans``         — current spans as Chrome ``trace_event`` JSON
+  (load the response straight into ui.perfetto.dev).
+- ``/flight``        — the current flight-recorder ring as JSON.
+- ``/profile``       — collapsed-stack flamegraph text from the
+  sampling profiler.
+- ``/campaign``      — JSON heartbeat: hypercalls/hour, coverage,
+  cache hit-rate, findings, per-worker liveness, and the bounded
+  time-series ring of recent samples.
+
+The server is wired by *callables*, not objects: whoever stands it up
+(a machine's :class:`~repro.obs.Observability` bundle, the campaign
+engine, the test harness) passes one provider per endpoint, and absent
+providers 404. That keeps the server zero-dependency and reusable by
+the future checker-as-a-service frontend.
+
+Everything runs on daemon threads and ``close()`` is synchronous — the
+telemetry-smoke CI job fails if a server thread survives engine
+shutdown.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+__all__ = ["TelemetryServer", "TelemetryRing", "parse_hostport"]
+
+#: Thread name for the accept loop; tests and the CI smoke job assert
+#: no thread with this name outlives ``close()``.
+SERVER_THREAD_NAME = "obs-telemetry"
+
+
+def parse_hostport(spec: str) -> tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)``; port 0 = kernel-assigned."""
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.lstrip("-").isdigit():
+        raise ValueError(
+            f"--serve-telemetry wants HOST:PORT, got {spec!r}"
+        )
+    value = int(port)
+    if value < 0 or value > 65535:
+        raise ValueError(f"port {value} outside 0..65535")
+    return host or "127.0.0.1", value
+
+
+class TelemetryRing:
+    """A bounded time series of campaign gauge samples.
+
+    The engine's heartbeat loop appends one sample per beat (and per
+    merged batch); the ring keeps the most recent ``capacity`` so a
+    long campaign's ``/campaign`` response and ``telemetry.jsonl`` dump
+    stay bounded no matter how long the run.
+    """
+
+    def __init__(self, capacity: int = 512):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._samples: deque[dict] = deque(maxlen=capacity)
+        #: Samples taken over the whole run, including evicted ones.
+        self.taken = 0
+
+    def sample(self, values: dict) -> dict:
+        entry = {"ts": round(time.time(), 3), **values}
+        self._samples.append(entry)
+        self.taken += 1
+        return entry
+
+    def latest(self) -> dict | None:
+        return self._samples[-1] if self._samples else None
+
+    def to_jsonable(self) -> list[dict]:
+        return list(self._samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def write_jsonl(self, path) -> None:
+        """One sample per line — the ``telemetry.jsonl`` artifact the
+        engine drops beside the checkpoint."""
+        with open(path, "w") as fh:
+            for entry in self._samples:
+                fh.write(json.dumps(entry, sort_keys=True))
+                fh.write("\n")
+
+
+class TelemetryServer:
+    """Serve live observability state over HTTP until ``close()``.
+
+    Providers return the *body* for their endpoint; the server handles
+    framing, content types, and error mapping (a provider raising maps
+    to 500 with the exception text, a missing provider to 404).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        metrics: Callable[[], str] | None = None,
+        spans: Callable[[], dict] | None = None,
+        flight: Callable[[], dict] | None = None,
+        profile: Callable[[], str] | None = None,
+        campaign: Callable[[], dict] | None = None,
+    ):
+        self._providers = {
+            "/metrics": (metrics, "text/plain; version=0.0.4"),
+            "/spans": (spans, "application/json"),
+            "/flight": (flight, "application/json"),
+            "/profile": (profile, "text/plain"),
+            "/campaign": (campaign, "application/json"),
+        }
+        self._httpd = ThreadingHTTPServer(
+            (host, port), self._handler_class()
+        )
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "TelemetryServer":
+        if self._thread is not None:
+            raise RuntimeError("telemetry server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name=SERVER_THREAD_NAME,
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop accepting, join the accept loop, release the socket.
+
+        Idempotent; after this returns no server thread is alive — the
+        engine calls it in a ``finally`` so a crashing campaign cannot
+        leak the port or the thread.
+        """
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    @classmethod
+    def for_bundle(
+        cls,
+        obs,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        campaign: Callable[[], dict] | None = None,
+    ) -> "TelemetryServer":
+        """Wire a server to one :class:`~repro.obs.Observability` bundle.
+
+        The standard single-machine setup (also what the harness uses):
+        metrics/spans/flight/profile come live from the bundle; a
+        ``campaign`` provider can be added on top.
+        """
+        profiler = getattr(obs, "profiler", None)
+        return cls(
+            host,
+            port,
+            metrics=obs.metrics.to_prometheus,
+            spans=obs.tracer.to_chrome,
+            flight=lambda: {
+                "capacity": obs.flight.capacity,
+                "events_recorded": obs.flight.seq,
+                "events": obs.flight.snapshot(),
+                "dumps": [str(p) for p in obs.flight.dumps],
+            },
+            profile=(profiler.collapsed if profiler is not None else None),
+            campaign=campaign,
+        )
+
+    # -- request handling --------------------------------------------------
+
+    def _handler_class(self):
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def do_GET(self):  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0].rstrip("/") or "/healthz"
+                if path == "/healthz":
+                    self._send(200, "text/plain", "ok\n")
+                    return
+                provider, content_type = server._providers.get(
+                    path, (None, None)
+                )
+                if provider is None:
+                    self._send(
+                        404, "text/plain", f"no such endpoint: {path}\n"
+                    )
+                    return
+                try:
+                    body = provider()
+                except Exception as exc:  # noqa: BLE001 - mapped to 500
+                    self._send(
+                        500, "text/plain", f"{type(exc).__name__}: {exc}\n"
+                    )
+                    return
+                if not isinstance(body, (str, bytes)):
+                    body = json.dumps(body)
+                self._send(200, content_type, body)
+
+            def _send(self, status, content_type, body):
+                data = body.encode() if isinstance(body, str) else body
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+
+            def log_message(self, *args):  # quiet: stderr is the CLI's
+                pass
+
+        return Handler

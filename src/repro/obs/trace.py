@@ -31,6 +31,8 @@ it has to sit at the bottom of the import graph.
 from __future__ import annotations
 
 import json
+import os
+import threading
 import time
 from typing import Callable
 
@@ -44,15 +46,53 @@ __all__ = [
     "set_active_tracer",
     "chrome_trace",
     "write_chrome_trace",
+    "make_trace_id",
 ]
 
 
+def make_trace_id(seed: int | None = None) -> str:
+    """A correlation id for one logical run.
+
+    Campaigns derive theirs from the campaign seed so the id is stable
+    across checkpoint/resume (the resumed half of a run stitches into
+    the same timeline); standalone tracers fall back to a pid-qualified
+    id that distinguishes concurrent local runs.
+    """
+    if seed is not None:
+        return f"trace-{seed & 0xFFFFFFFF:08x}"
+    return f"trace-pid{os.getpid():x}-{time.perf_counter_ns() & 0xFFFFFF:06x}"
+
+
 class Span:
-    """One finished span (or instant, when ``dur_us`` is None)."""
+    """One finished span (or instant, when ``dur_us`` is None).
 
-    __slots__ = ("name", "cat", "ts_us", "dur_us", "tid", "pid", "depth", "args")
+    ``trace_id``/``span_id``/``parent_id`` are the correlation fields:
+    every span a tracer emits gets a tracer-local ``span_id`` and the
+    ``span_id`` of its innermost open ancestor on the same track as
+    ``parent_id`` (0 = root). A span is globally identified by
+    ``(trace_id, pid, span_id)`` — campaign workers share the campaign's
+    trace id and are told apart by ``pid`` (their worker id).
+    """
 
-    def __init__(self, name, cat, ts_us, dur_us, tid, pid, depth, args):
+    __slots__ = (
+        "name", "cat", "ts_us", "dur_us", "tid", "pid", "depth", "args",
+        "trace_id", "span_id", "parent_id",
+    )
+
+    def __init__(
+        self,
+        name,
+        cat,
+        ts_us,
+        dur_us,
+        tid,
+        pid,
+        depth,
+        args,
+        trace_id="",
+        span_id=0,
+        parent_id=0,
+    ):
         self.name = name
         self.cat = cat
         self.ts_us = ts_us
@@ -61,6 +101,9 @@ class Span:
         self.pid = pid
         self.depth = depth
         self.args = args
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
 
     def to_jsonable(self) -> dict:
         return {
@@ -72,6 +115,9 @@ class Span:
             "pid": self.pid,
             "depth": self.depth,
             "args": self.args,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
         }
 
     @staticmethod
@@ -85,6 +131,9 @@ class Span:
             data["pid"],
             data["depth"],
             data.get("args") or {},
+            data.get("trace_id", ""),
+            data.get("span_id", 0),
+            data.get("parent_id", 0),
         )
 
     def to_trace_event(self) -> dict:
@@ -101,8 +150,17 @@ class Span:
         else:
             event["ph"] = "X"
             event["dur"] = self.dur_us
-        if self.args:
-            event["args"] = self.args
+        args = self.args
+        if self.trace_id:
+            # Correlation ids ride in args only for correlated traces, so
+            # uncorrelated single-machine traces stay byte-compatible.
+            args = dict(args) if args else {}
+            args["trace_id"] = self.trace_id
+            args["span_id"] = self.span_id
+            if self.parent_id:
+                args["parent_id"] = self.parent_id
+        if args:
+            event["args"] = args
         return event
 
     def __repr__(self) -> str:
@@ -160,9 +218,25 @@ _NULL_CTX = _NullSpanCtx()
 
 
 class _SpanCtx:
-    """A live span: opened by ``Tracer.span``, emitted on ``__exit__``."""
+    """A live span: opened by ``Tracer.span``, emitted on ``__exit__``.
 
-    __slots__ = ("tracer", "name", "cat", "tid", "args", "start_ns", "depth")
+    Besides timing, entering maintains two pieces of live context:
+
+    - the per-``tid`` open-span stack (depth and ``parent_id``
+      propagation for the Perfetto nesting);
+    - the per-OS-thread stack of open span *names*, which the sampling
+      profiler (:mod:`repro.obs.profile`) reads from its sampler thread
+      to attribute each stack sample to its enclosing span.
+
+    When the sink is disabled but span tracking is on (a profiler
+    attached to an untraced run), the clock is never read and no span is
+    emitted — only the two stacks move.
+    """
+
+    __slots__ = (
+        "tracer", "name", "cat", "tid", "args", "start_ns", "depth",
+        "span_id", "parent_id", "_ident",
+    )
 
     def __init__(self, tracer, name, cat, tid, args):
         self.tracer = tracer
@@ -173,14 +247,41 @@ class _SpanCtx:
 
     def __enter__(self):
         tracer = self.tracer
-        self.depth = tracer._enter(self.tid)
-        self.start_ns = tracer.clock()
+        tracer._span_seq += 1
+        self.span_id = tracer._span_seq
+        stack = tracer._open.get(self.tid)
+        if stack is None:
+            stack = tracer._open[self.tid] = []
+        self.parent_id = stack[-1] if stack else 0
+        self.depth = len(stack)
+        stack.append(self.span_id)
+        # The name stack only feeds profiler attribution; skip its
+        # upkeep entirely unless a profiler asked for it.
+        self._ident = 0
+        if tracer._track_open:
+            self._ident = threading.get_ident()
+            names = tracer._thread_spans.get(self._ident)
+            if names is None:
+                names = tracer._thread_spans[self._ident] = []
+            names.append(self.name)
+        if tracer.sink.enabled:
+            self.start_ns = tracer.clock()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         tracer = self.tracer
-        end_ns = tracer.clock()
-        tracer._exit(self.tid)
+        emit = tracer.sink.enabled
+        if emit:
+            end_ns = tracer.clock()
+        stack = tracer._open.get(self.tid)
+        if stack:
+            stack.pop()
+        if self._ident:
+            names = tracer._thread_spans.get(self._ident)
+            if names:
+                names.pop()
+        if not emit:
+            return False
         if exc_type is not None:
             self.args = dict(self.args or {})
             self.args["error"] = exc_type.__name__
@@ -194,6 +295,9 @@ class _SpanCtx:
                 tracer.pid,
                 self.depth,
                 self.args or {},
+                tracer.trace_id,
+                self.span_id,
+                self.parent_id,
             )
         )
         return False
@@ -220,13 +324,27 @@ class Tracer:
         sink: NullSink | MemorySink | None = None,
         *,
         pid: int = 0,
+        trace_id: str = "",
         clock: Callable[[], int] = time.perf_counter_ns,
     ):
         self.sink = sink if sink is not None else NullSink()
         self.pid = pid
+        #: Correlation id stamped on every emitted span; "" means
+        #: uncorrelated (the single-machine default). Campaign workers
+        #: get the campaign's id so the engine can stitch one timeline.
+        self.trace_id = trace_id
         self.clock = clock
         self.epoch_ns = clock()
-        self._depths: dict[int, int] = {}
+        #: Per-tid stack of open span ids (depth + parent propagation).
+        self._open: dict[int, list[int]] = {}
+        #: Per-OS-thread stack of open span names, read (racily but
+        #: harmlessly) by the sampling profiler's sampler thread.
+        self._thread_spans: dict[int, list[str]] = {}
+        self._span_seq = 0
+        #: When true, spans maintain the live stacks even with a
+        #: NullSink — a profiler attached to an untraced run still gets
+        #: span attribution (see :meth:`track_open_spans`).
+        self._track_open = False
 
     @property
     def enabled(self) -> bool:
@@ -235,7 +353,7 @@ class Tracer:
     # -- recording ---------------------------------------------------------
 
     def span(self, name: str, cat: str = "", *, tid: int = 0, **args):
-        if not self.sink.enabled:
+        if not (self.sink.enabled or self._track_open):
             return _NULL_CTX
         return _SpanCtx(self, name, cat, tid, args)
 
@@ -250,10 +368,38 @@ class Tracer:
                 None,
                 tid,
                 self.pid,
-                self._depths.get(tid, 0),
+                len(self._open.get(tid, ())),
                 args,
+                self.trace_id,
             )
         )
+
+    def track_open_spans(self, on: bool = True) -> None:
+        """Maintain live open-span stacks even when the sink is off.
+
+        The sampling profiler enables this so its samples can be
+        attributed to ``trap:<call>``/``oracle:*`` phases without paying
+        for full span recording.
+        """
+        self._track_open = on
+
+    def open_span_names(self) -> dict[int, str]:
+        """OS-thread ident -> innermost open span name, for the profiler.
+
+        Reads the live stacks without locking: the sampler tolerates a
+        stale or momentarily inconsistent view (one misattributed sample),
+        so we only defend against dict-resize races.
+        """
+        for _ in range(2):
+            try:
+                return {
+                    ident: stack[-1]
+                    for ident, stack in list(self._thread_spans.items())
+                    if stack
+                }
+            except RuntimeError:  # pragma: no cover - resize race
+                continue
+        return {}
 
     def traced(self, name: str | None = None, cat: str = ""):
         """Decorator form of :meth:`span`."""
@@ -262,7 +408,7 @@ class Tracer:
             span_name = name or fn.__qualname__
 
             def wrapper(*args, **kwargs):
-                if not self.sink.enabled:
+                if not (self.sink.enabled or self._track_open):
                     return fn(*args, **kwargs)
                 with self.span(span_name, cat):
                     return fn(*args, **kwargs)
@@ -274,15 +420,6 @@ class Tracer:
             return wrapper
 
         return decorate
-
-    def _enter(self, tid: int) -> int:
-        depth = self._depths.get(tid, 0)
-        self._depths[tid] = depth + 1
-        return depth
-
-    def _exit(self, tid: int) -> None:
-        depth = self._depths.get(tid, 1)
-        self._depths[tid] = depth - 1 if depth > 0 else 0
 
     # -- export ------------------------------------------------------------
 
@@ -328,30 +465,74 @@ class Tracer:
         if hasattr(self.sink, "spans"):
             self.sink.spans.clear()
             self.sink.dropped = 0
-        self._depths.clear()
+        self._open.clear()
+        self._thread_spans.clear()
 
 
-def chrome_trace(spans: list[Span], *, dropped: int = 0) -> dict:
+def chrome_trace(
+    spans: list[Span],
+    *,
+    dropped: int = 0,
+    process_names: dict[int, str] | None = None,
+    trace_id: str = "",
+) -> dict:
     """The Chrome ``trace_event`` JSON object for an arbitrary span list.
 
     The campaign engine uses this directly: worker spans arrive as
     shipped data (each worker's ``pid`` is its worker id), not through
     any live tracer, and still need one merged Perfetto-loadable file.
+
+    ``process_names`` labels the ``pid`` tracks via ``process_name``
+    metadata events, so a merged cross-worker timeline renders with
+    human-readable worker rows ("worker 0", "worker 1", ...) instead of
+    bare pids. ``trace_id`` lands in ``otherData`` for correlation with
+    the metrics/telemetry artifacts of the same run.
     """
     spans = sorted(spans, key=lambda s: (s.pid, s.tid, s.ts_us))
+    events: list[dict] = []
+    if process_names:
+        for pid in sorted(process_names):
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": process_names[pid]},
+                }
+            )
+    events.extend(s.to_trace_event() for s in spans)
+    other: dict = {
+        "producer": "repro.obs.trace",
+        "dropped_events": dropped,
+    }
+    if trace_id:
+        other["trace_id"] = trace_id
     return {
-        "traceEvents": [s.to_trace_event() for s in spans],
+        "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": {
-            "producer": "repro.obs.trace",
-            "dropped_events": dropped,
-        },
+        "otherData": other,
     }
 
 
-def write_chrome_trace(path, spans: list[Span], *, dropped: int = 0) -> None:
+def write_chrome_trace(
+    path,
+    spans: list[Span],
+    *,
+    dropped: int = 0,
+    process_names: dict[int, str] | None = None,
+    trace_id: str = "",
+) -> None:
     with open(path, "w") as fh:
-        json.dump(chrome_trace(spans, dropped=dropped), fh)
+        json.dump(
+            chrome_trace(
+                spans,
+                dropped=dropped,
+                process_names=process_names,
+                trace_id=trace_id,
+            ),
+            fh,
+        )
         fh.write("\n")
 
 

@@ -12,8 +12,19 @@ from __future__ import annotations
 
 import json
 import os
+from pathlib import Path
 
 VERSION = 1
+
+
+def telemetry_path(checkpoint_path: str) -> Path:
+    """Where the heartbeat ring dump lands: beside the checkpoint.
+
+    Kept out of the checkpoint itself — telemetry samples are wall-clock
+    run artifacts, and the checkpoint must stay byte-comparable across
+    equivalent runs.
+    """
+    return Path(checkpoint_path).parent / "telemetry.jsonl"
 
 
 def save_checkpoint(path: str, state: dict) -> None:

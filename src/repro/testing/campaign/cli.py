@@ -161,6 +161,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for flight-recorder dump artifacts",
     )
     parser.add_argument(
+        "--serve-telemetry",
+        default=None,
+        metavar="HOST:PORT",
+        help="serve live campaign telemetry over HTTP for the duration "
+        "of the run (/metrics /spans /flight /profile /campaign "
+        "/healthz; port 0 picks a free port, URL printed to stderr)",
+    )
+    parser.add_argument(
+        "--profile-hz",
+        type=int,
+        default=0,
+        metavar="HZ",
+        help="sample every worker's stacks at HZ and merge into one "
+        "span-attributed fleet profile (0 = off)",
+    )
+    parser.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="FILE",
+        help="write the merged collapsed-stack profile (flamegraph.pl / "
+        "speedscope input); implies --profile-hz 100 when unset",
+    )
+    parser.add_argument(
         "--seed-corpus",
         default=None,
         metavar="DIR",
@@ -227,6 +250,10 @@ def main(argv: list[str] | None = None) -> int:
             raise SystemExit(f"no checkpoint at {args.resume}")
         except ValueError as exc:
             raise SystemExit(f"cannot resume {args.resume}: {exc}")
+        # Telemetry is a property of the run, not the campaign: a resume
+        # may serve (or stop serving) regardless of the original flags.
+        if args.serve_telemetry is not None:
+            engine.config.serve_telemetry = args.serve_telemetry
     else:
         config = CampaignConfig(
             workers=args.workers,
@@ -251,6 +278,9 @@ def main(argv: list[str] | None = None) -> int:
             flight_buffer=args.flight_buffer,
             flight_dir=args.flight_dir,
             seed_corpus=args.seed_corpus,
+            serve_telemetry=args.serve_telemetry,
+            profile_hz=args.profile_hz,
+            profile_out=args.profile_out,
         )
         engine = CampaignEngine(config, out=args.out)
     report = engine.run()

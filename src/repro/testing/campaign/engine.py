@@ -23,11 +23,20 @@ Two execution modes share all of that logic:
 from __future__ import annotations
 
 import multiprocessing
+import sys
+import threading
 import time
 from dataclasses import dataclass, field
 
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.trace import Span, write_chrome_trace
+from repro.obs.profile import Profile
+from repro.obs.server import TelemetryRing, TelemetryServer, parse_hostport
+from repro.obs.trace import (
+    Span,
+    chrome_trace,
+    make_trace_id,
+    write_chrome_trace,
+)
 from repro.testing.campaign import checkpoint as ckpt
 from repro.testing.campaign.findings import DedupIndex, RawFinding
 from repro.testing.campaign.scheduler import BudgetScheduler
@@ -92,10 +101,27 @@ class CampaignConfig:
     #: concretized counterexamples, ``--refinement-corpus``) replayed
     #: through the oracle before any random batches run.
     seed_corpus: str | None = None
+    #: Live telemetry: ``"host:port"`` stands up the HTTP endpoint for
+    #: the duration of the run (port 0 = kernel-assigned; the engine
+    #: prints the bound URL to stderr).
+    serve_telemetry: str | None = None
+    #: Sampling profiler rate inside each worker (0 = off). Snapshots
+    #: merge in the engine into one fleet-wide profile.
+    profile_hz: int = 0
+    #: Where the merged collapsed-stack profile lands (implies a
+    #: default ``profile_hz`` of 100 when unset).
+    profile_out: str | None = None
 
     @property
     def tracing(self) -> bool:
         return self.trace_out is not None
+
+    @property
+    def effective_profile_hz(self) -> int:
+        """Asking for a profile artifact turns the profiler on."""
+        if self.profile_hz:
+            return self.profile_hz
+        return 100 if self.profile_out is not None else 0
 
     def machine_config(self) -> dict:
         # Concurrency scenarios run ghost-off (matching the synthetic
@@ -140,6 +166,9 @@ class CampaignConfig:
             "flight_buffer": self.flight_buffer,
             "flight_dir": self.flight_dir,
             "seed_corpus": self.seed_corpus,
+            "serve_telemetry": self.serve_telemetry,
+            "profile_hz": self.profile_hz,
+            "profile_out": self.profile_out,
         }
 
     @staticmethod
@@ -226,6 +255,21 @@ class CampaignEngine:
         self.resumed = False
         self._started = 0.0
         self._corpus_traces = 0
+        #: Campaign correlation id, derived from the seed so a resumed
+        #: campaign keeps stitching into the same cross-worker timeline.
+        self.trace_id = make_trace_id(config.seed)
+        #: Fleet-wide profile: every worker's sampling-profiler snapshot
+        #: merges in here (same algebra as the metrics registry).
+        self.profile = Profile()
+        #: Bounded ring of heartbeat samples behind ``/campaign`` and the
+        #: ``telemetry.jsonl`` artifact.
+        self.telemetry = TelemetryRing(512)
+        #: Per-worker liveness: wall-clock of each lane's last merged
+        #: batch (pool mode: when its result drained, not when it ran).
+        self.worker_last_seen: dict[int, float] = {}
+        self._server: TelemetryServer | None = None
+        self._heartbeat: threading.Thread | None = None
+        self._heartbeat_stop = threading.Event()
 
     # -- resume ----------------------------------------------------------
 
@@ -302,6 +346,7 @@ class CampaignEngine:
             steps=steps,
             # Racy-pair feedback: sorted for determinism across runs.
             priority_tags=tuple(sorted(self.racy_tags)),
+            trace_id=self.trace_id,
         )
 
     def _absorb(self, result: BatchResult) -> None:
@@ -315,6 +360,9 @@ class CampaignEngine:
             self.metrics.merge(result.metrics)
         if result.spans:
             self.spans.extend(Span.from_jsonable(s) for s in result.spans)
+        if result.profile:
+            self.profile.merge(result.profile)
+        self.worker_last_seen[result.worker_id] = time.time()
         self.flight_dumps.extend(result.flight_dumps)
         if result.finding is not None:
             self.dedup.add(result.finding)
@@ -322,6 +370,10 @@ class CampaignEngine:
         self.total_steps += result.steps_run
         self.total_hypercalls += result.hypercalls
         self.total_rejected += result.rejected
+        # One ring sample per merged batch (the heartbeat thread adds
+        # its ~1 Hz cadence on top when the server is up), so
+        # ``telemetry.jsonl`` exists even for unserved runs.
+        self.telemetry.sample(self._heartbeat_sample())
         if self.out is not None:
             self._save(complete=False)
 
@@ -330,13 +382,124 @@ class CampaignEngine:
     def run(self) -> CampaignReport:
         self._started = time.perf_counter()
         self._corpus_traces = 0
-        if self.config.seed_corpus is not None:
-            self._replay_corpus()
-        if self.config.inline or self.config.workers <= 1:
-            self._run_inline()
-        else:
-            self._run_pool()
-        return self._finalize()
+        if self.config.serve_telemetry is not None:
+            self._start_telemetry(self.config.serve_telemetry)
+        try:
+            if self.config.seed_corpus is not None:
+                self._replay_corpus()
+            if self.config.inline or self.config.workers <= 1:
+                self._run_inline()
+            else:
+                self._run_pool()
+            return self._finalize()
+        finally:
+            self._stop_telemetry()
+
+    # -- live telemetry ----------------------------------------------------
+
+    def _start_telemetry(self, spec: str) -> None:
+        """Stand up ``/metrics`` etc. over the engine's *merged* state.
+
+        The providers read engine fields that ``_absorb`` and the
+        heartbeat update; everything they touch is a single attribute
+        read or an append-only structure, so serving concurrently with
+        the merge loop needs no locking.
+        """
+        host, port = parse_hostport(spec)
+        self._server = TelemetryServer(
+            host,
+            port,
+            metrics=self.metrics.to_prometheus,
+            spans=lambda: chrome_trace(
+                list(self.spans),
+                process_names=self._process_names(),
+                trace_id=self.trace_id,
+            ),
+            flight=lambda: {"dumps": list(self.flight_dumps)},
+            profile=self.profile.collapsed,
+            campaign=self._campaign_status,
+        ).start()
+        print(f"telemetry: {self._server.url}", file=sys.stderr)
+        self._heartbeat_stop.clear()
+        self._heartbeat = threading.Thread(
+            target=self._heartbeat_loop, name="obs-heartbeat", daemon=True
+        )
+        self._heartbeat.start()
+
+    def _stop_telemetry(self) -> None:
+        if self._heartbeat is not None:
+            self._heartbeat_stop.set()
+            self._heartbeat.join(timeout=5)
+            self._heartbeat = None
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+
+    def _heartbeat_loop(self) -> None:
+        """~1 Hz: refresh the campaign gauges and append a ring sample,
+        so a mid-run ``/metrics`` scrape and ``/campaign`` poll see live
+        numbers instead of end-of-run ones."""
+        while not self._heartbeat_stop.wait(1.0):
+            self._refresh_campaign_gauges()
+            self.telemetry.sample(self._heartbeat_sample())
+
+    def _process_names(self) -> dict[int, str]:
+        return {
+            w: f"worker {w}"
+            for w in sorted({s.pid for s in self.spans} | {0})
+        }
+
+    def _elapsed(self) -> float:
+        return time.perf_counter() - self._started
+
+    def _cache_hit_rate(self) -> float:
+        hits = self.metrics.counter("oracle_cache_hits").value
+        misses = self.metrics.counter("oracle_cache_misses").value
+        return hits / (hits + misses) if hits + misses else 0.0
+
+    def _heartbeat_sample(self) -> dict:
+        elapsed = self._elapsed()
+        return {
+            "elapsed": round(elapsed, 3),
+            "batches": len(self.batch_records),
+            "steps": self.total_steps,
+            "hypercalls": self.total_hypercalls,
+            "hypercalls_per_hour": round(
+                self.total_hypercalls * 3600.0 / elapsed if elapsed else 0.0,
+                1,
+            ),
+            "coverage_functions": self.coverage.function_count(),
+            "cache_hit_rate": round(self._cache_hit_rate(), 4),
+            "findings": len(self.dedup),
+            "profile_samples": self.profile.total,
+        }
+
+    def _campaign_status(self) -> dict:
+        """The ``/campaign`` heartbeat document."""
+        now = time.time()
+        return {
+            "trace_id": self.trace_id,
+            "config": self.config.to_jsonable(),
+            "resumed": self.resumed,
+            **self._heartbeat_sample(),
+            "issued_steps": self.issued_steps,
+            "budget": self.config.budget,
+            "coverage_lines": self.coverage.line_count(),
+            "coverage_windows": self.schedule_coverage.window_count(),
+            "flight_dumps": len(self.flight_dumps),
+            "workers": {
+                str(w): {
+                    "last_batch_age": round(now - seen, 3),
+                    "batches": self.next_batch_index.get(w, 0),
+                }
+                for w, seen in sorted(self.worker_last_seen.items())
+            },
+            "telemetry": {
+                "samples_kept": len(self.telemetry),
+                "samples_taken": self.telemetry.taken,
+                "recent": self.telemetry.to_jsonable()[-30:],
+            },
+        }
 
     def _replay_corpus(self) -> None:
         """Replay every ``*.trace`` seed through the campaign's oracle.
@@ -382,6 +545,7 @@ class CampaignEngine:
                     mode=self.config.mode,
                     scenario=self.config.scenario,
                     pct_depth=self.config.pct_depth,
+                    profile_hz=self.config.effective_profile_hz,
                 )
             )
 
@@ -403,6 +567,7 @@ class CampaignEngine:
                     self.config.mode,
                     self.config.scenario,
                     self.config.pct_depth,
+                    self.config.effective_profile_hz,
                 ),
                 daemon=True,
             )
@@ -473,25 +638,64 @@ class CampaignEngine:
             self._save(complete=True, report=report)
         return report
 
-    def _export_observability(self, report: CampaignReport) -> None:
-        """Campaign-level gauges, plus the merged trace/metrics files."""
+    def _refresh_campaign_gauges(self) -> None:
+        """Point the ``campaign_*`` gauges at the current merged state.
+
+        Throughput and totals carry ``mode="sum"`` — two campaign shards'
+        metric files merge into fleet totals, where the old max-merge
+        silently reported the bigger shard. Coverage/findings gauges stay
+        high-water (``max``): shards overlap, so adding them overcounts.
+        """
         m = self.metrics
-        m.gauge("campaign_hypercalls_per_hour").set(
+        elapsed = self._elapsed()
+        rate = self.total_hypercalls * 3600.0 / elapsed if elapsed else 0.0
+        m.gauge("campaign_hypercalls_per_hour", mode="sum").set(round(rate, 1))
+        m.gauge("campaign_coverage_lines").set(self.coverage.line_count())
+        m.gauge("campaign_coverage_functions").set(
+            self.coverage.function_count()
+        )
+        m.gauge("campaign_coverage_windows").set(
+            self.schedule_coverage.window_count()
+        )
+        m.gauge("campaign_corpus_traces", mode="sum").set(self._corpus_traces)
+        m.gauge("campaign_batches", mode="sum").set(len(self.batch_records))
+        m.gauge("campaign_steps_total", mode="sum").set(self.total_steps)
+        m.gauge("campaign_hypercalls_total", mode="sum").set(
+            self.total_hypercalls
+        )
+        m.gauge("campaign_findings_distinct").set(len(self.dedup))
+        m.gauge("campaign_flight_dumps", mode="sum").set(
+            len(self.flight_dumps)
+        )
+        m.gauge("campaign_cache_hit_rate", mode="last").set(
+            round(self._cache_hit_rate(), 4)
+        )
+
+    def _export_observability(self, report: CampaignReport) -> None:
+        """Campaign-level gauges, plus the merged artifact files."""
+        self._refresh_campaign_gauges()
+        m = self.metrics
+        # _refresh uses live elapsed time; the report's final rate is the
+        # authoritative one.
+        m.gauge("campaign_hypercalls_per_hour", mode="sum").set(
             round(report.hypercalls_per_hour, 1)
         )
-        m.gauge("campaign_coverage_lines").set(report.coverage_lines)
-        m.gauge("campaign_coverage_functions").set(report.coverage_functions)
-        m.gauge("campaign_coverage_windows").set(report.coverage_windows)
-        m.gauge("campaign_corpus_traces").set(report.corpus_traces)
-        m.gauge("campaign_batches").set(report.batches)
-        m.gauge("campaign_steps_total").set(report.total_steps)
-        m.gauge("campaign_hypercalls_total").set(report.total_hypercalls)
-        m.gauge("campaign_findings_distinct").set(len(report.findings))
-        m.gauge("campaign_flight_dumps").set(len(self.flight_dumps))
+        if self.profile.total:
+            self.profile.to_metrics(m)
         if self.config.trace_out is not None:
-            write_chrome_trace(self.config.trace_out, self.spans)
+            write_chrome_trace(
+                self.config.trace_out,
+                self.spans,
+                process_names=self._process_names(),
+                trace_id=self.trace_id,
+            )
         if self.config.metrics_out is not None:
             m.write_json(self.config.metrics_out)
+        if self.config.profile_out is not None:
+            self.profile.write_collapsed(self.config.profile_out)
+        if self.out is not None and self.telemetry.taken:
+            self.telemetry.sample(self._heartbeat_sample())
+            self.telemetry.write_jsonl(ckpt.telemetry_path(self.out))
 
     def _save(
         self, *, complete: bool, report: CampaignReport | None = None

@@ -50,6 +50,10 @@ class BatchTask:
     #: feedback) the PCT scheduler treats as extra candidate
     #: priority-change points.
     priority_tags: tuple = ()
+    #: Campaign-level correlation id: every span this batch records
+    #: carries it, so the engine stitches per-worker spans into one
+    #: cross-worker Perfetto timeline.
+    trace_id: str = ""
 
 
 @dataclass
@@ -80,6 +84,9 @@ class BatchResult:
     spans: list = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
     flight_dumps: list = field(default_factory=list)
+    #: Sampling-profiler snapshot (span-attributed collapsed stacks);
+    #: the engine merges these into one fleet-wide profile.
+    profile: dict = field(default_factory=dict)
 
     def to_jsonable(self) -> dict:
         return {
@@ -117,6 +124,7 @@ def run_batch(
     mode: str = "random",
     scenario: str = "mixed",
     pct_depth: int = 3,
+    profile_hz: int = 0,
 ) -> BatchResult:
     """Run one batch; never raises on findings — they come back as data.
 
@@ -134,12 +142,19 @@ def run_batch(
 
     When ``tracing``/``flight_buffer`` are on, the batch runs under its
     own :class:`Observability` bundle (pid = worker id, so a merged
-    trace renders workers as parallel tracks) and ships spans, a
-    metrics snapshot, and any flight-dump paths back in the result.
+    trace renders workers as parallel tracks; every span stamped with
+    the campaign ``trace_id``) and ships spans, a metrics snapshot, and
+    any flight-dump paths back in the result.
+
+    ``profile_hz > 0`` additionally runs the sampling profiler over the
+    batch and ships its span-attributed snapshot; the engine merges
+    workers' snapshots into one fleet flamegraph.
     """
     if mode == "concurrency":
         # Imported lazily: concurrency mode pulls in the scheduler and
-        # lockset machinery that random batches never touch.
+        # lockset machinery that random batches never touch. (The
+        # profiler is random/iommu-mode apparatus: a PCT schedule's
+        # wall-clock is scheduler overhead, not oracle hot path.)
         from repro.testing.campaign.concurrency import run_concurrency_batch
 
         return run_concurrency_batch(
@@ -154,10 +169,14 @@ def run_batch(
     started = time.perf_counter()
     obs = Observability(
         tracing=tracing,
+        trace_id=task.trace_id,
         flight_buffer=flight_buffer,
         flight_dir=flight_dir,
+        profile_hz=profile_hz,
         worker_id=task.worker_id,
     ).install()
+    if obs.profiler is not None:
+        obs.profiler.start()
     machine = Machine.from_config(machine_config, obs=obs)
     trace = Trace(
         nr_cpus=machine_config.get("nr_cpus", 4),
@@ -212,7 +231,14 @@ def run_batch(
     finally:
         if tracker is not None:
             tracker.__exit__(None, None, None)
+        if obs.profiler is not None:
+            obs.profiler.stop()
     snapshot = tracker.snapshot() if tracker is not None else CoverageMap()
+    # "last" mode: the fleet-level value is each worker's most recent
+    # heartbeat, which is what per-worker liveness means.
+    obs.metrics.gauge(
+        "worker_last_batch_ts", {"worker": str(task.worker_id)}, mode="last"
+    ).set(round(time.time(), 3))
     return BatchResult(
         worker_id=task.worker_id,
         batch_index=task.batch_index,
@@ -227,6 +253,9 @@ def run_batch(
         spans=[s.to_jsonable() for s in obs.tracer.spans],
         metrics=obs.metrics.snapshot(),
         flight_dumps=[str(p) for p in obs.flight.dumps],
+        profile=(
+            obs.profiler.snapshot() if obs.profiler is not None else {}
+        ),
     )
 
 
@@ -241,6 +270,7 @@ def worker_main(
     mode: str = "random",
     scenario: str = "mixed",
     pct_depth: int = 3,
+    profile_hz: int = 0,
 ) -> None:
     """Process entry point: drain tasks until the None sentinel."""
     while True:
@@ -258,5 +288,6 @@ def worker_main(
                 mode=mode,
                 scenario=scenario,
                 pct_depth=pct_depth,
+                profile_hz=profile_hz,
             )
         )

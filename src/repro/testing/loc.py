@@ -99,6 +99,8 @@ CATEGORIES: dict[str, list[str]] = {
         "obs/trace.py",
         "obs/metrics.py",
         "obs/flight.py",
+        "obs/profile.py",
+        "obs/server.py",
     ],
 }
 

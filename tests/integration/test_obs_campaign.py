@@ -44,7 +44,12 @@ class TestTraceOut:
         events = doc["traceEvents"]
         assert events, "campaign produced no spans"
         for event in events:
-            assert event["ph"] in ("X", "i")
+            assert event["ph"] in ("X", "i", "M")
+            if event["ph"] == "M":
+                # process_name metadata labelling a worker's pid track.
+                assert event["name"] == "process_name"
+                assert event["args"]["name"] == f"worker {event['pid']}"
+                continue
             assert isinstance(event["ts"], int)
             if event["ph"] == "X":
                 assert event["dur"] >= 0

@@ -6,6 +6,7 @@ import pytest
 
 from repro.obs.metrics import (
     Counter,
+    GAUGE_MODES,
     Gauge,
     Histogram,
     LATENCY_BUCKETS_US,
@@ -30,6 +31,30 @@ class TestCounterGauge:
         g.inc(5)
         g.dec(3)
         assert g.value == 12
+
+    def test_gauge_mode_default_and_validation(self):
+        assert Gauge("n").mode == "max"
+        assert set(GAUGE_MODES) == {"max", "last", "sum"}
+        with pytest.raises(ValueError):
+            Gauge("n", mode="median")
+
+    def test_gauge_fold_per_mode(self):
+        g = Gauge("n", mode="max")
+        g.set(10)
+        g.fold(3)
+        assert g.value == 10
+        g.fold(40)
+        assert g.value == 40
+
+        g = Gauge("n", mode="last")
+        g.set(10)
+        g.fold(3)
+        assert g.value == 3
+
+        g = Gauge("n", mode="sum")
+        g.set(10)
+        g.fold(3)
+        assert g.value == 13
 
 
 class TestHistogramBuckets:
@@ -75,6 +100,40 @@ class TestHistogramBuckets:
             Histogram("h", (10, 10))
         with pytest.raises(ValueError):
             Histogram("h", ())
+
+
+class TestHistogramQuantileEdges:
+    """The corners the profiler/telemetry tables lean on."""
+
+    def test_empty_every_quantile_is_zero(self):
+        h = Histogram("h", (10, 100))
+        for q in (0.0, 0.5, 1.0):
+            assert h.quantile(q) == 0.0
+
+    def test_q0_and_q1_on_populated_histogram(self):
+        h = Histogram("h", (10, 100, 1000))
+        h.observe(5)
+        h.observe(500)
+        # q=0 resolves to the first non-empty bucket's bound, q=1 to
+        # the last non-empty bucket's bound.
+        assert h.quantile(0.0) == 10
+        assert h.quantile(1.0) == 1000
+
+    def test_all_samples_in_overflow(self):
+        # Every observation above the top bound: any quantile can only
+        # honestly report the last finite bound.
+        h = Histogram("h", (10, 100))
+        for _ in range(5):
+            h.observe(10**6)
+        assert h.quantile(0.0) == 100
+        assert h.quantile(0.5) == 100
+        assert h.quantile(1.0) == 100
+
+    def test_single_observation(self):
+        h = Histogram("h", (10, 100))
+        h.observe(50)
+        assert h.quantile(0.5) == 100
+        assert h.quantile(1.0) == 100
 
 
 class TestRegistry:
@@ -135,6 +194,43 @@ class TestMerge:
         parent.merge(self.make_snapshot())
         assert parent.value("peak") == 100
 
+    def test_gauge_modes_survive_snapshot_merge(self):
+        """Worker gauges declare their merge mode; the parent honors it."""
+        worker = MetricsRegistry()
+        worker.gauge("campaign_steps_total", mode="sum").set(100)
+        worker.gauge("worker_last_batch_ts", mode="last").set(111)
+        worker.gauge("peak").set(50)
+        snap = worker.snapshot()
+
+        parent = MetricsRegistry()
+        parent.merge(snap)
+        parent.merge(snap)
+        assert parent.value("campaign_steps_total") == 200
+        assert parent.value("worker_last_batch_ts") == 111
+        assert parent.value("peak") == 50
+        # The mode itself propagated, not just the folded value.
+        assert parent.get("campaign_steps_total").mode == "sum"
+
+    def test_gauge_mode_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", mode="sum")
+        with pytest.raises(ValueError):
+            reg.gauge("g", mode="last")
+        # Unspecified mode accepts whatever exists.
+        assert reg.gauge("g").mode == "sum"
+
+    def test_pre_mode_snapshot_merges_as_max(self):
+        """Snapshots written before gauge modes existed lack the key."""
+        worker = MetricsRegistry()
+        worker.gauge("peak").set(70)
+        snap = worker.snapshot()
+        for entry in snap["gauges"]:
+            entry.pop("mode", None)
+        parent = MetricsRegistry()
+        parent.gauge("peak").set(100)
+        parent.merge(snap)
+        assert parent.value("peak") == 100
+
     def test_histograms_add_bucketwise(self):
         parent = MetricsRegistry()
         parent.merge(self.make_snapshot())
@@ -185,6 +281,25 @@ class TestExporters:
         reg.counter("c", {"k": 'a"b\\c'}).inc()
         text = reg.to_prometheus()
         assert 'k="a\\"b\\\\c"' in text
+
+    def test_prometheus_escapes_newlines_in_label_values(self):
+        """Per the exposition spec, line feeds must escape to \\n —
+        a raw newline inside a label value tears the line in two and
+        the whole scrape fails to parse."""
+        reg = MetricsRegistry()
+        reg.counter("c", {"k": "line1\nline2"}).inc()
+        text = reg.to_prometheus()
+        assert 'k="line1\\nline2"' in text
+        # No exposition line is left torn open.
+        for line in text.splitlines():
+            assert line.count('"') % 2 == 0
+
+    def test_prometheus_escape_order_backslash_first(self):
+        # A value that is literally backslash-n must NOT collapse into
+        # the \n escape: it round-trips as \\n.
+        reg = MetricsRegistry()
+        reg.counter("c", {"k": "a\\nb"}).inc()
+        assert 'k="a\\\\nb"' in reg.to_prometheus()
 
     def test_prometheus_sanitises_metric_names(self):
         reg = MetricsRegistry()

@@ -1,0 +1,176 @@
+"""The telemetry HTTP server and heartbeat ring, in isolation.
+
+Every test binds port 0 (kernel-assigned) so the suite is parallel-safe,
+and every server is closed before assertions about thread hygiene.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.server import (
+    SERVER_THREAD_NAME,
+    TelemetryRing,
+    TelemetryServer,
+    parse_hostport,
+)
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read()
+
+
+# -- parse_hostport ------------------------------------------------------
+
+
+def test_parse_hostport():
+    assert parse_hostport("127.0.0.1:9100") == ("127.0.0.1", 9100)
+    assert parse_hostport(":0") == ("127.0.0.1", 0)
+    assert parse_hostport("0.0.0.0:80") == ("0.0.0.0", 80)
+
+
+@pytest.mark.parametrize("bad", ["9100", "host:", "host:port", "host:-1", "h:70000"])
+def test_parse_hostport_rejects(bad):
+    with pytest.raises(ValueError):
+        parse_hostport(bad)
+
+
+# -- TelemetryRing -------------------------------------------------------
+
+
+def test_ring_bounded_and_counts_evicted():
+    ring = TelemetryRing(capacity=3)
+    for i in range(5):
+        ring.sample({"i": i})
+    assert len(ring) == 3
+    assert ring.taken == 5
+    assert [s["i"] for s in ring.to_jsonable()] == [2, 3, 4]
+    assert ring.latest()["i"] == 4
+    assert all("ts" in s for s in ring.to_jsonable())
+
+
+def test_ring_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        TelemetryRing(capacity=0)
+
+
+def test_ring_write_jsonl(tmp_path):
+    ring = TelemetryRing(capacity=8)
+    ring.sample({"batches": 1})
+    ring.sample({"batches": 2})
+    path = tmp_path / "telemetry.jsonl"
+    ring.write_jsonl(path)
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    assert json.loads(lines[1])["batches"] == 2
+
+
+# -- TelemetryServer -----------------------------------------------------
+
+
+def test_serves_providers_with_content_types():
+    server = TelemetryServer(
+        "127.0.0.1",
+        0,
+        metrics=lambda: "m_total 1\n",
+        campaign=lambda: {"batches": 3},
+    )
+    with server:
+        status, ctype, body = _get(server.url + "/healthz")
+        assert (status, body) == (200, b"ok\n")
+        status, ctype, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert ctype.startswith("text/plain")
+        assert body == b"m_total 1\n"
+        status, ctype, body = _get(server.url + "/campaign")
+        assert ctype == "application/json"
+        assert json.loads(body) == {"batches": 3}
+    assert not server.running
+
+
+def test_missing_provider_404s():
+    with TelemetryServer("127.0.0.1", 0, metrics=lambda: "x 1\n") as server:
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(server.url + "/profile")
+        assert err.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(server.url + "/nope")
+        assert err.value.code == 404
+
+
+def test_provider_exception_maps_to_500():
+    def boom():
+        raise RuntimeError("provider died")
+
+    with TelemetryServer("127.0.0.1", 0, metrics=boom) as server:
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(server.url + "/metrics")
+        assert err.value.code == 500
+        assert b"provider died" in err.value.read()
+
+
+def test_close_joins_thread_and_is_idempotent():
+    server = TelemetryServer("127.0.0.1", 0, metrics=lambda: "")
+    server.start()
+    assert any(
+        t.name == SERVER_THREAD_NAME for t in threading.enumerate()
+    )
+    server.close()
+    server.close()
+    assert not any(
+        t.name == SERVER_THREAD_NAME for t in threading.enumerate()
+    )
+
+
+def test_start_twice_raises():
+    server = TelemetryServer("127.0.0.1", 0)
+    server.start()
+    try:
+        with pytest.raises(RuntimeError):
+            server.start()
+    finally:
+        server.close()
+
+
+def test_for_bundle_serves_live_machine_state():
+    from repro.machine import Machine
+    from repro.pkvm.hyp import HypercallId
+
+    obs = Observability(tracing=True, flight_buffer=64, profile_hz=100)
+    machine = Machine(obs=obs)
+    page = machine.host.alloc_page()
+    machine.host.hvc(HypercallId.HOST_SHARE_HYP, page >> 12)
+    obs.profiler.sample_once()
+    server = obs.serve("127.0.0.1", 0)
+    try:
+        _, _, metrics = _get(server.url + "/metrics")
+        assert b"oracle_checks_run" in metrics
+        _, _, spans = _get(server.url + "/spans")
+        names = {e["name"] for e in json.loads(spans)["traceEvents"]}
+        assert "trap:host_share_hyp" in names
+        _, _, flight = _get(server.url + "/flight")
+        assert json.loads(flight)["events_recorded"] > 0
+        status, _, _ = _get(server.url + "/profile")
+        assert status == 200
+    finally:
+        obs.close()
+    assert obs.server is None
+    # Bundle close stops the profiler too.
+    assert not obs.profiler.running
+
+
+def test_bundle_serve_twice_raises():
+    obs = Observability()
+    obs.serve("127.0.0.1", 0)
+    try:
+        with pytest.raises(RuntimeError):
+            obs.serve("127.0.0.1", 0)
+    finally:
+        obs.close()

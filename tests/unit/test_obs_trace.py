@@ -11,6 +11,7 @@ from repro.obs.trace import (
     Tracer,
     active_tracer,
     chrome_trace,
+    make_trace_id,
     set_active_tracer,
 )
 
@@ -18,12 +19,13 @@ from repro.obs.trace import (
 def make_tracer(**kwargs):
     """A tracer with a deterministic fake clock: each read advances 1us."""
     ticks = {"now": 0}
+    trace_id = kwargs.pop("trace_id", "")
 
     def clock():
         ticks["now"] += 1_000
         return ticks["now"]
 
-    return Tracer(MemorySink(**kwargs), clock=clock)
+    return Tracer(MemorySink(**kwargs), clock=clock, trace_id=trace_id)
 
 
 class TestNullPath:
@@ -177,6 +179,120 @@ class TestExport:
         assert len(inner) - len(inner.lstrip()) > len(outer) - len(
             outer.lstrip()
         )
+
+
+class TestCorrelation:
+    def test_make_trace_id_stable_and_distinct(self):
+        assert make_trace_id(42) == make_trace_id(42)
+        assert make_trace_id(42) != make_trace_id(43)
+
+    def test_span_ids_and_parent_links(self):
+        tracer = make_tracer(trace_id=make_trace_id(7))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("sibling"):
+                pass
+        by_name = {s.name: s for s in tracer.spans}
+        outer, inner, sibling = (
+            by_name["outer"], by_name["inner"], by_name["sibling"],
+        )
+        assert outer.trace_id == make_trace_id(7)
+        assert outer.span_id and inner.span_id and sibling.span_id
+        assert len({outer.span_id, inner.span_id, sibling.span_id}) == 3
+        assert outer.parent_id == 0
+        assert inner.parent_id == outer.span_id
+        assert sibling.parent_id == outer.span_id
+
+    def test_parent_links_are_per_tid(self):
+        tracer = make_tracer()
+        with tracer.span("a", tid=0):
+            with tracer.span("b", tid=1):
+                pass
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["b"].parent_id == 0  # different track, no parent
+
+    def test_correlation_ids_in_chrome_args_only_when_traced(self):
+        # Without a trace id the export keeps the original slim args
+        # (pinned by test_chrome_export_shape); with one, every event
+        # carries it plus the span/parent ids.
+        tracer = make_tracer(trace_id="trace-cafe")
+        with tracer.span("outer"):
+            with tracer.span("inner", call="share"):
+                pass
+        doc = tracer.to_chrome()
+        inner = next(e for e in doc["traceEvents"] if e["name"] == "inner")
+        outer = next(e for e in doc["traceEvents"] if e["name"] == "outer")
+        assert inner["args"]["call"] == "share"
+        assert inner["args"]["trace_id"] == "trace-cafe"
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+        assert "parent_id" not in outer["args"]
+
+    def test_span_jsonable_roundtrip_keeps_ids(self):
+        tracer = make_tracer(trace_id="t-1")
+        with tracer.span("a"):
+            pass
+        (span,) = tracer.spans
+        clone = Span.from_jsonable(span.to_jsonable())
+        assert (clone.trace_id, clone.span_id, clone.parent_id) == (
+            span.trace_id, span.span_id, span.parent_id,
+        )
+
+    def test_pre_correlation_jsonable_loads_with_defaults(self):
+        data = Span("n", "c", 10, 5, 1, 2, 3, {"k": "v"}).to_jsonable()
+        for key in ("trace_id", "span_id", "parent_id"):
+            data.pop(key, None)
+        clone = Span.from_jsonable(data)
+        assert (clone.trace_id, clone.span_id, clone.parent_id) == ("", 0, 0)
+
+    def test_chrome_trace_process_name_metadata(self):
+        spans = [
+            Span("w1", "c", 5, 1, 0, 1, 0, {}),
+            Span("w0", "c", 3, 1, 0, 0, 0, {}),
+        ]
+        doc = chrome_trace(
+            spans,
+            process_names={0: "worker 0", 1: "worker 1"},
+            trace_id="t-9",
+        )
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert [(e["pid"], e["args"]["name"]) for e in meta] == [
+            (0, "worker 0"),
+            (1, "worker 1"),
+        ]
+        # Metadata leads, then spans sorted by pid as before.
+        rest = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert [e["pid"] for e in rest] == [0, 1]
+        assert doc["otherData"]["trace_id"] == "t-9"
+
+
+class TestOpenSpanTracking:
+    def test_null_sink_records_nothing_but_tracks_open_spans(self):
+        tracer = Tracer(NullSink())
+        tracer.track_open_spans(True)
+        with tracer.span("oracle:check"):
+            names = tracer.open_span_names()
+            import threading
+
+            assert names[threading.get_ident()] == "oracle:check"
+        assert tracer.open_span_names() == {}
+        assert tracer.spans == []  # nothing ever hit the sink
+
+    def test_innermost_open_span_reported(self):
+        tracer = make_tracer()
+        tracer.track_open_spans(True)
+        import threading
+
+        ident = threading.get_ident()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                assert tracer.open_span_names()[ident] == "inner"
+            assert tracer.open_span_names()[ident] == "outer"
+
+    def test_tracking_off_by_default_with_null_sink(self):
+        tracer = Tracer(NullSink())
+        with tracer.span("a"):
+            assert tracer.open_span_names() == {}
 
 
 class TestBounds:
